@@ -1,0 +1,43 @@
+"""Shared driver for the Tables 2-5 succinctness benchmarks.
+
+Each of those tables has the same columns — number of distinct inferred
+types, min/max/average type size, fused type size — for one dataset across
+the scale ladder.  The per-dataset bench modules call
+:func:`run_succinctness_bench` with their dataset name and the paper's
+expected shape commentary.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import SUCCINCTNESS_HEADERS, succinctness_row
+from repro.analysis.tables import render_table
+from repro.inference import run_inference
+
+from conftest import dataset_cached, max_scale, scale_label, scale_ladder
+
+_printed: set[str] = set()
+
+
+def print_succinctness_table(name: str, title: str, note: str) -> None:
+    """Print the Table 2-5 style report for ``name`` once per session."""
+    if name in _printed:
+        return
+    _printed.add(name)
+    rows = []
+    for n in scale_ladder():
+        values = dataset_cached(name, n)
+        row = succinctness_row(values, scale_label(n))
+        rows.append(row.cells())
+    print()
+    print(render_table(SUCCINCTNESS_HEADERS, rows, title=title))
+    print(note)
+
+
+def run_succinctness_bench(name: str, title: str, note: str, benchmark) -> None:
+    """Print the table, then benchmark full inference at the top rung."""
+    print_succinctness_table(name, title, note)
+    values = dataset_cached(name, max_scale())
+    result = benchmark.pedantic(
+        lambda: run_inference(values), rounds=1, iterations=1
+    )
+    assert result.record_count == len(values)

@@ -1,0 +1,67 @@
+"""Table 1 — (sub-)dataset sizes.
+
+The paper reports the on-disk size of each dataset at 1K/10K/100K/1M
+records (e.g. GitHub 14MB at 1K, Twitter 2.2MB at 1K).  This bench
+generates the synthetic counterparts at the harness's scale ladder,
+serializes them with the from-scratch writer and reports the NDJSON sizes;
+the benchmarked operation is generate+serialize at the top rung.
+
+Expected shape vs the paper: GitHub records are the largest (tens of KB of
+metadata per pull request is reduced here, but still the largest per
+record), Twitter records the smallest; NYTimes is text-heavy relative to
+its type size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_bytes, render_table
+from repro.datasets import DATASET_NAMES
+from repro.jsonio.writer import dumps
+
+from conftest import dataset_cached, max_scale, scale_label, scale_ladder
+
+_PRINTED = False
+
+
+def ndjson_bytes(name: str, n: int) -> int:
+    return sum(len(dumps(v)) + 1 for v in dataset_cached(name, n))
+
+
+def print_table1() -> None:
+    global _PRINTED
+    if _PRINTED:
+        return
+    _PRINTED = True
+    ladder = scale_ladder()
+    headers = ["Dataset"] + [scale_label(n) for n in ladder]
+    rows = [
+        [name] + [format_bytes(ndjson_bytes(name, n)) for n in ladder]
+        for name in sorted(DATASET_NAMES)
+    ]
+    print()
+    print(render_table(headers, rows, title="Table 1: (sub-)dataset sizes"))
+
+
+def _bench_serialize(name: str, benchmark) -> None:
+    print_table1()
+    n = max_scale()
+    values = dataset_cached(name, n)
+    benchmark.pedantic(
+        lambda: sum(len(dumps(v)) for v in values), rounds=1, iterations=1
+    )
+
+
+def test_table1_github_serialize(benchmark):
+    _bench_serialize("github", benchmark)
+
+
+def test_table1_twitter_serialize(benchmark):
+    _bench_serialize("twitter", benchmark)
+
+
+def test_table1_wikidata_serialize(benchmark):
+    _bench_serialize("wikidata", benchmark)
+
+
+def test_table1_nytimes_serialize(benchmark):
+    _bench_serialize("nytimes", benchmark)

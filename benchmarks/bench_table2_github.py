@@ -1,0 +1,17 @@
+"""Table 2 — succinctness results for the GitHub dataset.
+
+Paper shape to reproduce: homogeneous records give a small distinct-type
+count, near-constant type sizes (147 in the paper) and a fused/avg ratio
+"not bigger than 1.4" — the best-behaved dataset for fusion.
+"""
+
+from _succinctness import run_succinctness_bench
+
+
+def test_table2_github_inference(benchmark):
+    run_succinctness_bench(
+        "github",
+        "Table 2: results for GitHub",
+        "shape check: ratio <= 1.4; distinct types grow slowly with scale",
+        benchmark,
+    )

@@ -1,0 +1,17 @@
+"""Table 3 — succinctness results for the Twitter dataset.
+
+Paper shape to reproduce: min type size is tiny (the delete notices — 7 in
+the paper), five top-level shapes and arrays push the fused/avg ratio
+above GitHub's, but it stays "bounded by 4".
+"""
+
+from _succinctness import run_succinctness_bench
+
+
+def test_table3_twitter_inference(benchmark):
+    run_succinctness_bench(
+        "twitter",
+        "Table 3: results for Twitter",
+        "shape check: ratio <= 4; min size is the tiny delete notice",
+        benchmark,
+    )

@@ -1,0 +1,17 @@
+"""Table 5 — succinctness results for the NYTimes dataset.
+
+Paper shape to reproduce: the fixed first level with lower-level-only
+variation compacts *best* of all four datasets ("promising and even better
+than the rest"), despite a large distinct-type count.
+"""
+
+from _succinctness import run_succinctness_bench
+
+
+def test_table5_nytimes_inference(benchmark):
+    run_succinctness_bench(
+        "nytimes",
+        "Table 5: results for NYTimes",
+        "shape check: best fused/avg ratio of the four datasets",
+        benchmark,
+    )

@@ -1,0 +1,75 @@
+"""Table 6 — typing execution times (GitHub, Twitter, Wikidata).
+
+The paper reports inference + fusion wall-clock per dataset and scale on
+its Mac mini, observing that Wikidata is the most expensive to process
+(ids-as-keys make fusion work hard) and that GitHub takes longer than
+Twitter because its records are much larger.
+
+This bench runs the instrumented pipeline on the mini-Spark engine and
+prints Map (type inference) and Reduce (fusion) times per dataset and
+rung; the benchmarked operation is the full engine-backed pipeline at the
+top rung.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.engine import Context
+from repro.inference import run_inference
+
+from conftest import dataset_cached, max_scale, scale_label, scale_ladder
+
+DATASETS = ["github", "twitter", "wikidata"]
+
+_PRINTED = False
+
+
+def print_table6() -> None:
+    global _PRINTED
+    if _PRINTED:
+        return
+    _PRINTED = True
+    rows = []
+    with Context() as ctx:
+        for name in DATASETS:
+            for n in scale_ladder():
+                values = dataset_cached(name, n)
+                run = run_inference(values, context=ctx, num_partitions=8)
+                rows.append([
+                    name,
+                    scale_label(n),
+                    format_seconds(run.map_seconds),
+                    format_seconds(run.reduce_seconds),
+                    format_seconds(run.total_seconds),
+                ])
+    print()
+    print(render_table(
+        ["dataset", "scale", "inference", "fusion", "total"],
+        rows,
+        title="Table 6: typing execution times",
+    ))
+    print("shape check: wikidata slowest overall; github Map phase > "
+          "twitter (larger records)")
+
+
+def _bench(name: str, benchmark) -> None:
+    print_table6()
+    values = dataset_cached(name, max_scale())
+    with Context() as ctx:
+        benchmark.pedantic(
+            lambda: run_inference(values, context=ctx, num_partitions=8),
+            rounds=1,
+            iterations=1,
+        )
+
+
+def test_table6_github_typing_time(benchmark):
+    _bench("github", benchmark)
+
+
+def test_table6_twitter_typing_time(benchmark):
+    _bench("twitter", benchmark)
+
+
+def test_table6_wikidata_typing_time(benchmark):
+    _bench("wikidata", benchmark)

@@ -1,0 +1,80 @@
+"""Table 8 — partition-based processing of NYTimes.
+
+The paper's manual optimisation: split the dataset into four partitions,
+process each in isolation (local type inference + fusion, no shuffle), and
+finally fuse the four partial schemas — "a fast operation as each schema
+to fuse has a very small size".  Its correctness is exactly the
+associativity theorem.
+
+This bench reproduces the table's columns (objects, distinct types, time
+per partition) plus the final-fusion time the paper argues is negligible,
+checks that the partitioned schema equals the global one, and benchmarks
+the partitioned run against the single-pass run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.engine.context import split_evenly
+from repro.inference import infer_partitioned, infer_schema
+
+from conftest import dataset_cached, max_scale
+
+N_PARTITIONS = 4
+
+_PRINTED = False
+
+
+def partitions():
+    values = list(dataset_cached("nytimes", max_scale()))
+    return split_evenly(values, N_PARTITIONS)
+
+
+def print_table8() -> None:
+    global _PRINTED
+    if _PRINTED:
+        return
+    _PRINTED = True
+    run = infer_partitioned(partitions())
+    rows = [
+        [
+            f"partition {report.index + 1}",
+            f"{report.record_count:,}",
+            f"{report.distinct_type_count:,}",
+            format_seconds(report.seconds),
+        ]
+        for report in run.partitions
+    ]
+    print()
+    print(render_table(
+        ["", "Objects", "Types", "Time"],
+        rows,
+        title="Table 8: partition-based processing of NYTimes",
+    ))
+    total = sum(r.seconds for r in run.partitions)
+    print(f"final fusion of {N_PARTITIONS} partial schemas: "
+          f"{format_seconds(run.final_fuse_seconds)} "
+          f"({run.final_fuse_seconds / max(total, 1e-9):.1%} of partition time)")
+    print("shape check: partial-schema fusion is negligible next to "
+          "partition processing (associativity enables the strategy)")
+
+
+def test_table8_partitioned_processing(benchmark):
+    print_table8()
+    parts = partitions()
+    run = benchmark.pedantic(
+        lambda: infer_partitioned(parts), rounds=1, iterations=1
+    )
+    flat = [v for part in parts for v in part]
+    assert run.schema == infer_schema(flat)
+
+
+def test_table8_final_fusion_is_cheap(benchmark):
+    """The final fusion alone, benchmarked: it fuses four small schemas."""
+    print_table8()
+    parts = partitions()
+    partials = [infer_schema(part) for part in parts]
+
+    from repro.inference import fuse_all
+
+    benchmark.pedantic(lambda: fuse_all(partials), rounds=5, iterations=1)

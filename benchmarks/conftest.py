@@ -1,0 +1,70 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``bench_table*.py`` module regenerates one table of the paper's
+evaluation section (Section 6) and prints it in the paper's layout, so the
+harness output can be compared to the paper side by side; the
+``bench_ablation_*.py`` modules measure the design choices DESIGN.md calls
+out.
+
+Scaling: the paper's sub-datasets run to 1M records; by default the
+harness uses a reduced ladder so the whole suite completes in minutes.
+Set ``REPRO_SCALE`` to grow it::
+
+    REPRO_SCALE=1000   pytest benchmarks/ --benchmark-only   # default
+    REPRO_SCALE=10000  pytest benchmarks/ --benchmark-only   # 10x ladder
+    REPRO_SCALE=100000 pytest benchmarks/ --benchmark-only   # heavy
+
+The ladder is geometric with factor 10 and four rungs ending at
+``REPRO_SCALE``, mirroring the paper's 1K/10K/100K/1M.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.datasets import generate_list
+
+
+def max_scale() -> int:
+    """Top rung of the scale ladder (``REPRO_SCALE``, default 1000)."""
+    return int(os.environ.get("REPRO_SCALE", "1000"))
+
+
+def scale_ladder() -> list[int]:
+    """Four geometric rungs ending at :func:`max_scale`, like 1K..1M."""
+    top = max_scale()
+    ladder = [max(1, top // 1000), max(1, top // 100), max(1, top // 10), top]
+    # Deduplicate in case of a tiny REPRO_SCALE.
+    out: list[int] = []
+    for n in ladder:
+        if n not in out:
+            out.append(n)
+    return out
+
+
+def scale_label(n: int) -> str:
+    """Human label for a rung: 1000 -> '1K', 1000000 -> '1M'."""
+    if n % 1_000_000 == 0 and n >= 1_000_000:
+        return f"{n // 1_000_000}M"
+    if n % 1_000 == 0 and n >= 1_000:
+        return f"{n // 1_000}K"
+    return str(n)
+
+
+@lru_cache(maxsize=None)
+def dataset_cached(name: str, n: int) -> tuple:
+    """Generated records, cached across benchmarks within the session."""
+    return tuple(generate_list(name, n))
+
+
+@pytest.fixture(scope="session")
+def scales() -> list[int]:
+    return scale_ladder()
+
+
+def pytest_report_header(config):
+    ladder = ", ".join(scale_label(n) for n in scale_ladder())
+    return f"repro benchmark harness — scale ladder: {ladder} (REPRO_SCALE)"

@@ -1,0 +1,57 @@
+"""Schema-backed query validation and wildcard expansion.
+
+Run with::
+
+    python examples/query_validation.py
+
+The paper's introduction motivates schema inference with compile-time
+query services: checking that the paths a query selects actually exist,
+distinguishing always-present from optional paths (so the query author
+knows where null-handling code is needed), and expanding wildcards.  This
+example builds those services for a toy dotted-path query language over
+the GitHub feed.
+"""
+
+from repro import infer_schema, print_type
+from repro.analysis.paths import expand_wildcard, resolve_path
+from repro.datasets import generate_list
+
+QUERIES = [
+    # SELECT-style path lists a user might write against the feed.
+    ["action", "number", "pull_request.title"],
+    ["pull_request.user.login", "pull_request.merged_at"],
+    ["pull_request.assignee.login"],                  # nullable chain
+    ["repository.stargazers_count", "repository.licence"],  # typo!
+    ["sender.*"],                                     # wildcard
+]
+
+
+def validate(schema, select_list) -> None:
+    print(f"SELECT {', '.join(select_list)}")
+    for raw_path in select_list:
+        if raw_path.endswith("*"):
+            expansion = expand_wildcard(schema, raw_path)
+            print(f"  {raw_path:<40} expands to {len(expansion)} columns:")
+            for concrete in expansion:
+                print(f"      {concrete}")
+            continue
+        info = resolve_path(schema, raw_path)
+        if not info.exists:
+            print(f"  {raw_path:<40} ERROR: no such path in any record")
+        elif info.guaranteed:
+            print(f"  {raw_path:<40} ok ({print_type(info.type)})")
+        else:
+            print(f"  {raw_path:<40} ok but OPTIONAL "
+                  f"({print_type(info.type)}) — handle absence/null")
+    print()
+
+
+def main() -> None:
+    print("inferring schema from 500 GitHub pull-request events...\n")
+    schema = infer_schema(generate_list("github", 500))
+    for select_list in QUERIES:
+        validate(schema, select_list)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: infer a schema from a handful of JSON records.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through the library's core loop — type inference (Map), type fusion
+(Reduce) — on the worked examples of the paper's Section 2, then infers a
+schema for a small heterogeneous collection and exports it as standard
+JSON Schema.
+"""
+
+from repro import (
+    fuse,
+    infer_schema,
+    infer_type,
+    pretty_print,
+    print_type,
+    to_json_schema,
+)
+from repro.jsonio import dumps
+
+
+def section_2_worked_examples() -> None:
+    print("=== Paper Section 2: type fusion by example ===\n")
+
+    # Two records with overlapping keys fuse into one record type where
+    # the shared key gets a union and the others become optional.
+    t1 = infer_type({"A": "abc", "B": 12})
+    t2 = infer_type({"B": True, "C": "xyz"})
+    print(f"T1           = {print_type(t1)}")
+    print(f"T2           = {print_type(t2)}")
+    print(f"Fuse(T1, T2) = {print_type(fuse(t1, t2))}\n")
+
+    # Mixed-content arrays: position is traded away for succinctness.
+    forward = infer_type(["abc", "cde", {"E": "fr", "F": 12}])
+    swapped = infer_type([{"E": "fr", "F": 12}, "abc", "cde"])
+    print(f"array type (forward) = {print_type(forward)}")
+    print(f"array type (swapped) = {print_type(swapped)}")
+    print(f"fused                = {print_type(fuse(forward, swapped))}\n")
+
+
+def infer_a_collection() -> None:
+    print("=== Inferring a collection ===\n")
+    records = [
+        {"name": "ada", "age": 36, "tags": ["math"]},
+        {"name": "alan", "age": "41", "tags": ["logic", "ai"], "fellow": True},
+        {"name": "grace", "age": 85, "tags": []},
+    ]
+    schema = infer_schema(records)
+    print("one line :", print_type(schema))
+    print("pretty   :")
+    print(pretty_print(schema))
+    print()
+    print("as JSON Schema:")
+    print(dumps(to_json_schema(schema, title="people")))
+
+
+if __name__ == "__main__":
+    section_2_worked_examples()
+    infer_a_collection()

@@ -1,0 +1,61 @@
+"""Incremental schema monitoring of a live JSON stream.
+
+Run with::
+
+    python examples/twitter_stream_monitoring.py
+
+The introduction's motivating scenario: a dynamic JSON source (here, the
+synthetic Twitter stream) whose records keep arriving.  Thanks to the
+associativity of fusion, the schema is maintained *incrementally* — each
+new batch is fused into the running schema; nothing is ever re-processed.
+
+The monitor reports when the schema actually changes (a new field, a new
+type variant), which is exactly the "schema drift" signal a pipeline
+operator wants.
+"""
+
+from repro import SchemaInferencer, print_type
+from repro.analysis.paths import iter_schema_paths
+from repro.datasets import generate
+
+BATCHES = 8
+BATCH_SIZE = 250
+
+
+def monitor_stream() -> None:
+    inferencer = SchemaInferencer()
+    stream = generate("twitter", BATCHES * BATCH_SIZE)
+    previous_schema = inferencer.schema
+    previous_paths: set[str] = set()
+
+    for batch_number in range(1, BATCHES + 1):
+        for _ in range(BATCH_SIZE):
+            inferencer.add(next(stream))
+
+        schema = inferencer.schema
+        paths = {path for path, _ in iter_schema_paths(schema)}
+        new_paths = paths - previous_paths
+
+        print(f"batch {batch_number}: {inferencer.record_count:5d} records, "
+              f"schema size {schema.size:4d}", end="")
+        if schema == previous_schema:
+            print("  (schema stable)")
+        elif new_paths:
+            shown = ", ".join(sorted(new_paths)[:4])
+            more = len(new_paths) - 4
+            suffix = f" (+{more} more)" if more > 0 else ""
+            print(f"  NEW PATHS: {shown}{suffix}")
+        else:
+            print("  (types widened, no new paths)")
+        previous_schema, previous_paths = schema, paths
+
+    print("\nfinal schema (top-level fields):")
+    for field in previous_schema.fields:
+        mark = "?" if field.optional else " "
+        print(f"  {field.name}{mark}")
+    print("\nfull schema:")
+    print(print_type(previous_schema)[:500] + " ...")
+
+
+if __name__ == "__main__":
+    monitor_stream()

@@ -1,0 +1,11 @@
+"""Setuptools shim so that ``pip install -e .`` works offline.
+
+The environment has setuptools 65 but no ``wheel`` package, so the PEP 517
+editable path (which builds a wheel) fails; the legacy ``setup.py develop``
+path used by ``--no-use-pep517`` does not need wheels.  All real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

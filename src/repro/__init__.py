@@ -1,0 +1,83 @@
+"""repro — schema inference for massive JSON datasets.
+
+A faithful, self-contained Python reproduction of
+
+    M.-A. Baazizi, H. Ben Lahmar, D. Colazzo, G. Ghelli, C. Sartiani.
+    "Schema Inference for Massive JSON Datasets." EDBT 2017.
+
+Quick start::
+
+    from repro import infer_schema, print_type
+
+    schema = infer_schema([{"a": 1}, {"a": "x", "b": True}])
+    print(print_type(schema))       # {a: Num + Str, b: Bool?}
+
+Package layout:
+
+* :mod:`repro.core` — the JSON type language (AST, semantics, subtyping,
+  printing/parsing, JSON Schema export).
+* :mod:`repro.inference` — value typing (Map) and type fusion (Reduce),
+  pipelines, incremental inference, statistics enrichment.
+* :mod:`repro.jsonio` — from-scratch JSON parsing/serialisation and NDJSON.
+* :mod:`repro.engine` — mini-Spark execution substrate + cluster simulator.
+* :mod:`repro.datasets` — synthetic generators for the paper's four
+  datasets (GitHub, Twitter, Wikidata, NYTimes).
+* :mod:`repro.analysis` — succinctness statistics, schema paths, tables.
+"""
+
+from repro.core import (
+    BOOL,
+    EMPTY,
+    NULL,
+    NUM,
+    STR,
+    ArrayType,
+    BasicType,
+    EmptyType,
+    Field,
+    Kind,
+    RecordType,
+    StarArrayType,
+    Type,
+    UnionType,
+    is_normal,
+    is_subtype,
+    make_array,
+    make_record,
+    make_star,
+    make_union,
+    matches,
+    parse_type,
+    pretty_print,
+    print_type,
+    to_json_schema,
+)
+from repro.engine import Context
+from repro.inference import (
+    SchemaInferencer,
+    collapse,
+    fuse,
+    fuse_all,
+    infer_partitioned,
+    infer_schema,
+    infer_type,
+    run_inference,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # types
+    "Type", "BasicType", "RecordType", "Field", "ArrayType", "StarArrayType",
+    "UnionType", "EmptyType", "NULL", "BOOL", "NUM", "STR", "EMPTY", "Kind",
+    "make_union", "make_record", "make_array", "make_star",
+    # type operations
+    "matches", "is_subtype", "is_normal", "print_type", "pretty_print",
+    "parse_type", "to_json_schema",
+    # inference
+    "infer_type", "fuse", "collapse", "fuse_all", "infer_schema",
+    "run_inference", "SchemaInferencer", "infer_partitioned",
+    # engine
+    "Context",
+]

@@ -1,0 +1,48 @@
+"""Analysis utilities: succinctness statistics, schema paths, tables.
+
+* :mod:`repro.analysis.stats` — the Tables 2-5 columns (distinct types,
+  size statistics, fused size, succinctness ratio).
+* :mod:`repro.analysis.paths` — path enumeration, query-path validation and
+  wildcard expansion over inferred schemas.
+* :mod:`repro.analysis.tables` — plain-text table rendering for benches.
+* :mod:`repro.analysis.diff` — structural schema diffs (evolution tracking).
+* :mod:`repro.analysis.precision` — sampling-based precision measurement.
+* :mod:`repro.analysis.projection` — schema-directed value pruning.
+"""
+
+from repro.analysis.diff import ChangeKind, SchemaChange, diff_schemas
+from repro.analysis.paths import (
+    PathInfo,
+    expand_wildcard,
+    iter_schema_paths,
+    parse_path,
+    resolve_path,
+)
+from repro.analysis.stats import (
+    SUCCINCTNESS_HEADERS,
+    SuccinctnessRow,
+    TypeStatistics,
+    succinctness_row,
+)
+from repro.analysis.precision import (
+    PrecisionReport,
+    path_precision,
+    precision_score,
+    schema_looseness,
+)
+from repro.analysis.projection import ProjectionError, Projector
+from repro.analysis.report import build_report
+from repro.analysis.tables import format_bytes, format_seconds, render_table
+
+__all__ = [
+    "TypeStatistics", "SuccinctnessRow", "succinctness_row",
+    "SUCCINCTNESS_HEADERS",
+    "PathInfo", "resolve_path", "iter_schema_paths", "expand_wildcard",
+    "parse_path",
+    "render_table", "format_bytes", "format_seconds",
+    "diff_schemas", "SchemaChange", "ChangeKind",
+    "precision_score", "path_precision", "PrecisionReport",
+    "schema_looseness",
+    "Projector", "ProjectionError",
+    "build_report",
+]

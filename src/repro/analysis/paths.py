@@ -1,0 +1,207 @@
+"""Schema paths: the query-facing view of an inferred schema.
+
+The paper's introduction motivates schema inference with three user-facing
+guarantees: knowing (i) *all* fields that exist anywhere in the collection,
+(ii) which are optional, and (iii) which are mandatory — plus
+compile-time query optimisations such as "schema-based path rewriting and
+wildcard expansion".  This module delivers those:
+
+* :func:`iter_schema_paths` enumerates every traversable path of a schema
+  (the paper's completeness property: every path traversable in any input
+  value is traversable in the inferred schema);
+* :func:`resolve_path` checks a dotted query path against the schema and
+  classifies it as mandatory / optional / absent;
+* :func:`expand_wildcard` expands a trailing ``*`` over the record fields
+  reachable at a path.
+
+Path syntax: dot-separated keys with ``[*]`` for array traversal, e.g.
+``user.entities.urls[*].expanded_url``.  A leading ``$.`` is accepted and
+ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.types import (
+    ArrayType,
+    RecordType,
+    StarArrayType,
+    Type,
+    UnionType,
+    make_union,
+)
+
+__all__ = ["PathInfo", "iter_schema_paths", "resolve_path", "expand_wildcard",
+           "parse_path"]
+
+#: Sentinel step meaning "descend into array elements".
+STAR_STEP = "[*]"
+
+
+def parse_path(path: str) -> list[str]:
+    """Split a dotted path into steps; ``[*]`` suffixes become star steps.
+
+    >>> parse_path("$.a.b[*].c")
+    ['a', 'b', '[*]', 'c']
+    """
+    raw = path.strip()
+    if raw.startswith("$"):
+        raw = raw[1:].lstrip(".")
+    steps: list[str] = []
+    for piece in raw.split("."):
+        if not piece:
+            continue
+        stars = 0
+        while piece.endswith(STAR_STEP):
+            piece = piece[: -len(STAR_STEP)]
+            stars += 1
+        if piece:
+            steps.append(piece)
+        steps.extend([STAR_STEP] * stars)
+    return steps
+
+
+@dataclass(frozen=True)
+class PathInfo:
+    """Resolution of a query path against a schema.
+
+    ``exists``    — the path is traversable in at least some values.
+    ``guaranteed``— the path is traversable in *every* value of the schema
+                    (every step mandatory, never unioned with non-records,
+                    no arrays involved — an array may be empty).
+    ``type``      — the type(s) found at the end of the path (a union if
+                    several alternatives reach it).
+    """
+
+    path: str
+    exists: bool
+    guaranteed: bool
+    type: Type | None
+
+
+def _records_at(t: Type) -> list[RecordType]:
+    """Record alternatives of a (possibly union) type."""
+    return [m for m in t.addends() if isinstance(m, RecordType)]
+
+
+def _array_bodies_at(t: Type) -> list[Type]:
+    """Element types reachable through the array alternatives of ``t``."""
+    bodies: list[Type] = []
+    for member in t.addends():
+        if isinstance(member, StarArrayType):
+            bodies.append(member.body)
+        elif isinstance(member, ArrayType):
+            bodies.extend(member.elements)
+    return bodies
+
+
+def resolve_path(schema: Type, path: str) -> PathInfo:
+    """Check ``path`` against ``schema``.
+
+    >>> from repro.core.type_parser import parse_type
+    >>> schema = parse_type("{a: {b: Num}, c: Str?}")
+    >>> resolve_path(schema, "a.b").guaranteed
+    True
+    >>> resolve_path(schema, "c").guaranteed
+    False
+    >>> resolve_path(schema, "z").exists
+    False
+    """
+    steps = parse_path(path)
+    current: list[Type] = [schema]
+    guaranteed = True
+    for step in steps:
+        if step == STAR_STEP:
+            nxt: list[Type] = []
+            for t in current:
+                nxt.extend(_array_bodies_at(t))
+            # An array can always be empty, so no element path is guaranteed.
+            guaranteed = False
+        else:
+            nxt = []
+            for t in current:
+                addends = t.addends()
+                records = _records_at(t)
+                # Non-record alternatives mean some values lack the step.
+                if len(records) != len(addends):
+                    guaranteed = False
+                for record in records:
+                    field = record.field(step)
+                    if field is None:
+                        guaranteed = False
+                        continue
+                    if field.optional:
+                        guaranteed = False
+                    nxt.append(field.type)
+                if not records:
+                    guaranteed = False
+        if not nxt:
+            return PathInfo(path=path, exists=False, guaranteed=False, type=None)
+        current = nxt
+    return PathInfo(
+        path=path,
+        exists=True,
+        guaranteed=guaranteed,
+        type=make_union(current),
+    )
+
+
+def iter_schema_paths(
+    schema: Type, prefix: str = "$", _guaranteed: bool = True
+) -> Iterator[tuple[str, bool]]:
+    """Yield ``(path, guaranteed)`` for every path traversable in the schema.
+
+    The root path ``$`` is not yielded; array traversal appends ``[*]``.
+
+    >>> from repro.core.type_parser import parse_type
+    >>> sorted(iter_schema_paths(parse_type("{a: {b: Num}, c: [Str*]?}")))
+    [('$.a', True), ('$.a.b', True), ('$.c', False), ('$.c[*]', False)]
+    """
+    addends = schema.addends()
+    records = _records_at(schema)
+    all_records = len(records) == len(addends) and bool(records)
+    for record in records:
+        for field in record.fields:
+            sub_guaranteed = _guaranteed and all_records and not field.optional
+            sub_path = f"{prefix}.{field.name}"
+            yield sub_path, sub_guaranteed
+            yield from iter_schema_paths(field.type, sub_path, sub_guaranteed)
+    bodies = _array_bodies_at(schema)
+    if bodies:
+        sub_path = f"{prefix}{STAR_STEP}"
+        seen: set[tuple[str, bool]] = set()
+        yield sub_path, False
+        for body in bodies:
+            for entry in iter_schema_paths(body, sub_path, False):
+                if entry not in seen:
+                    seen.add(entry)
+                    yield entry
+
+
+def expand_wildcard(schema: Type, path: str) -> list[str]:
+    """Expand a trailing wildcard over the fields reachable at ``path``.
+
+    ``expand_wildcard(schema, "user.*")`` returns one concrete path per
+    field of the record(s) at ``user`` — the "wildcard expansion" query
+    optimisation the introduction cites.  Returns an empty list if the
+    prefix does not resolve or resolves to non-records.
+    """
+    raw = path.strip()
+    if not raw.endswith("*"):
+        raise ValueError("wildcard path must end with '*'")
+    prefix = raw[:-1].rstrip(".")
+    if prefix in ("", "$"):
+        target: Type | None = schema
+        base = "$"
+    else:
+        info = resolve_path(schema, prefix)
+        target = info.type
+        base = prefix if prefix.startswith("$") else f"$.{prefix}"
+    if target is None:
+        return []
+    names = sorted(
+        {f.name for record in _records_at(target) for f in record.fields}
+    )
+    return [f"{base}.{name}" for name in names]

@@ -1,0 +1,112 @@
+"""One-stop dataset audit reports.
+
+Combines the analysis building blocks — fused schema, succinctness
+statistics, path inventory, presence ratios, array-length statistics —
+into a single Markdown document, the artefact a data engineer would attach
+to a ticket when documenting an unknown JSON feed.  The CLI exposes it as
+``json-schema-infer report``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.analysis.paths import iter_schema_paths
+from repro.analysis.stats import succinctness_row
+from repro.analysis.tables import render_table
+from repro.core.printer import pretty_print
+from repro.core.types import Type
+from repro.inference.counting import StatisticsCollector, presence_report
+from repro.inference.pipeline import run_inference
+
+__all__ = ["build_report"]
+
+
+def build_report(values: Sequence[Any], name: str = "dataset",
+                 max_paths: int = 200) -> str:
+    """Render a Markdown audit report for a collection of JSON records.
+
+    Sections: overview (record/type counts, sizes, timings), the fused
+    schema, the path inventory split into always-present and optional
+    paths (the introduction's three user guarantees), presence ratios for
+    the optional fields, and array-length statistics.
+    """
+    run = run_inference(values)
+    schema: Type = run.schema
+    row = succinctness_row(values, label=name)
+
+    stats = StatisticsCollector()
+    stats.observe_many(values)
+
+    lines: list[str] = [f"# Schema audit: {name}", ""]
+
+    # -- overview -----------------------------------------------------------
+    lines += ["## Overview", ""]
+    lines.append(render_table(
+        ["records", "distinct types", "min size", "max size", "avg size",
+         "fused size", "fused/avg"],
+        [[
+            f"{row.record_count:,}", f"{row.distinct_types:,}",
+            f"{row.min_size:,}", f"{row.max_size:,}",
+            f"{row.avg_size:,.1f}", f"{row.fused_size:,}",
+            f"{row.ratio:.2f}",
+        ]],
+    ))
+    lines.append("")
+    lines.append(
+        f"Inference took {run.map_seconds:.3f}s (typing) + "
+        f"{run.reduce_seconds:.3f}s (fusion)."
+    )
+    lines.append("")
+
+    # -- schema ---------------------------------------------------------------
+    lines += ["## Fused schema", "", "```", pretty_print(schema), "```", ""]
+
+    # -- paths ----------------------------------------------------------------
+    paths = sorted(iter_schema_paths(schema))
+    mandatory = [p for p, guaranteed in paths if guaranteed]
+    optional = [p for p, guaranteed in paths if not guaranteed]
+    lines += [
+        "## Paths",
+        "",
+        f"{len(paths)} paths total: {len(mandatory)} always present, "
+        f"{len(optional)} optional.",
+        "",
+    ]
+    if mandatory:
+        lines.append("Always present (safe to select unconditionally):")
+        lines.append("")
+        for path in mandatory[:max_paths]:
+            lines.append(f"- `{path}`")
+        if len(mandatory) > max_paths:
+            lines.append(f"- ... and {len(mandatory) - max_paths} more")
+        lines.append("")
+
+    # -- presence -------------------------------------------------------------
+    entries = [
+        entry for entry in presence_report(schema, stats)
+        if entry.optional and entry.occurrences > 0
+    ]
+    entries.sort(key=lambda e: e.ratio)
+    if entries:
+        lines += ["## Optional-field presence", ""]
+        lines.append(render_table(
+            ["path", "present in"],
+            [[e.path, f"{e.ratio:.1%}"] for e in entries[:max_paths]],
+        ))
+        lines.append("")
+
+    # -- arrays ---------------------------------------------------------------
+    if stats.array_lengths:
+        lines += ["## Array lengths", ""]
+        lines.append(render_table(
+            ["path", "arrays", "min", "mean", "max"],
+            [
+                [path, f"{s.count:,}", s.min_length,
+                 f"{s.mean_length:.1f}", s.max_length]
+                for path, s in sorted(stats.array_lengths.items())[:max_paths]
+            ],
+        ))
+        lines.append("")
+
+    return "\n".join(lines)

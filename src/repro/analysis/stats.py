@@ -1,0 +1,110 @@
+"""Succinctness statistics — the columns of the paper's Tables 2-5.
+
+For each dataset and scale the paper reports: the number of *distinct*
+inferred types, the min/max/average size of those types, and the size of
+the fused type.  "The notion of size of a type is standard, and corresponds
+to the size (number of nodes) of its Abstract Syntax Tree" (Section 6.2) —
+that is :attr:`repro.core.types.Type.size`.
+
+The fused/average ratio is the paper's headline succinctness metric
+("the ratio between the size of the fused type and that of the average
+size of the input types is not bigger than 1.4 for GitHub...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.core.types import Type
+from repro.inference.fusion import fuse_all
+from repro.inference.infer import infer_type
+
+__all__ = ["TypeStatistics", "SuccinctnessRow", "succinctness_row"]
+
+
+@dataclass(frozen=True)
+class TypeStatistics:
+    """Aggregate size statistics over a collection of types."""
+
+    count: int
+    distinct_count: int
+    min_size: int
+    max_size: int
+    mean_size: float
+    total_size: int
+
+    @classmethod
+    def from_types(cls, types: Sequence[Type]) -> "TypeStatistics":
+        """Compute statistics for ``types`` (which may contain duplicates)."""
+        if not types:
+            return cls(0, 0, 0, 0, 0.0, 0)
+        sizes = [t.size for t in types]
+        return cls(
+            count=len(types),
+            distinct_count=len(set(types)),
+            min_size=min(sizes),
+            max_size=max(sizes),
+            mean_size=sum(sizes) / len(sizes),
+            total_size=sum(sizes),
+        )
+
+    @classmethod
+    def from_values(cls, values: Iterable[Any]) -> "TypeStatistics":
+        """Type every value, then compute statistics."""
+        return cls.from_types([infer_type(v) for v in values])
+
+
+@dataclass(frozen=True)
+class SuccinctnessRow:
+    """One row of a Table 2-5 style report."""
+
+    label: str
+    record_count: int
+    distinct_types: int
+    min_size: int
+    max_size: int
+    avg_size: float
+    fused_size: int
+
+    @property
+    def ratio(self) -> float:
+        """Fused size over average input size — the succinctness metric."""
+        if self.avg_size == 0:
+            return 0.0
+        return self.fused_size / self.avg_size
+
+    def cells(self) -> list[str]:
+        """Formatted cells in the paper's column order."""
+        return [
+            self.label,
+            f"{self.distinct_types:,}",
+            f"{self.min_size:,}",
+            f"{self.max_size:,}",
+            f"{self.avg_size:,.1f}",
+            f"{self.fused_size:,}",
+            f"{self.ratio:.2f}",
+        ]
+
+
+#: Header row matching :meth:`SuccinctnessRow.cells`.
+SUCCINCTNESS_HEADERS = [
+    "scale", "# types", "min", "max", "avg", "fused size", "fused/avg",
+]
+
+
+def succinctness_row(values: Sequence[Any], label: str) -> SuccinctnessRow:
+    """Infer, fuse and measure — one full table row from raw values."""
+    types = [infer_type(v) for v in values]
+    stats = TypeStatistics.from_types(types)
+    distinct = list(dict.fromkeys(types))
+    fused = fuse_all(distinct)
+    return SuccinctnessRow(
+        label=label,
+        record_count=stats.count,
+        distinct_types=stats.distinct_count,
+        min_size=stats.min_size,
+        max_size=stats.max_size,
+        avg_size=stats.mean_size,
+        fused_size=fused.size,
+    )

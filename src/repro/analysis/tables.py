@@ -1,0 +1,78 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark regenerating one of the paper's tables prints its rows
+through :func:`render_table`, so the harness output can be compared to the
+paper side by side.  Also hosts the small formatting helpers (bytes,
+durations) shared by benches and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_bytes", "format_seconds"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with right-aligned numeric-looking cells.
+
+    >>> print(render_table(["name", "n"], [["github", 1000]]))
+    | name   | n    |
+    |--------|------|
+    | github | 1000 |
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def is_numeric(text: str) -> bool:
+        # Right-align quantities ("1,234", "2.4min", "16%", "14MB"):
+        # they start with a digit/sign and contain at least one digit.
+        return bool(text) and (text[0].isdigit() or (
+            text[0] == "-" and len(text) > 1 and text[1].isdigit()
+        ))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if is_numeric(cell) and row is not headers:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_bytes(n: int) -> str:
+    """Human-friendly byte counts: ``14MB``, ``1.3GB`` — Table 1 style."""
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1000 or unit == "TB":
+            if value >= 100 or value == int(value):
+                return f"{value:.0f}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1000
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly durations: ``450ms``, ``12.3s``, ``2.9min``."""
+    if seconds < 1:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    return f"{seconds / 60:.1f}min"

@@ -1,0 +1,31 @@
+"""Baseline schema-inference algorithms the paper compares against.
+
+* :mod:`repro.baselines.spark_like` — Spark SQL's JSON schema inference
+  with type coercion (Section 6.1: "the Spark API uses type coercion
+  yielding an array of type String only").
+"""
+
+from repro.baselines.spark_like import (
+    BIGINT_T,
+    BOOLEAN_T,
+    DOUBLE_T,
+    NULL_T,
+    STRING_T,
+    SparkArray,
+    SparkAtom,
+    SparkStruct,
+    SparkType,
+    count_coercions,
+    infer_spark_schema,
+    infer_spark_type,
+    merge_spark_types,
+    spark_schema_paths,
+    to_ddl,
+)
+
+__all__ = [
+    "SparkType", "SparkAtom", "SparkStruct", "SparkArray",
+    "NULL_T", "BOOLEAN_T", "BIGINT_T", "DOUBLE_T", "STRING_T",
+    "infer_spark_type", "infer_spark_schema", "merge_spark_types",
+    "to_ddl", "count_coercions", "spark_schema_paths",
+]

@@ -1,0 +1,257 @@
+"""Baseline: Spark-SQL-style JSON schema inference with type coercion.
+
+Section 6.1 of the paper contrasts its union types with what Spark's own
+``DataFrame`` JSON reader infers: "the Spark API uses type coercion
+yielding an array of type String only.  In our case, we can exploit union
+types to generate a much more precise type."
+
+This module implements that baseline faithfully enough to measure the
+contrast (modelled on Spark 1.6's ``InferSchema``):
+
+* atoms map to ``null``/``boolean``/``bigint``/``double``/``string``;
+* records map to structs whose fields are merged across records, every
+  field nullable (absence needs no ``?`` marker — everything is nullable);
+* arrays map to ``array<elementType>`` where all element types are merged;
+* **conflicting types coerce**: ``bigint`` vs ``double`` widens to
+  ``double``; any other conflict (``bigint`` vs ``string``, struct vs
+  array, a mixed-content array...) collapses to ``string``.
+
+The coercion points are counted so benchmarks can report exactly how much
+structural information the baseline throws away compared to the paper's
+union types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Any, Iterable, Iterator
+
+from repro.core.errors import InvalidValueError
+
+__all__ = [
+    "SparkType",
+    "SparkAtom",
+    "SparkStruct",
+    "SparkArray",
+    "NULL_T",
+    "BOOLEAN_T",
+    "BIGINT_T",
+    "DOUBLE_T",
+    "STRING_T",
+    "infer_spark_type",
+    "merge_spark_types",
+    "infer_spark_schema",
+    "to_ddl",
+    "count_coercions",
+    "spark_schema_paths",
+]
+
+
+class SparkType:
+    """Base class of the baseline's type AST."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return to_ddl(self)
+
+
+@dataclass(frozen=True)
+class SparkAtom(SparkType):
+    """An atomic Spark SQL type, identified by its DDL name."""
+
+    name: str
+
+
+NULL_T = SparkAtom("null")
+BOOLEAN_T = SparkAtom("boolean")
+BIGINT_T = SparkAtom("bigint")
+DOUBLE_T = SparkAtom("double")
+STRING_T = SparkAtom("string")
+
+
+@dataclass(frozen=True)
+class SparkStruct(SparkType):
+    """A struct type: name-sorted ``(name, type)`` pairs, all nullable."""
+
+    fields: tuple[tuple[str, SparkType], ...]
+
+    def field(self, name: str) -> SparkType | None:
+        for field_name, field_type in self.fields:
+            if field_name == name:
+                return field_type
+        return None
+
+
+@dataclass(frozen=True)
+class SparkArray(SparkType):
+    """An array type with a single, merged element type."""
+
+    element: SparkType
+
+
+def infer_spark_type(value: Any, _merge=None) -> SparkType:
+    """Type a single JSON value the way Spark's JSON reader does.
+
+    Array element types are merged immediately (with coercion), which is
+    where a single mixed-content array already collapses to ``string`` —
+    the paper's Section 6.1 observation.  ``_merge`` lets the coercion
+    counter instrument this path too.
+    """
+    merge = _merge or merge_spark_types
+    if value is None:
+        return NULL_T
+    if isinstance(value, bool):
+        return BOOLEAN_T
+    if isinstance(value, int):
+        return BIGINT_T
+    if isinstance(value, float):
+        return DOUBLE_T
+    if isinstance(value, str):
+        return STRING_T
+    if isinstance(value, dict):
+        fields = []
+        for key, sub in sorted(value.items()):
+            if not isinstance(key, str):
+                raise InvalidValueError(f"non-string record key: {key!r}")
+            fields.append((key, infer_spark_type(sub, _merge)))
+        return SparkStruct(tuple(fields))
+    if isinstance(value, list):
+        element = reduce(
+            merge, (infer_spark_type(v, _merge) for v in value), NULL_T
+        )
+        return SparkArray(element)
+    raise InvalidValueError(f"not a JSON value: {type(value).__name__}")
+
+
+def merge_spark_types(t1: SparkType, t2: SparkType) -> SparkType:
+    """Spark's ``compatibleType``: widen where possible, coerce otherwise.
+
+    >>> to_ddl(merge_spark_types(BIGINT_T, DOUBLE_T))
+    'double'
+    >>> to_ddl(merge_spark_types(BIGINT_T, STRING_T))
+    'string'
+    """
+    if t1 == t2:
+        return t1
+    # Null absorbs into anything.
+    if t1 == NULL_T:
+        return t2
+    if t2 == NULL_T:
+        return t1
+    # Numeric widening.
+    numeric = {BIGINT_T, DOUBLE_T}
+    if t1 in numeric and t2 in numeric:
+        return DOUBLE_T
+    if isinstance(t1, SparkStruct) and isinstance(t2, SparkStruct):
+        names = sorted({n for n, _ in t1.fields} | {n for n, _ in t2.fields})
+        merged = []
+        for name in names:
+            left = t1.field(name)
+            right = t2.field(name)
+            if left is None:
+                merged.append((name, right))
+            elif right is None:
+                merged.append((name, left))
+            else:
+                merged.append((name, merge_spark_types(left, right)))
+        return SparkStruct(tuple(merged))
+    if isinstance(t1, SparkArray) and isinstance(t2, SparkArray):
+        return SparkArray(merge_spark_types(t1.element, t2.element))
+    # Everything else — including struct vs atom and the paper's
+    # mixed-content array example — coerces to string.
+    return STRING_T
+
+
+def infer_spark_schema(values: Iterable[Any]) -> SparkType:
+    """The baseline end-to-end: type each record, merge with coercion."""
+    return reduce(
+        merge_spark_types, (infer_spark_type(v) for v in values), NULL_T
+    )
+
+
+def to_ddl(t: SparkType) -> str:
+    """Render in Spark SQL DDL syntax: ``struct<a:bigint,b:array<string>>``."""
+    if isinstance(t, SparkAtom):
+        return t.name
+    if isinstance(t, SparkStruct):
+        inner = ",".join(f"{n}:{to_ddl(ft)}" for n, ft in t.fields)
+        return f"struct<{inner}>"
+    if isinstance(t, SparkArray):
+        return f"array<{to_ddl(t.element)}>"
+    raise TypeError(f"not a spark type: {t!r}")
+
+
+def count_coercions(values: Iterable[Any]) -> int:
+    """Number of string-coercion events while merging ``values``.
+
+    Each event is a point where the baseline threw structure away that the
+    paper's union types would have kept.
+    """
+    count = 0
+
+    def bump() -> None:
+        nonlocal count
+        count += 1
+
+    def merge(a: SparkType, b: SparkType) -> SparkType:
+        return _merge_instrumented(a, b, bump)
+
+    reduce(
+        merge,
+        (infer_spark_type(v, _merge=merge) for v in values),
+        NULL_T,
+    )
+    return count
+
+
+def _merge_instrumented(t1: SparkType, t2: SparkType, bump) -> SparkType:
+    """merge_spark_types with a callback on every coercion-to-string."""
+    if t1 == t2 or t1 == NULL_T:
+        return t2 if t1 == NULL_T else t1
+    if t2 == NULL_T:
+        return t1
+    numeric = {BIGINT_T, DOUBLE_T}
+    if t1 in numeric and t2 in numeric:
+        return DOUBLE_T
+    if isinstance(t1, SparkStruct) and isinstance(t2, SparkStruct):
+        names = sorted({n for n, _ in t1.fields} | {n for n, _ in t2.fields})
+        merged = []
+        for name in names:
+            left, right = t1.field(name), t2.field(name)
+            if left is None or right is None:
+                merged.append((name, left or right))
+            else:
+                merged.append((name, _merge_instrumented(left, right, bump)))
+        return SparkStruct(tuple(merged))
+    if isinstance(t1, SparkArray) and isinstance(t2, SparkArray):
+        return SparkArray(_merge_instrumented(t1.element, t2.element, bump))
+    # Incompatible: the baseline coerces to string, losing structure the
+    # paper's union types would keep.
+    bump()
+    return STRING_T
+
+
+def spark_schema_paths(t: SparkType, prefix: str = "$") -> Iterator[str]:
+    """Paths visible in a baseline schema (same notation as
+    :func:`repro.analysis.paths.iter_schema_paths`).
+
+    Structure swallowed by string coercion contributes no paths — the
+    quantity the comparison benchmark reports.
+    """
+    if isinstance(t, SparkStruct):
+        for name, field_type in t.fields:
+            sub = f"{prefix}.{name}"
+            yield sub
+            yield from spark_schema_paths(field_type, sub)
+    elif isinstance(t, SparkArray):
+        sub = f"{prefix}[*]"
+        yield sub
+        yield from spark_schema_paths(t.element, sub)

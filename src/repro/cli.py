@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro`` / ``json-schema-infer``.
+
+Sub-commands::
+
+    infer FILE            infer and print the fused schema of an NDJSON file
+    stats FILE            print a Tables 2-5 style succinctness report
+    generate NAME N OUT   write a synthetic dataset as NDJSON
+    paths FILE            list every schema path with its optionality
+    check-path FILE PATH  resolve a query path against the inferred schema
+    diff OLD NEW          structural diff of two files' inferred schemas
+    project FILE PATH...  prune records down to the given paths
+    validate FILE         check records against a schema, reporting paths
+    report FILE           full Markdown audit report for a feed
+
+Run any sub-command with ``-h`` for its options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.diff import diff_schemas
+from repro.analysis.paths import iter_schema_paths, resolve_path
+from repro.analysis.projection import ProjectionError, Projector
+from repro.analysis.report import build_report
+from repro.analysis.stats import SUCCINCTNESS_HEADERS, succinctness_row
+from repro.analysis.tables import render_table
+from repro.core.json_schema import to_json_schema
+from repro.core.printer import pretty_print, print_type
+from repro.core.type_parser import parse_type
+from repro.core.validation import validate
+from repro.datasets.base import DATASET_NAMES, write_dataset
+from repro.inference.pipeline import infer_schema, run_inference
+from repro.jsonio.ndjson import read_ndjson
+from repro.jsonio.writer import dumps
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="json-schema-infer",
+        description="Schema inference for massive JSON datasets (EDBT 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_infer = sub.add_parser("infer", help="infer the schema of an NDJSON file")
+    p_infer.add_argument("file", help="path to a newline-delimited JSON file")
+    p_infer.add_argument(
+        "--pretty", action="store_true",
+        help="multi-line, indented schema output",
+    )
+    p_infer.add_argument(
+        "--json-schema", action="store_true",
+        help="emit a standard JSON Schema document instead of type syntax",
+    )
+    p_infer.add_argument(
+        "--skip-invalid", action="store_true",
+        help="silently drop lines that fail to parse",
+    )
+    p_infer.add_argument(
+        "--parallel", type=int, metavar="N", default=None,
+        help="run typing+fusion on the engine with N-way parallelism",
+    )
+
+    p_stats = sub.add_parser(
+        "stats", help="succinctness statistics (Tables 2-5 columns)"
+    )
+    p_stats.add_argument("file")
+    p_stats.add_argument("--skip-invalid", action="store_true")
+
+    p_gen = sub.add_parser("generate", help="write a synthetic dataset")
+    p_gen.add_argument("dataset", choices=sorted(DATASET_NAMES))
+    p_gen.add_argument("n", type=int, help="number of records")
+    p_gen.add_argument("out", help="output NDJSON path")
+    p_gen.add_argument("--seed", type=int, default=0)
+
+    p_paths = sub.add_parser(
+        "paths", help="list every schema path with its optionality"
+    )
+    p_paths.add_argument("file")
+    p_paths.add_argument("--skip-invalid", action="store_true")
+
+    p_check = sub.add_parser(
+        "check-path", help="resolve a query path against the schema"
+    )
+    p_check.add_argument("file")
+    p_check.add_argument("path", help="dotted path, e.g. user.name or tags[*]")
+    p_check.add_argument("--skip-invalid", action="store_true")
+
+    p_diff = sub.add_parser(
+        "diff", help="structural diff of two files' inferred schemas"
+    )
+    p_diff.add_argument("old", help="NDJSON file with the old data")
+    p_diff.add_argument("new", help="NDJSON file with the new data")
+    p_diff.add_argument("--skip-invalid", action="store_true")
+
+    p_project = sub.add_parser(
+        "project", help="prune records down to the given paths"
+    )
+    p_project.add_argument("file")
+    p_project.add_argument("paths", nargs="+",
+                           help="paths to keep, e.g. user.name tags[*].text")
+    p_project.add_argument("--skip-invalid", action="store_true")
+
+    p_validate = sub.add_parser(
+        "validate",
+        help="check every record against a schema, reporting violations",
+    )
+    p_validate.add_argument("file")
+    group = p_validate.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--schema", help="schema in type syntax, e.g. '{a: Num, b: Str?}'"
+    )
+    group.add_argument(
+        "--schema-file", help="file containing the schema in type syntax"
+    )
+    p_validate.add_argument("--skip-invalid", action="store_true")
+    p_validate.add_argument(
+        "--max-reports", type=int, default=20,
+        help="stop printing after this many violating records (default 20)",
+    )
+
+    p_report = sub.add_parser(
+        "report", help="full Markdown audit report for an NDJSON feed"
+    )
+    p_report.add_argument("file")
+    p_report.add_argument("--name", default=None,
+                          help="dataset name for the report title")
+    p_report.add_argument("--skip-invalid", action="store_true")
+
+    return parser
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    records = read_ndjson(args.file, skip_invalid=args.skip_invalid)
+    if args.parallel:
+        from repro.engine import Context
+
+        with Context(parallelism=args.parallel) as ctx:
+            schema = infer_schema(records, context=ctx,
+                                  num_partitions=args.parallel * 2)
+    else:
+        schema = infer_schema(records)
+    if args.json_schema:
+        print(dumps(to_json_schema(schema, title=args.file)))
+    elif args.pretty:
+        print(pretty_print(schema))
+    else:
+        print(print_type(schema))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    values = list(read_ndjson(args.file, skip_invalid=args.skip_invalid))
+    row = succinctness_row(values, label=args.file)
+    run = run_inference(values)
+    print(render_table(SUCCINCTNESS_HEADERS, [row.cells()]))
+    print(f"records: {row.record_count:,}")
+    print(f"map phase: {run.map_seconds:.3f}s  reduce phase: "
+          f"{run.reduce_seconds:.3f}s")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    count = write_dataset(args.dataset, args.n, args.out, seed=args.seed)
+    print(f"wrote {count:,} {args.dataset} records to {args.out}")
+    return 0
+
+
+def _cmd_paths(args: argparse.Namespace) -> int:
+    schema = infer_schema(read_ndjson(args.file, skip_invalid=args.skip_invalid))
+    for path, guaranteed in sorted(iter_schema_paths(schema)):
+        marker = "mandatory" if guaranteed else "optional "
+        print(f"{marker}  {path}")
+    return 0
+
+
+def _cmd_check_path(args: argparse.Namespace) -> int:
+    schema = infer_schema(read_ndjson(args.file, skip_invalid=args.skip_invalid))
+    info = resolve_path(schema, args.path)
+    if not info.exists:
+        print(f"{args.path}: not present in any record")
+        return 1
+    status = "in every record" if info.guaranteed else "optional"
+    print(f"{args.path}: {status}, type {print_type(info.type)}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    old = infer_schema(read_ndjson(args.old, skip_invalid=args.skip_invalid))
+    new = infer_schema(read_ndjson(args.new, skip_invalid=args.skip_invalid))
+    changes = diff_schemas(old, new)
+    if not changes:
+        print("schemas are identical")
+        return 0
+    for change in changes:
+        print(change)
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    values = list(read_ndjson(args.file, skip_invalid=args.skip_invalid))
+    schema = infer_schema(values)
+    try:
+        projector = Projector(schema, args.paths)
+    except ProjectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for pruned in projector.project_many(values):
+        print(dumps(pruned))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    values = list(read_ndjson(args.file, skip_invalid=args.skip_invalid))
+    print(build_report(values, name=args.name or args.file))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    if args.schema is not None:
+        schema = parse_type(args.schema)
+    else:
+        with open(args.schema_file, "r", encoding="utf-8") as handle:
+            schema = parse_type(handle.read())
+
+    bad_records = 0
+    total = 0
+    printed = 0
+    for total, value in enumerate(
+        read_ndjson(args.file, skip_invalid=args.skip_invalid), start=1
+    ):
+        violations = validate(value, schema)
+        if violations:
+            bad_records += 1
+            if printed < args.max_reports:
+                printed += 1
+                print(f"record {total}:")
+                for violation in violations:
+                    print(f"  {violation}")
+    if bad_records:
+        print(f"{bad_records}/{total} records violate the schema")
+        return 1
+    print(f"all {total} records conform")
+    return 0
+
+
+_COMMANDS = {
+    "infer": _cmd_infer,
+    "stats": _cmd_stats,
+    "generate": _cmd_generate,
+    "paths": _cmd_paths,
+    "check-path": _cmd_check_path,
+    "diff": _cmd_diff,
+    "project": _cmd_project,
+    "validate": _cmd_validate,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output was piped into something like `head`; not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Core type system: the JSON type language of the paper (Section 4).
+
+Re-exports the pieces most callers need; the sub-modules hold the details:
+
+* :mod:`repro.core.types` — the type AST and smart constructors.
+* :mod:`repro.core.kinds` — the ``kind`` function.
+* :mod:`repro.core.semantics` — membership ``value in [[T]]``.
+* :mod:`repro.core.subtyping` — sound ``T <: U`` checking.
+* :mod:`repro.core.normal_form` — the normal-type invariant.
+* :mod:`repro.core.printer` / :mod:`repro.core.type_parser` — concrete syntax.
+* :mod:`repro.core.json_schema` — export to standard JSON Schema.
+* :mod:`repro.core.values` — JSON values as plain Python objects.
+* :mod:`repro.core.generator` — type-directed random value generation.
+* :mod:`repro.core.interning` — hash-consing pool for type trees.
+"""
+
+from repro.core.errors import (
+    InvalidTypeError,
+    InvalidValueError,
+    NormalizationError,
+    TypeSyntaxError,
+    TypeSystemError,
+)
+from repro.core.generator import generate_value, generate_values
+from repro.core.interning import TypeInterner
+from repro.core.json_schema import to_json_schema
+from repro.core.kinds import Kind
+from repro.core.normal_form import check_normal, is_normal
+from repro.core.printer import pretty_print, print_type
+from repro.core.semantics import matches
+from repro.core.subtyping import is_equivalent, is_subtype
+from repro.core.type_parser import parse_type
+from repro.core.types import (
+    BOOL,
+    EMPTY,
+    NULL,
+    NUM,
+    STR,
+    ArrayType,
+    BasicType,
+    EmptyType,
+    Field,
+    RecordType,
+    StarArrayType,
+    Type,
+    UnionType,
+    make_array,
+    make_record,
+    make_star,
+    make_union,
+)
+from repro.core.values import (
+    is_valid_value,
+    iter_paths,
+    validate_value,
+    value_depth,
+    value_node_count,
+)
+
+__all__ = [
+    # types
+    "Type", "BasicType", "RecordType", "Field", "ArrayType", "StarArrayType",
+    "UnionType", "EmptyType", "NULL", "BOOL", "NUM", "STR", "EMPTY",
+    "make_union", "make_record", "make_array", "make_star", "Kind",
+    # operations
+    "matches", "is_subtype", "is_equivalent", "is_normal", "check_normal",
+    "print_type", "pretty_print", "parse_type", "to_json_schema",
+    # values
+    "validate_value", "is_valid_value", "value_depth", "value_node_count",
+    "iter_paths",
+    # generation & interning
+    "generate_value", "generate_values", "TypeInterner",
+    # errors
+    "TypeSystemError", "InvalidTypeError", "InvalidValueError",
+    "TypeSyntaxError", "NormalizationError",
+]

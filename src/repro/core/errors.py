@@ -1,0 +1,59 @@
+"""Exception hierarchy for the core type system.
+
+All exceptions raised by :mod:`repro.core` derive from :class:`TypeSystemError`
+so that callers can catch everything coming out of the type layer with a
+single ``except`` clause while still being able to discriminate finer causes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TypeSystemError",
+    "InvalidTypeError",
+    "InvalidValueError",
+    "TypeSyntaxError",
+    "NormalizationError",
+]
+
+
+class TypeSystemError(Exception):
+    """Base class for every error raised by the core type system."""
+
+
+class InvalidTypeError(TypeSystemError):
+    """A type was constructed or combined in a way the language forbids.
+
+    Examples: a record type with duplicate keys, a union with fewer than two
+    members, a union member that is itself a union.
+    """
+
+
+class InvalidValueError(TypeSystemError):
+    """A Python object is not a valid JSON value for the paper's data model.
+
+    The data model (paper Fig. 2) admits ``null``, booleans, numbers, strings,
+    records with string keys, and arrays.  Anything else (tuples, sets, bytes,
+    non-string keys, NaN/Infinity) is rejected.
+    """
+
+
+class TypeSyntaxError(TypeSystemError):
+    """The concrete type syntax could not be parsed.
+
+    Carries the offset of the offending character to aid debugging.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class NormalizationError(TypeSystemError):
+    """A type violates the normal-form invariant required by fusion.
+
+    A *normal* type (paper Section 5.2) is one where every union contains at
+    most one addend of each kind.  Fusion assumes and preserves this
+    invariant; feeding it a non-normal type raises this error.
+    """

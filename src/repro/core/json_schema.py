@@ -1,0 +1,102 @@
+"""Export inferred types to standard JSON Schema documents.
+
+The paper notes (Section 3) that its type language "can be seen as a core
+part of the JSON Schema language" of Pezoa et al.; this module realises that
+correspondence, so that schemas inferred by this library can be consumed by
+any off-the-shelf JSON Schema validator:
+
+=====================  =====================================================
+Type                   JSON Schema
+=====================  =====================================================
+``Null``               ``{"type": "null"}``
+``Bool``               ``{"type": "boolean"}``
+``Num``                ``{"type": "number"}``
+``Str``                ``{"type": "string"}``
+record type            ``{"type": "object", "properties": ...,
+                       "required": [mandatory keys],
+                       "additionalProperties": false}``
+``[T1, ..., Tn]``      ``{"type": "array", "prefixItems": [...],
+                       "minItems": n, "maxItems": n}``
+``[T*]``               ``{"type": "array", "items": ...}``
+``T + U``              ``{"anyOf": [...]}``
+``eps``                ``{"not": {}}`` (matches nothing)
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.kinds import Kind
+from repro.core.types import (
+    ArrayType,
+    BasicType,
+    EmptyType,
+    RecordType,
+    StarArrayType,
+    Type,
+    UnionType,
+)
+
+__all__ = ["to_json_schema"]
+
+_BASIC_SCHEMA_TYPES = {
+    Kind.NULL: "null",
+    Kind.BOOL: "boolean",
+    Kind.NUM: "number",
+    Kind.STR: "string",
+}
+
+#: The dialect the exporter targets (prefixItems requires 2020-12).
+SCHEMA_DIALECT = "https://json-schema.org/draft/2020-12/schema"
+
+
+def _convert(t: Type) -> dict[str, Any]:
+    if isinstance(t, BasicType):
+        return {"type": _BASIC_SCHEMA_TYPES[t.kind]}
+    if isinstance(t, EmptyType):
+        return {"not": {}}
+    if isinstance(t, RecordType):
+        properties = {f.name: _convert(f.type) for f in t.fields}
+        required = [f.name for f in t.fields if not f.optional]
+        schema: dict[str, Any] = {
+            "type": "object",
+            "properties": properties,
+            "additionalProperties": False,
+        }
+        if required:
+            schema["required"] = required
+        return schema
+    if isinstance(t, ArrayType):
+        n = len(t.elements)
+        schema = {"type": "array", "minItems": n, "maxItems": n}
+        if n:
+            schema["prefixItems"] = [_convert(e) for e in t.elements]
+        return schema
+    if isinstance(t, StarArrayType):
+        if isinstance(t.body, EmptyType):
+            # [eps*] admits only the empty array.
+            return {"type": "array", "maxItems": 0}
+        return {"type": "array", "items": _convert(t.body)}
+    if isinstance(t, UnionType):
+        members = [_convert(m) for m in t.members]
+        if all(set(m) == {"type"} for m in members):
+            # Purely atomic unions compress to the multi-type shorthand.
+            return {"type": [m["type"] for m in members]}
+        return {"anyOf": members}
+    raise TypeError(f"not a type: {t!r}")
+
+
+def to_json_schema(t: Type, title: str | None = None) -> dict[str, Any]:
+    """Convert ``t`` to a JSON Schema document (2020-12 dialect).
+
+    >>> from repro.core.type_parser import parse_type
+    >>> doc = to_json_schema(parse_type("{a: Num, b: Str?}"))
+    >>> doc["required"]
+    ['a']
+    """
+    schema = _convert(t)
+    schema["$schema"] = SCHEMA_DIALECT
+    if title is not None:
+        schema["title"] = title
+    return schema

@@ -1,0 +1,39 @@
+"""Type kinds, mirroring the ``kind`` function of the paper (Section 4).
+
+The paper assigns a small integer *kind* to every non-union type::
+
+    kind(null) = 0    kind(str)  = 3
+    kind(bool) = 1    kind(rt)   = 4   (record types)
+    kind(num)  = 2    kind(at) = kind(sat) = 5   (array types)
+
+Kinds drive the ``KMatch`` / ``KUnmatch`` decomposition used by fusion: two
+union addends are fused together if and only if they share a kind, and a
+*normal* union contains at most one addend per kind — hence at most six
+addends.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["Kind", "N_KINDS"]
+
+
+class Kind(IntEnum):
+    """Integer kind of a non-union type, exactly as in the paper."""
+
+    NULL = 0
+    BOOL = 1
+    NUM = 2
+    STR = 3
+    RECORD = 4
+    ARRAY = 5
+
+    @property
+    def is_basic(self) -> bool:
+        """True for the four atomic kinds (``kind < 4`` in the paper)."""
+        return self < Kind.RECORD
+
+
+#: Number of distinct kinds; a normal union has at most this many addends.
+N_KINDS = len(Kind)

@@ -1,0 +1,70 @@
+"""The *normal type* invariant of Section 5.2.
+
+A type is **normal** when every union occurring in it contains at most one
+addend of each kind (hence at most six addends), addends are themselves
+non-union and non-empty, and the property holds recursively under records
+and arrays.  All fusion algorithms assume normal inputs and are proven to
+produce normal outputs; this module provides the runtime check used by the
+property-based tests ("fusion preserves normality") and by defensive
+assertions in the pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import NormalizationError
+from repro.core.kinds import Kind
+from repro.core.types import (
+    ArrayType,
+    BasicType,
+    EmptyType,
+    RecordType,
+    StarArrayType,
+    Type,
+    UnionType,
+)
+
+__all__ = ["is_normal", "check_normal"]
+
+
+def is_normal(t: Type) -> bool:
+    """True iff ``t`` satisfies the normal-type invariant."""
+    try:
+        check_normal(t)
+    except NormalizationError:
+        return False
+    return True
+
+
+def check_normal(t: Type, _path: str = "$") -> None:
+    """Raise :class:`NormalizationError` at the first violation, with a path.
+
+    >>> from repro.core.types import NUM, UnionType, make_star
+    >>> check_normal(make_star(NUM))
+    >>> is_normal(UnionType([NUM, NUM]))
+    False
+    """
+    if isinstance(t, (BasicType, EmptyType)):
+        return
+    if isinstance(t, UnionType):
+        kinds_seen: set[Kind] = set()
+        for member in t.members:
+            # UnionType's constructor already bans nested unions and eps.
+            if member.kind in kinds_seen:
+                raise NormalizationError(
+                    f"kind {member.kind.name} occurs twice in union at {_path}"
+                )
+            kinds_seen.add(member.kind)
+            check_normal(member, _path)
+        return
+    if isinstance(t, RecordType):
+        for field in t.fields:
+            check_normal(field.type, f"{_path}.{field.name}")
+        return
+    if isinstance(t, ArrayType):
+        for index, element in enumerate(t.elements):
+            check_normal(element, f"{_path}[{index}]")
+        return
+    if isinstance(t, StarArrayType):
+        check_normal(t.body, f"{_path}[*]")
+        return
+    raise TypeError(f"not a type: {t!r}")

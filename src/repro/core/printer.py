@@ -1,0 +1,99 @@
+"""Human-readable concrete syntax for types, following the paper's notation.
+
+Examples of the output syntax::
+
+    Null  Bool  Num  Str                         basic types
+    {a: Num, b: (Num + Bool), c: Str?}           record with an optional field
+    [Num, Str]                                   positional array type
+    [(Str + {E: Str, F: Num})*]                  simplified array type
+    Num + Str                                    union
+    (empty)                                      the empty type
+
+The syntax is designed to round-trip through :mod:`repro.core.type_parser`:
+``parse_type(print_type(t)) == t`` for every type ``t`` (a property the test
+suite checks with hypothesis).
+"""
+
+from __future__ import annotations
+
+from repro.core.types import (
+    ArrayType,
+    BasicType,
+    EmptyType,
+    RecordType,
+    StarArrayType,
+    Type,
+    UnionType,
+)
+
+__all__ = ["print_type", "pretty_print"]
+
+#: Printed form of the empty type.  Chosen to be ASCII-friendly.
+EMPTY_SYMBOL = "(empty)"
+
+
+def _key_syntax(name: str) -> str:
+    """Quote a record key unless it is a bare identifier."""
+    if name and all(c.isalnum() or c in "_-$" for c in name) and not name[0].isdigit():
+        return name
+    return '"' + name.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def print_type(t: Type) -> str:
+    """Render ``t`` on a single line in the paper's concrete syntax."""
+    if isinstance(t, BasicType):
+        return t.name
+    if isinstance(t, EmptyType):
+        return EMPTY_SYMBOL
+    if isinstance(t, RecordType):
+        parts = []
+        for field in t.fields:
+            rendered = print_type(field.type)
+            if isinstance(field.type, UnionType):
+                rendered = f"({rendered})"
+            mark = "?" if field.optional else ""
+            parts.append(f"{_key_syntax(field.name)}: {rendered}{mark}")
+        return "{" + ", ".join(parts) + "}"
+    if isinstance(t, ArrayType):
+        return "[" + ", ".join(print_type(e) for e in t.elements) + "]"
+    if isinstance(t, StarArrayType):
+        body = print_type(t.body)
+        if isinstance(t.body, UnionType):
+            return f"[({body})*]"
+        return f"[{body}*]"
+    if isinstance(t, UnionType):
+        return " + ".join(print_type(m) for m in t.members)
+    raise TypeError(f"not a type: {t!r}")
+
+
+def pretty_print(t: Type, indent: int = 2, _level: int = 0) -> str:
+    """Render ``t`` over multiple lines with indentation.
+
+    Useful for large fused schemas; the single-line form of a Wikidata-style
+    schema is unreadable.  The output is still valid input for the parser.
+    """
+    pad = " " * (indent * _level)
+    inner = " " * (indent * (_level + 1))
+    if isinstance(t, RecordType) and t.fields:
+        lines = ["{"]
+        for field in t.fields:
+            rendered = pretty_print(field.type, indent, _level + 1)
+            if isinstance(field.type, UnionType):
+                rendered = f"({rendered})"
+            mark = "?" if field.optional else ""
+            lines.append(f"{inner}{_key_syntax(field.name)}: {rendered}{mark},")
+        # Strip the trailing comma from the final field for parser friendliness.
+        lines[-1] = lines[-1][:-1]
+        lines.append(pad + "}")
+        return "\n".join(lines)
+    if isinstance(t, StarArrayType):
+        body = pretty_print(t.body, indent, _level)
+        if isinstance(t.body, UnionType):
+            return f"[({body})*]"
+        return f"[{body}*]"
+    if isinstance(t, ArrayType) and t.elements:
+        rendered = ", ".join(pretty_print(e, indent, _level) for e in t.elements)
+        return f"[{rendered}]"
+    if isinstance(t, UnionType):
+        return " + ".join(pretty_print(m, indent, _level) for m in t.members)
+    return print_type(t)

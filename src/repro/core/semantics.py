@@ -1,0 +1,99 @@
+"""Denotational semantics of types: the membership test ``value in [[T]]``.
+
+Implements the semantic function of Section 4 as a decision procedure
+:func:`matches`.  The equations, paraphrased:
+
+* ``[[Null]] = {null}``, ``[[Bool]] = {true, false}``, ``[[Num]]`` = numbers,
+  ``[[Str]]`` = strings.
+* A record type admits records that (i) contain every mandatory field with a
+  value in the field's type, (ii) may contain each optional field, again with
+  a value in its type, and (iii) contain **no other** keys — record types are
+  closed descriptions.
+* A positional array type ``[T1, ..., Tn]`` admits exactly the length-``n``
+  arrays whose ``i``-th element is in ``[[Ti]]``.
+* A simplified array type ``[T*]`` admits arrays of any length all of whose
+  elements are in ``[[T]]`` — including the empty array, even for ``[eps*]``
+  (``S^0 = {[]}`` in the auxiliary functions of Section 4).
+* ``[[T + U]] = [[T]] u [[U]]`` and ``[[eps]]`` is empty.
+
+Membership is the ground truth against which the test suite checks both the
+soundness of value typing (Lemma 5.1: ``infer_type(v)`` always admits ``v``)
+and the correctness of fusion (Theorem 5.2, via preservation:
+``matches(v, T1)`` implies ``matches(v, fuse(T1, T2))``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.kinds import Kind
+from repro.core.types import (
+    ArrayType,
+    BasicType,
+    EmptyType,
+    RecordType,
+    StarArrayType,
+    Type,
+    UnionType,
+)
+
+__all__ = ["matches"]
+
+
+def _matches_basic(value: Any, kind: Kind) -> bool:
+    if kind == Kind.NULL:
+        return value is None
+    if kind == Kind.BOOL:
+        return isinstance(value, bool)
+    if kind == Kind.NUM:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if kind == Kind.STR:
+        return isinstance(value, str)
+    raise AssertionError(f"not a basic kind: {kind!r}")
+
+
+def _matches_record(value: Any, t: RecordType) -> bool:
+    if not isinstance(value, dict):
+        return False
+    for field in t.fields:
+        if field.name in value:
+            if not matches(value[field.name], field.type):
+                return False
+        elif not field.optional:
+            return False
+    # Closed-record semantics: keys outside the type are not admitted.
+    for key in value:
+        if key not in t:
+            return False
+    return True
+
+
+def matches(value: Any, t: Type) -> bool:
+    """Decide ``value in [[t]]``.
+
+    >>> from repro.core.types import NUM, STR, make_record, make_star, make_union
+    >>> matches(3, make_union([NUM, STR]))
+    True
+    >>> matches({"a": 1}, make_record({"a": NUM, "b": STR}, optional=["b"]))
+    True
+    >>> matches([], make_star(NUM))
+    True
+    """
+    if isinstance(t, BasicType):
+        return _matches_basic(value, t.kind)
+    if isinstance(t, RecordType):
+        return _matches_record(value, t)
+    if isinstance(t, ArrayType):
+        return (
+            isinstance(value, list)
+            and not isinstance(value, str)
+            and len(value) == len(t.elements)
+            and all(matches(v, u) for v, u in zip(value, t.elements))
+        )
+    if isinstance(t, StarArrayType):
+        return isinstance(value, list) and all(matches(v, t.body) for v in value)
+    if isinstance(t, UnionType):
+        return any(matches(value, m) for m in t.members)
+    if isinstance(t, EmptyType):
+        return False
+    raise TypeError(f"not a type: {t!r}")

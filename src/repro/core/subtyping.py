@@ -1,0 +1,107 @@
+"""A sound syntactic subtype checker for the paper's type language.
+
+The paper defines subtyping semantically (Definition 4.1: ``T <: U`` iff
+``[[T]] subseteq [[U]]``) and explicitly does *not* give an algorithm; it
+only uses the notion to state the correctness of fusion (Theorem 5.2).  To
+*test* that theorem mechanically we implement a syntax-directed checker that
+is **sound** (``is_subtype(T, U)`` implies ``[[T]] subseteq [[U]]``) and
+complete enough to verify every subtyping fact the fusion algorithm is
+supposed to establish.
+
+Rules (each is a straightforward consequence of the semantics):
+
+* ``eps <: U`` always; ``T <: eps`` only for ``T = eps``.
+* ``B <: B`` for equal basic types.
+* ``T1 + ... + Tn <: U`` iff every ``Ti <: U``.
+* ``T <: U1 + ... + Um`` (``T`` non-union) if ``T <: Ui`` for some ``i``.
+* ``R1 <: R2`` iff every key of ``R1`` appears in ``R2`` with a supertype and
+  compatible cardinality (an optional field cannot become mandatory), and
+  every key of ``R2`` missing from ``R1`` is optional in ``R2``.
+* ``[T1..Tn] <: [U1..Un]`` pointwise; ``[T1..Tn] <: [U*]`` iff every
+  ``Ti <: U``; ``[T*] <: [U*]`` iff ``T <: U``; ``[T*] <: [U1..Un]`` only in
+  the degenerate case ``[eps*] <: []``.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import (
+    ArrayType,
+    BasicType,
+    EmptyType,
+    RecordType,
+    StarArrayType,
+    Type,
+    UnionType,
+)
+
+__all__ = ["is_subtype", "is_equivalent"]
+
+
+def _record_subtype(r1: RecordType, r2: RecordType) -> bool:
+    for field1 in r1.fields:
+        field2 = r2.field(field1.name)
+        if field2 is None:
+            # r1's records may carry this key; r2's never do.
+            return False
+        if field1.optional and not field2.optional:
+            # r1 admits records lacking the key; mandatory field2 does not.
+            return False
+        if not is_subtype(field1.type, field2.type):
+            return False
+    for field2 in r2.fields:
+        if field2.name not in r1 and not field2.optional:
+            # r1's records never carry this key, but r2 requires it.
+            return False
+    return True
+
+
+def _array_subtype(t1: Type, t2: Type) -> bool:
+    if isinstance(t1, ArrayType) and isinstance(t2, ArrayType):
+        return len(t1.elements) == len(t2.elements) and all(
+            is_subtype(a, b) for a, b in zip(t1.elements, t2.elements)
+        )
+    if isinstance(t1, ArrayType) and isinstance(t2, StarArrayType):
+        return all(is_subtype(a, t2.body) for a in t1.elements)
+    if isinstance(t1, StarArrayType) and isinstance(t2, StarArrayType):
+        return is_subtype(t1.body, t2.body)
+    if isinstance(t1, StarArrayType) and isinstance(t2, ArrayType):
+        # [T*] always admits []; a positional type admits one length only.
+        return isinstance(t1.body, EmptyType) and not t2.elements
+    raise AssertionError("unreachable array combination")
+
+
+def is_subtype(t1: Type, t2: Type) -> bool:
+    """Soundly decide ``t1 <: t2`` (semantic inclusion, Definition 4.1).
+
+    >>> from repro.core.type_parser import parse_type as p
+    >>> is_subtype(p("{a: Num}"), p("{a: Num + Str, b: Bool?}"))
+    True
+    >>> is_subtype(p("{a: Num?}"), p("{a: Num}"))
+    False
+    """
+    if isinstance(t1, EmptyType):
+        return True
+    if isinstance(t2, EmptyType):
+        return False
+    if isinstance(t1, UnionType):
+        return all(is_subtype(m, t2) for m in t1.members)
+    if isinstance(t2, UnionType):
+        return any(is_subtype(t1, m) for m in t2.members)
+    if isinstance(t1, BasicType):
+        return isinstance(t2, BasicType) and t1.kind == t2.kind
+    if isinstance(t1, RecordType):
+        return isinstance(t2, RecordType) and _record_subtype(t1, t2)
+    if isinstance(t1, (ArrayType, StarArrayType)):
+        if not isinstance(t2, (ArrayType, StarArrayType)):
+            return False
+        return _array_subtype(t1, t2)
+    raise TypeError(f"not a type: {t1!r}")
+
+
+def is_equivalent(t1: Type, t2: Type) -> bool:
+    """Mutual inclusion: ``t1 <: t2`` and ``t2 <: t1``.
+
+    Weaker than ``==`` (e.g. ``[Num]`` and ``[Num]`` built differently are
+    ``==``, while ``[eps*]`` and ``[]`` are equivalent but not equal).
+    """
+    return is_subtype(t1, t2) and is_subtype(t2, t1)

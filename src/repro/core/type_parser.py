@@ -1,0 +1,201 @@
+"""Parser for the concrete type syntax produced by :mod:`repro.core.printer`.
+
+Grammar (whitespace, including newlines, is insignificant between tokens)::
+
+    type      := term ('+' term)*
+    term      := basic | record | array | '(empty)' | '(' type ')'
+    basic     := 'Null' | 'Bool' | 'Num' | 'Str'
+    record    := '{' [field (',' field)*] '}'
+    field     := key ':' term ['?']
+    key       := identifier | string-literal
+    array     := '[' ']'                          -- empty positional array
+               | '[' type '*' ']'                 -- simplified array
+               | '[' type (',' type)* ']'         -- positional array
+
+Note the single grammar subtlety: inside ``[...]`` we parse a full union
+``type`` and then decide, on seeing ``*``, whether it was a simplified array
+body.  ``[Num + Str]`` is a one-element positional array of a union;
+``[(Num + Str)*]`` and ``[Num + Str*]`` are both the simplified array.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import TypeSyntaxError
+from repro.core.types import (
+    ArrayType,
+    BOOL,
+    EMPTY,
+    Field,
+    NULL,
+    NUM,
+    RecordType,
+    STR,
+    StarArrayType,
+    Type,
+    make_union,
+)
+
+__all__ = ["parse_type"]
+
+_BASIC = {"Null": NULL, "Bool": BOOL, "Num": NUM, "Str": STR}
+
+
+class _Parser:
+    """Recursive-descent parser over a raw source string."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+
+    # -- low-level helpers -------------------------------------------------
+
+    def error(self, message: str) -> TypeSyntaxError:
+        return TypeSyntaxError(message, self.pos)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.source) and self.source[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_ws()
+        if self.pos >= len(self.source):
+            return ""
+        return self.source[self.pos]
+
+    def eat(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def try_eat(self, char: str) -> bool:
+        if self.peek() == char:
+            self.pos += 1
+            return True
+        return False
+
+    def read_word(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.source):
+            c = self.source[self.pos]
+            if c.isalnum() or c in "_-$":
+                self.pos += 1
+            else:
+                break
+        if self.pos == start:
+            raise self.error("expected an identifier")
+        return self.source[start:self.pos]
+
+    def read_string(self) -> str:
+        self.eat('"')
+        out: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self.error("unterminated string literal")
+            c = self.source[self.pos]
+            self.pos += 1
+            if c == '"':
+                return "".join(out)
+            if c == "\\":
+                if self.pos >= len(self.source):
+                    raise self.error("unterminated escape")
+                out.append(self.source[self.pos])
+                self.pos += 1
+            else:
+                out.append(c)
+
+    # -- grammar rules -----------------------------------------------------
+
+    def parse_type(self) -> Type:
+        terms = [self.parse_term()]
+        while self.try_eat("+"):
+            terms.append(self.parse_term())
+        if len(terms) == 1:
+            return terms[0]
+        return make_union(terms)
+
+    def parse_term(self) -> Type:
+        c = self.peek()
+        if c == "{":
+            return self.parse_record()
+        if c == "[":
+            return self.parse_array()
+        if c == "(":
+            # Either "(empty)" or a parenthesised type.
+            saved = self.pos
+            self.eat("(")
+            if self.peek().isalpha():
+                word_start = self.pos
+                word = self.read_word()
+                if word == "empty" and self.try_eat(")"):
+                    return EMPTY
+                self.pos = word_start
+            inner = self.parse_type()
+            self.eat(")")
+            return inner
+        if c.isalpha():
+            word = self.read_word()
+            if word in _BASIC:
+                return _BASIC[word]
+            raise self.error(f"unknown type name {word!r}")
+        if c == "":
+            raise self.error("unexpected end of input")
+        # Restore a sensible error position for stray characters.
+        self.skip_ws()
+        raise self.error(f"unexpected character {c!r}")
+
+    def parse_record(self) -> RecordType:
+        self.eat("{")
+        fields: list[Field] = []
+        if self.try_eat("}"):
+            return RecordType(fields)
+        while True:
+            fields.append(self.parse_field())
+            if self.try_eat(","):
+                continue
+            self.eat("}")
+            return RecordType(fields)
+
+    def parse_field(self) -> Field:
+        if self.peek() == '"':
+            name = self.read_string()
+        else:
+            name = self.read_word()
+        self.eat(":")
+        # A full union is allowed without parentheses, as the paper writes
+        # record types (e.g. "B: Num + Bool"); a trailing "?" marks the
+        # whole field optional.
+        t = self.parse_type()
+        optional = self.try_eat("?")
+        return Field(name, t, optional=optional)
+
+    def parse_array(self) -> Type:
+        self.eat("[")
+        if self.try_eat("]"):
+            return ArrayType(())
+        elements = [self.parse_type()]
+        if self.try_eat("*"):
+            self.eat("]")
+            return StarArrayType(elements[0])
+        while self.try_eat(","):
+            elements.append(self.parse_type())
+        self.eat("]")
+        return ArrayType(elements)
+
+
+def parse_type(source: str) -> Type:
+    """Parse a type from its concrete syntax.
+
+    >>> from repro.core.printer import print_type
+    >>> print_type(parse_type("{a: Num, b: (Str + Null)?}"))
+    '{a: Num, b: (Null + Str)?}'
+
+    Raises :class:`repro.core.errors.TypeSyntaxError` on malformed input or
+    trailing garbage.
+    """
+    parser = _Parser(source)
+    t = parser.parse_type()
+    parser.skip_ws()
+    if parser.pos != len(source):
+        raise parser.error("trailing characters after type")
+    return t

@@ -1,0 +1,474 @@
+"""Abstract syntax of the JSON type language (paper Fig. 3).
+
+The language has six constructors::
+
+    T ::= BT | RT | AT | SAT | eps | T + T          Top-level types
+    BT ::= null | bool | num | str                  Basic types
+    RT ::= { l1 : T1 [?], ..., ln : Tn [?] }        Record types
+    AT ::= [ T1, ..., Tn ]                          (positional) array types
+    SAT ::= [ T * ]                                 Simplified array types
+
+which map here onto :class:`BasicType`, :class:`RecordType` (with
+:class:`Field` entries carrying the optionality flag ``?``),
+:class:`ArrayType`, :class:`StarArrayType`, :class:`EmptyType` (``eps``) and
+:class:`UnionType`.
+
+Design notes
+------------
+
+* **Immutability.**  Types are deeply immutable; hash and size (the paper's
+  succinctness metric: number of AST nodes) are computed once at
+  construction.  This makes distinct-type counting over millions of records
+  (Tables 2-5 of the paper) a plain ``set`` insertion.
+* **Canonical form.**  Record fields are stored sorted by key (records are
+  *sets* of fields, Section 4) and union members sorted by kind.  As a
+  consequence structural equality coincides with the paper's equality
+  modulo field/addend reordering, and the commutativity theorem
+  (Theorem 5.4) holds as plain ``==`` on the fused results.
+* **Singletons.**  The four basic types and the empty type are exposed as
+  module-level constants (:data:`NULL`, :data:`BOOL`, :data:`NUM`,
+  :data:`STR`, :data:`EMPTY`); constructing new instances is possible but
+  unnecessary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.errors import InvalidTypeError
+from repro.core.kinds import Kind
+
+__all__ = [
+    "Type",
+    "BasicType",
+    "Field",
+    "RecordType",
+    "ArrayType",
+    "StarArrayType",
+    "UnionType",
+    "EmptyType",
+    "NULL",
+    "BOOL",
+    "NUM",
+    "STR",
+    "EMPTY",
+    "make_union",
+    "make_record",
+    "make_array",
+    "make_star",
+]
+
+
+class Type:
+    """Base class of all type AST nodes.
+
+    Subclasses precompute ``_hash`` and ``_size`` at construction; both are
+    exposed through :meth:`__hash__` and :attr:`size`.
+    """
+
+    __slots__ = ("_hash", "_size", "_has_positional")
+
+    #: Kind of the node; ``None`` only for the empty type and unions.
+    kind: Kind | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of AST nodes — the paper's measure of type size."""
+        return self._size
+
+    @property
+    def has_positional_array(self) -> bool:
+        """True if any positional array type occurs in this type.
+
+        Fusion is idempotent (``fuse(t, t) == t``) exactly on types without
+        positional arrays — fusing two equal positional arrays still
+        collapses them into a star type (Fig. 6 line 4).  The fusion fast
+        path keys off this flag.
+        """
+        return self._has_positional
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __repr__(self) -> str:
+        from repro.core.printer import print_type
+
+        return f"<{type(self).__name__} {print_type(self)!r}>"
+
+    def __str__(self) -> str:
+        from repro.core.printer import print_type
+
+        return print_type(self)
+
+    def addends(self) -> tuple["Type", ...]:
+        """Decompose into non-union addends — the paper's ``o(T)`` operator.
+
+        ``o(T1 + T2) = o(T1) . o(T2)``, ``o(eps) = []`` and ``o(T) = [T]``
+        otherwise.  Non-union types therefore return a 1-tuple of themselves.
+        """
+        return (self,)
+
+    def children(self) -> Iterator["Type"]:
+        """Iterate over direct sub-types (used by generic traversals)."""
+        return iter(())
+
+
+_BASIC_NAMES = {
+    Kind.NULL: "Null",
+    Kind.BOOL: "Bool",
+    Kind.NUM: "Num",
+    Kind.STR: "Str",
+}
+
+
+class BasicType(Type):
+    """An atomic type: ``Null``, ``Bool``, ``Num`` or ``Str``."""
+
+    __slots__ = ("kind",)
+
+    def __init__(self, kind: Kind) -> None:
+        if kind not in _BASIC_NAMES:
+            raise InvalidTypeError(f"not a basic kind: {kind!r}")
+        self.kind = kind
+        self._size = 1
+        self._has_positional = False
+        self._hash = hash(("basic", int(kind)))
+
+    @property
+    def name(self) -> str:
+        """The paper-syntax name of this basic type (e.g. ``"Num"``)."""
+        return _BASIC_NAMES[self.kind]
+
+    __hash__ = Type.__hash__
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BasicType) and other.kind == self.kind
+
+    def __reduce__(self):
+        return (BasicType, (self.kind,))
+
+
+class EmptyType(Type):
+    """The empty type ``eps``: no value inhabits it.
+
+    Never produced by value typing; it only appears as the body of the
+    simplified array type obtained from an empty array (``[eps*]``, paper
+    footnote 1) and as the neutral element of fusion.
+    """
+
+    __slots__ = ()
+
+    kind = None
+
+    def __init__(self) -> None:
+        self._size = 1
+        self._has_positional = False
+        self._hash = hash(("empty",))
+
+    __hash__ = Type.__hash__
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EmptyType)
+
+    def addends(self) -> tuple[Type, ...]:
+        return ()
+
+    def __reduce__(self):
+        return (EmptyType, ())
+
+
+#: Singleton instances of the basic types and the empty type.
+NULL = BasicType(Kind.NULL)
+BOOL = BasicType(Kind.BOOL)
+NUM = BasicType(Kind.NUM)
+STR = BasicType(Kind.STR)
+EMPTY = EmptyType()
+
+
+class Field:
+    """A single record field ``l : T`` or ``l : T?``.
+
+    ``optional`` encodes the paper's cardinality annotation: ``False`` is the
+    implicit total cardinality ``1`` (the field is mandatory), ``True`` is
+    ``?`` (the field may be absent).
+    """
+
+    __slots__ = ("name", "type", "optional", "_hash")
+
+    def __init__(self, name: str, type: Type, optional: bool = False) -> None:
+        if not isinstance(name, str):
+            raise InvalidTypeError(f"field name must be a string, got {name!r}")
+        if not isinstance(type, Type):
+            raise InvalidTypeError(f"field type must be a Type, got {type!r}")
+        self.name = name
+        self.type = type
+        self.optional = bool(optional)
+        self._hash = hash(("field", name, type, self.optional))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Field)
+            and other.name == self.name
+            and other.optional == self.optional
+            and other.type == self.type
+        )
+
+    def __repr__(self) -> str:
+        mark = "?" if self.optional else ""
+        return f"Field({self.name!r}: {self.type!s}{mark})"
+
+    def with_optional(self, optional: bool) -> "Field":
+        """Return a copy of this field with the given optionality."""
+        if optional == self.optional:
+            return self
+        return Field(self.name, self.type, optional)
+
+    def __reduce__(self):
+        return (Field, (self.name, self.type, self.optional))
+
+
+class RecordType(Type):
+    """A record type ``{ l1 : T1 [?], ..., ln : Tn [?] }``.
+
+    Fields are stored sorted by key: records are sets of fields (Section 4),
+    so two record types differing only in field order compare equal here by
+    construction.  Keys must be unique.
+    """
+
+    __slots__ = ("fields", "_by_name")
+
+    kind = Kind.RECORD
+
+    def __init__(self, fields: Iterable[Field] = ()) -> None:
+        ordered = tuple(sorted(fields, key=lambda f: f.name))
+        by_name: dict[str, Field] = {}
+        for field in ordered:
+            if not isinstance(field, Field):
+                raise InvalidTypeError(f"not a Field: {field!r}")
+            if field.name in by_name:
+                raise InvalidTypeError(f"duplicate record key: {field.name!r}")
+            by_name[field.name] = field
+        self.fields = ordered
+        self._by_name = by_name
+        # A record node plus, per field, one field node and its type subtree.
+        self._size = 1 + sum(1 + f.type.size for f in ordered)
+        self._has_positional = any(f.type._has_positional for f in ordered)
+        self._hash = hash(("record", ordered))
+
+    __hash__ = Type.__hash__
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RecordType)
+            and other._hash == self._hash
+            and other.fields == self.fields
+        )
+
+    def keys(self) -> tuple[str, ...]:
+        """Record keys, in canonical (sorted) order — ``Keys(RT)``."""
+        return tuple(f.name for f in self.fields)
+
+    def field(self, name: str) -> Field | None:
+        """The field named ``name``, or ``None`` if absent."""
+        return self._by_name.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def children(self) -> Iterator[Type]:
+        return (f.type for f in self.fields)
+
+    def __reduce__(self):
+        return (RecordType, (self.fields,))
+
+
+class ArrayType(Type):
+    """A positional array type ``[T1, ..., Tn]``.
+
+    This is the form produced by value typing (Fig. 4): one element type per
+    array element, in order.  Fusion simplifies it into a
+    :class:`StarArrayType` via ``collapse`` before merging.
+    """
+
+    __slots__ = ("elements",)
+
+    kind = Kind.ARRAY
+
+    def __init__(self, elements: Iterable[Type] = ()) -> None:
+        elems = tuple(elements)
+        for elem in elems:
+            if not isinstance(elem, Type):
+                raise InvalidTypeError(f"not a Type: {elem!r}")
+        self.elements = elems
+        self._size = 1 + sum(t.size for t in elems)
+        self._has_positional = True
+        self._hash = hash(("array", elems))
+
+    __hash__ = Type.__hash__
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other._hash == self._hash
+            and other.elements == self.elements
+        )
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def children(self) -> Iterator[Type]:
+        return iter(self.elements)
+
+    def __reduce__(self):
+        return (ArrayType, (self.elements,))
+
+
+class StarArrayType(Type):
+    """A simplified array type ``[T*]``: arrays whose elements all match ``T``.
+
+    The body may be a union (the common case after ``collapse``) or the empty
+    type, in which case only the empty array ``[]`` is admitted.
+    """
+
+    __slots__ = ("body",)
+
+    kind = Kind.ARRAY
+
+    def __init__(self, body: Type) -> None:
+        if not isinstance(body, Type):
+            raise InvalidTypeError(f"not a Type: {body!r}")
+        self.body = body
+        self._size = 1 + body.size
+        self._has_positional = body._has_positional
+        self._hash = hash(("star", body))
+
+    __hash__ = Type.__hash__
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StarArrayType) and other.body == self.body
+
+    def children(self) -> Iterator[Type]:
+        return iter((self.body,))
+
+    def __reduce__(self):
+        return (StarArrayType, (self.body,))
+
+
+class UnionType(Type):
+    """A union type ``T1 + ... + Tn`` with ``n >= 2``.
+
+    Members must be non-union, non-empty types and are stored sorted by kind.
+    Fusion only ever builds *normal* unions (at most one member per kind);
+    the constructor tolerates same-kind members so that intermediate,
+    hand-written types remain expressible, but :mod:`repro.core.normal_form`
+    can be used to check the invariant.
+
+    Use :func:`make_union` rather than the raw constructor: it flattens
+    nested unions, drops empty types and deduplicates members.
+    """
+
+    __slots__ = ("members",)
+
+    kind = None
+
+    def __init__(self, members: Iterable[Type]) -> None:
+        flat = tuple(members)
+        if len(flat) < 2:
+            raise InvalidTypeError("a union needs at least two members")
+        for member in flat:
+            if isinstance(member, (UnionType, EmptyType)):
+                raise InvalidTypeError(
+                    "union members must be non-union, non-empty types; "
+                    f"got {member!r} (use make_union to normalize)"
+                )
+            if not isinstance(member, Type):
+                raise InvalidTypeError(f"not a Type: {member!r}")
+        ordered = tuple(sorted(flat, key=lambda t: int(t.kind)))
+        self.members = ordered
+        self._size = 1 + sum(t.size for t in ordered)
+        self._has_positional = any(t._has_positional for t in ordered)
+        self._hash = hash(("union", ordered))
+
+    __hash__ = Type.__hash__
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, UnionType)
+            and other._hash == self._hash
+            and other.members == self.members
+        )
+
+    def addends(self) -> tuple[Type, ...]:
+        return self.members
+
+    def children(self) -> Iterator[Type]:
+        return iter(self.members)
+
+    def __reduce__(self):
+        return (UnionType, (self.members,))
+
+
+def make_union(types: Iterable[Type]) -> Type:
+    """Build a union from arbitrary types — the paper's ``(+)`` rebuilder.
+
+    Nested unions are flattened, empty types dropped and duplicate members
+    deduplicated.  Zero remaining members yield :data:`EMPTY`, one yields the
+    member itself, several yield a :class:`UnionType`.
+
+    >>> make_union([NUM, BOOL]) == make_union([BOOL, NUM])
+    True
+    >>> make_union([NUM]) is NUM
+    True
+    >>> make_union([]) == EMPTY
+    True
+    """
+    seen: set[Type] = set()
+    flat: list[Type] = []
+    for t in types:
+        for addend in t.addends():
+            if addend not in seen:
+                seen.add(addend)
+                flat.append(addend)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return UnionType(flat)
+
+
+def make_record(entries: dict[str, Type] | Iterable[tuple[str, Type]],
+                optional: Iterable[str] = ()) -> RecordType:
+    """Convenience record constructor from a mapping of keys to types.
+
+    ``optional`` names the keys to mark with ``?``.
+
+    >>> rt = make_record({"a": NUM, "b": STR}, optional=["b"])
+    >>> rt.field("b").optional
+    True
+    """
+    items = entries.items() if isinstance(entries, dict) else entries
+    optional_set = set(optional)
+    fields = [Field(name, t, optional=name in optional_set) for name, t in items]
+    unknown = optional_set - {f.name for f in fields}
+    if unknown:
+        raise InvalidTypeError(f"optional keys not in record: {sorted(unknown)}")
+    return RecordType(fields)
+
+
+def make_array(*elements: Type) -> ArrayType:
+    """Convenience positional-array constructor: ``make_array(NUM, STR)``."""
+    return ArrayType(elements)
+
+
+def make_star(body: Type) -> StarArrayType:
+    """Convenience simplified-array constructor: ``make_star(NUM)`` is ``[Num*]``."""
+    return StarArrayType(body)

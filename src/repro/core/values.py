@@ -1,0 +1,126 @@
+"""Helpers over JSON *values* represented as plain Python objects.
+
+The paper's data model (Fig. 2) is mapped onto Python as follows:
+
+=============  ==========================
+JSON           Python
+=============  ==========================
+``null``       ``None``
+``true/false`` ``bool``
+number         ``int`` / ``float`` (finite)
+string         ``str``
+record         ``dict`` with ``str`` keys
+array          ``list``
+=============  ==========================
+
+The data-model constraint of key uniqueness within records is automatic for
+``dict`` objects; the :mod:`repro.jsonio` parser enforces it on JSON *text*
+(where duplicates can appear) before a ``dict`` is ever built.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+from repro.core.errors import InvalidValueError
+
+__all__ = ["validate_value", "is_valid_value", "value_depth", "record_depth",
+           "value_node_count", "iter_paths"]
+
+
+def validate_value(value: Any, path: str = "$") -> None:
+    """Raise :class:`InvalidValueError` unless ``value`` is a valid JSON value.
+
+    ``path`` tracks the location of the offending sub-value for error
+    messages (``$`` is the root, in JSONPath style).
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and not math.isfinite(value):
+            raise InvalidValueError(f"non-finite number at {path}: {value!r}")
+        return
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            if not isinstance(key, str):
+                raise InvalidValueError(f"non-string record key at {path}: {key!r}")
+            validate_value(sub, f"{path}.{key}")
+        return
+    if isinstance(value, list):
+        for index, sub in enumerate(value):
+            validate_value(sub, f"{path}[{index}]")
+        return
+    raise InvalidValueError(f"not a JSON value at {path}: {type(value).__name__}")
+
+
+def is_valid_value(value: Any) -> bool:
+    """True if ``value`` is a valid JSON value (no exception variant)."""
+    try:
+        validate_value(value)
+    except InvalidValueError:
+        return False
+    return True
+
+
+def value_depth(value: Any) -> int:
+    """Nesting depth of a value: atoms are 0, ``{"a": [1]}`` is 2.
+
+    The paper characterises its datasets by maximum nesting depth (GitHub
+    <= 4, Twitter <= 3, Wikidata <= 6, NYTimes <= 7); the dataset tests use
+    this helper to pin those bounds on the synthetic generators.
+    """
+    if isinstance(value, dict):
+        return 1 + max((value_depth(v) for v in value.values()), default=0)
+    if isinstance(value, list):
+        return 1 + max((value_depth(v) for v in value), default=0)
+    return 0
+
+
+def record_depth(value: Any) -> int:
+    """Nesting depth counting *records only* (arrays are transparent).
+
+    This is the convention under which the paper's per-dataset depth bounds
+    read naturally: Twitter <= 3 even though its records hold arrays of
+    records, because ``entities -> hashtags[] -> item`` is three record
+    levels.
+
+    >>> record_depth({"a": [{"b": 1}]})
+    2
+    """
+    if isinstance(value, dict):
+        return 1 + max((record_depth(v) for v in value.values()), default=0)
+    if isinstance(value, list):
+        return max((record_depth(v) for v in value), default=0)
+    return 0
+
+
+def value_node_count(value: Any) -> int:
+    """Number of nodes in the value tree (records/arrays count as one node)."""
+    if isinstance(value, dict):
+        return 1 + sum(value_node_count(v) for v in value.values())
+    if isinstance(value, list):
+        return 1 + sum(value_node_count(v) for v in value)
+    return 1
+
+
+def iter_paths(value: Any, prefix: str = "$") -> Iterator[str]:
+    """Yield every traversable path in a value, JSONPath-style.
+
+    Arrays contribute a single ``[*]`` step (the paper's schema language is
+    position-insensitive after simplification, so paths are too).
+
+    >>> sorted(iter_paths({"a": {"b": 1}, "c": [2]}))
+    ['$', '$.a', '$.a.b', '$.c', '$.c[*]']
+    """
+    yield prefix
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            yield from iter_paths(sub, f"{prefix}.{key}")
+    elif isinstance(value, list):
+        seen: set[str] = set()
+        for sub in value:
+            for path in iter_paths(sub, f"{prefix}[*]"):
+                if path not in seen:
+                    seen.add(path)
+                    yield path

@@ -1,0 +1,22 @@
+"""Synthetic stand-ins for the paper's four evaluation datasets.
+
+The originals (GitHub pull requests, a Twitter crawl, a Wikidata snapshot,
+an NYTimes API crawl — up to 75 GB) are not redistributable; each module
+here generates records with the same *structural signature*, which is the
+property Tables 2-5 actually measure.  See DESIGN.md for the substitution
+rationale and the per-dataset module docstrings for what is reproduced.
+"""
+
+from repro.datasets.base import (
+    DATASET_NAMES,
+    SCALES,
+    dataset_generator,
+    generate,
+    generate_list,
+    write_dataset,
+)
+
+__all__ = [
+    "DATASET_NAMES", "SCALES", "generate", "generate_list",
+    "write_dataset", "dataset_generator",
+]

@@ -1,0 +1,166 @@
+"""Synthetic GitHub pull-request metadata (the paper's first dataset).
+
+Structural signature reproduced (Section 6.1):
+
+* every record shares the same **top-level** schema; variation only occurs
+  at lower levels;
+* records are **exclusively nested records** — no arrays at all;
+* nesting depth never exceeds **4**;
+* per-record inferred types are homogeneous in size (the paper reports a
+  constant type size of 147 across the whole dataset) and the number of
+  distinct types grows slowly with scale (29 at 1K to ~3000 at 1M).
+
+Variation is driven by nullable lower-level fields (``body``,
+``merged_at``, ``milestone``, ``assignee``...): each may independently be
+``null`` or populated, so distinct type counts grow combinatorially but
+slowly, exactly the regime where fusion compacts extremely well
+(fused/avg ratio <= 1.4 in Table 2).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any
+
+from repro.datasets.vocabulary import (
+    random_date,
+    random_login,
+    random_sentence,
+    random_sha,
+    random_url,
+    random_word,
+)
+
+__all__ = ["generate_record"]
+
+
+def _user(rng: Random) -> dict[str, Any]:
+    """A GitHub user stub (depth-1 record, fixed shape)."""
+    login = random_login(rng)
+    return {
+        "login": login,
+        "id": rng.randint(1, 10_000_000),
+        "avatar_url": f"https://avatars.example.org/u/{login}",
+        "gravatar_id": "",
+        "url": f"https://api.example.org/users/{login}",
+        "type": "User" if rng.random() < 0.97 else "Organization",
+        "site_admin": rng.random() < 0.02,
+    }
+
+
+def _repo(rng: Random, owner: dict[str, Any]) -> dict[str, Any]:
+    """A repository record; ``owner`` nests one level deeper (depth 3-4)."""
+    name = f"{random_word(rng)}-{random_word(rng)}"
+    return {
+        "id": rng.randint(1, 50_000_000),
+        "name": name,
+        "full_name": f"{owner['login']}/{name}",
+        "owner": owner,
+        "private": rng.random() < 0.1,
+        "html_url": random_url(rng, "github.example.org"),
+        "description": _nullable_sentence(rng, 0.02),
+        "fork": rng.random() < 0.2,
+        "created_at": random_date(rng),
+        "updated_at": random_date(rng),
+        "size": rng.randint(1, 500_000),
+        "stargazers_count": rng.randint(0, 50_000),
+        "language": _nullable(rng, 0.02, lambda r: random_word(r).capitalize()),
+        "has_issues": rng.random() < 0.9,
+        "has_wiki": rng.random() < 0.7,
+        "forks_count": rng.randint(0, 5_000),
+        "open_issues_count": rng.randint(0, 900),
+        "default_branch": "master",
+    }
+
+
+def _nullable(rng: Random, p_null: float, make: Any) -> Any:
+    """Either ``null`` (with probability ``p_null``) or ``make(rng)``.
+
+    These are the variation points that drive GitHub's slow distinct-type
+    growth: the *keys* never change, only Null-vs-payload at lower levels.
+    """
+    if rng.random() < p_null:
+        return None
+    return make(rng)
+
+
+def _nullable_sentence(rng: Random, p_null: float) -> str | None:
+    return _nullable(rng, p_null, random_sentence)
+
+
+def _milestone(rng: Random) -> dict[str, Any]:
+    return {
+        "id": rng.randint(1, 2_000_000),
+        "number": rng.randint(1, 120),
+        "title": random_word(rng).capitalize(),
+        "description": _nullable_sentence(rng, 0.3),
+        "open_issues": rng.randint(0, 50),
+        "closed_issues": rng.randint(0, 200),
+        "state": rng.choice(["open", "closed"]),
+        "created_at": random_date(rng),
+        "due_on": _nullable(rng, 0.4, random_date),
+    }
+
+
+def _branch_ref(rng: Random) -> dict[str, Any]:
+    """A head/base reference: label, ref, sha, user, flat repo stub.
+
+    The repo stub is flattened (``owner_login`` instead of a nested owner
+    record) to respect the paper's depth bound of 4 for this dataset.
+    """
+    user = _user(rng)
+    name = f"{random_word(rng)}-{random_word(rng)}"
+    return {
+        "label": f"{user['login']}:{random_word(rng)}",
+        "ref": random_word(rng),
+        "sha": random_sha(rng),
+        "user": user,
+        "repo": {
+            "id": rng.randint(1, 50_000_000),
+            "name": name,
+            "full_name": f"{user['login']}/{name}",
+            "owner_login": user["login"],
+            "private": rng.random() < 0.1,
+            "description": random_sentence(rng),
+            "fork": rng.random() < 0.2,
+            "language": random_word(rng).capitalize(),
+            "default_branch": "master",
+        },
+    }
+
+
+def generate_record(rng: Random) -> dict[str, Any]:
+    """One pull-request event record."""
+    merged = rng.random() < 0.4
+    closed = merged or rng.random() < 0.2
+    return {
+        "action": rng.choice(["opened", "closed", "reopened", "synchronize"]),
+        "number": rng.randint(1, 90_000),
+        "pull_request": {
+            "id": rng.randint(1, 80_000_000),
+            "url": random_url(rng, "api.github.example.org"),
+            "state": "closed" if closed else "open",
+            "locked": rng.random() < 0.01,
+            "title": random_sentence(rng, 2, 8),
+            "user": _user(rng),
+            "body": _nullable_sentence(rng, 0.2),
+            "created_at": random_date(rng),
+            "updated_at": random_date(rng),
+            "closed_at": random_date(rng) if closed else None,
+            "merged_at": random_date(rng) if merged else None,
+            "merge_commit_sha": _nullable(rng, 0.25, random_sha),
+            "assignee": _nullable(rng, 0.7, _user),
+            "milestone": _nullable(rng, 0.8, _milestone),
+            "head": _branch_ref(rng),
+            "base": _branch_ref(rng),
+            "merged": merged,
+            "mergeable": _nullable(rng, 0.35, lambda r: r.random() < 0.8),
+            "comments": rng.randint(0, 150),
+            "commits": rng.randint(1, 80),
+            "additions": rng.randint(0, 30_000),
+            "deletions": rng.randint(0, 30_000),
+            "changed_files": rng.randint(1, 400),
+        },
+        "repository": _repo(rng, _user(rng)),
+        "sender": _user(rng),
+    }

@@ -1,0 +1,94 @@
+"""Adversarial mixed-content dataset (not one of the paper's four).
+
+Section 2 motivates the array-simplification design with *mixed-content
+arrays* — "arrays can mix both basic and complex types" — yet the four
+evaluation datasets barely exercise that corner.  This extra generator
+produces records built around exactly the hard cases:
+
+* arrays mixing atoms, records and nested arrays in shuffled orders (so
+  positional types never line up and simplification has to work);
+* empty arrays alongside populated ones (the ``[eps*]`` footnote case);
+* the same field carrying an atom in one record and an array in another
+  (kind conflicts at the field level);
+* occasional records whose *only* difference is array element order —
+  which the paper's position-insensitive star types deliberately identify.
+
+Used by stress tests and available to benchmarks; deliberately *not*
+registered in the evaluation registry (``repro.datasets.DATASET_NAMES``
+mirrors the paper's four).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any
+
+from repro.datasets.vocabulary import random_sentence, random_word
+
+__all__ = ["generate_record", "generate", "generate_list"]
+
+
+def _atom(rng: Random) -> Any:
+    roll = rng.random()
+    if roll < 0.25:
+        return rng.randint(-1000, 1000)
+    if roll < 0.5:
+        return random_word(rng)
+    if roll < 0.7:
+        return rng.random() < 0.5
+    if roll < 0.85:
+        return None
+    return round(rng.uniform(-10, 10), 3)
+
+
+def _small_record(rng: Random) -> dict[str, Any]:
+    keys = rng.sample(["E", "F", "G", "H"], rng.randint(1, 3))
+    return {k: _atom(rng) for k in sorted(keys)}
+
+
+def _mixed_array(rng: Random, depth: int = 0) -> list[Any]:
+    length = rng.randint(0, 5)
+    out: list[Any] = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.5:
+            out.append(_atom(rng))
+        elif roll < 0.85 or depth >= 2:
+            out.append(_small_record(rng))
+        else:
+            out.append(_mixed_array(rng, depth + 1))
+    rng.shuffle(out)
+    return out
+
+
+def generate_record(rng: Random) -> dict[str, Any]:
+    """One adversarial record."""
+    record: dict[str, Any] = {
+        "id": rng.randint(1, 10**9),
+        "items": _mixed_array(rng),
+        "tags": [] if rng.random() < 0.3 else [
+            random_word(rng) for _ in range(rng.randint(1, 4))
+        ],
+    }
+    # A field that flips between atom and array across records.
+    if rng.random() < 0.5:
+        record["payload"] = random_sentence(rng, 2, 6)
+    else:
+        record["payload"] = [_atom(rng) for _ in range(rng.randint(0, 3))]
+    # A field that flips between record and array.
+    if rng.random() < 0.5:
+        record["meta"] = _small_record(rng)
+    else:
+        record["meta"] = [_small_record(rng)]
+    return record
+
+
+def generate(n: int, seed: int = 0):
+    """Stream ``n`` adversarial records, deterministically."""
+    for index in range(n):
+        yield generate_record(Random(f"mixed:{seed}:{index}"))
+
+
+def generate_list(n: int, seed: int = 0) -> list[dict[str, Any]]:
+    """Materialised variant of :func:`generate`."""
+    return list(generate(n, seed))

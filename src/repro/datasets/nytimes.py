@@ -1,0 +1,174 @@
+"""Synthetic NYTimes article metadata (the paper's fourth dataset).
+
+Structural signature reproduced (Section 6.1):
+
+* the **first level is fixed** while lower levels vary — the regime the
+  paper found compacts *best* under fusion (Table 5);
+* the documented ``headline`` variability: some records carry subfields
+  ``main``/``content_kicker``/``kicker``, others ``main``/
+  ``print_headline``;
+* the documented Num/Str conflicts: the same field (``word_count``,
+  ``keywords[].rank``) is a number in some records and a string in others;
+* mostly **text-valued fields** (headline, snippet, lead paragraph...),
+  making records large on disk relative to their type size;
+* deep nesting (up to 7 levels through ``multimedia[].legacy`` and
+  ``byline.person[]``), and arrays of variable-shape records
+  (``multimedia``, ``keywords``) driving a large distinct-type count.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any
+
+from repro.datasets.vocabulary import (
+    random_date,
+    random_hex,
+    random_name,
+    random_sentence,
+    random_url,
+    random_word,
+)
+
+__all__ = ["generate_record"]
+
+_SECTIONS = [
+    "World", "U.S.", "Business", "Sports", "Arts", "Science", "Travel",
+    "Opinion", "Technology", "Books",
+]
+
+_MATERIAL = ["News", "Review", "Op-Ed", "Editorial", "Blog", "Brief"]
+
+
+def _headline(rng: Random) -> dict[str, Any]:
+    """The two headline shapes the paper calls out explicitly."""
+    headline: dict[str, Any] = {"main": random_sentence(rng, 3, 10)}
+    if rng.random() < 0.5:
+        headline["content_kicker"] = random_word(rng).capitalize()
+        headline["kicker"] = random_word(rng).capitalize()
+    else:
+        headline["print_headline"] = random_sentence(rng, 2, 7)
+    if rng.random() < 0.2:
+        headline["seo"] = {"title": random_sentence(rng, 2, 6)}
+    return headline
+
+
+def _keyword(rng: Random, rank: int) -> dict[str, Any]:
+    keyword: dict[str, Any] = {
+        "name": rng.choice(["subject", "persons", "glocations", "organizations"]),
+        "value": random_word(rng).capitalize(),
+        # The Num/Str conflict the paper observed ("the use of Num and Str
+        # types for the same field"): rank is sometimes a string.
+        "rank": rank if rng.random() < 0.6 else str(rank),
+    }
+    if rng.random() < 0.3:
+        keyword["major"] = rng.choice(["Y", "N"])
+    return keyword
+
+
+def _multimedia_item(rng: Random) -> dict[str, Any]:
+    subtype = rng.choice(["wide", "thumbnail", "xlarge"])
+    item: dict[str, Any] = {
+        "url": random_url(rng, "static.example.org"),
+        "format": subtype,
+        "height": rng.randint(50, 800),
+        "width": rng.randint(50, 1200),
+        "type": "image",
+        "subtype": "photo",
+    }
+    if rng.random() < 0.5:
+        item["legacy"] = {
+            subtype: {
+                "url": random_url(rng, "static.example.org"),
+                "height": rng.randint(50, 800),
+                "width": rng.randint(50, 1200),
+            }
+        }
+    if rng.random() < 0.3:
+        # Image-crop metadata: the deepest branch of the dataset, reaching
+        # the paper's 7 record-nesting levels
+        # (root -> multimedia[] -> crops -> master -> rect -> origin -> point).
+        item["crops"] = {
+            "master": {
+                "rect": {
+                    "origin": {
+                        "point": {
+                            "x": rng.randint(0, 200),
+                            "y": rng.randint(0, 200),
+                        },
+                    },
+                    "size": f"{rng.randint(50, 1200)}x{rng.randint(50, 800)}",
+                },
+            },
+        }
+    if rng.random() < 0.25:
+        item["caption"] = random_sentence(rng, 4, 12)
+    return item
+
+
+def _person(rng: Random, rank: int) -> dict[str, Any]:
+    first, last = random_name(rng).split(" ", 1)
+    person: dict[str, Any] = {
+        "firstname": first,
+        "lastname": last.upper(),
+        "rank": rank,
+        "role": "reported",
+        "organization": "",
+    }
+    if rng.random() < 0.2:
+        person["middlename"] = random_word(rng)[:1].upper() + "."
+    if rng.random() < 0.1:
+        person["qualifier"] = rng.choice(["Jr.", "Sr.", "III"])
+    return person
+
+
+def _byline(rng: Random) -> Any:
+    """Byline: a record, or null — another lower-level variation point."""
+    roll = rng.random()
+    if roll < 0.08:
+        return None
+    byline: dict[str, Any] = {
+        "original": f"By {random_name(rng).upper()}",
+    }
+    if rng.random() < 0.9:
+        byline["person"] = [
+            _person(rng, rank + 1) for rank in range(rng.randint(1, 3))
+        ]
+    if rng.random() < 0.1:
+        byline["organization"] = "THE EXAMPLE PRESS"
+    return byline
+
+
+def generate_record(rng: Random) -> dict[str, Any]:
+    """One article-metadata record with a fixed top level."""
+    word_count = rng.randint(80, 3000)
+    return {
+        "web_url": random_url(rng, "www.nytimes.example.org"),
+        "snippet": random_sentence(rng, 8, 25),
+        "lead_paragraph": (
+            None if rng.random() < 0.12 else random_sentence(rng, 15, 45)
+        ),
+        "abstract": None if rng.random() < 0.15 else random_sentence(rng, 6, 18),
+        "print_page": (
+            None if rng.random() < 0.2
+            else (rng.randint(1, 40) if rng.random() < 0.5
+                  else str(rng.randint(1, 40)))
+        ),
+        "source": "The Example Times",
+        "multimedia": [
+            _multimedia_item(rng) for _ in range(rng.randint(1, 3))
+        ],
+        "headline": _headline(rng),
+        "keywords": [
+            _keyword(rng, rank + 1) for rank in range(rng.randint(1, 4))
+        ],
+        "pub_date": random_date(rng),
+        "document_type": rng.choice(["article", "blogpost", "multimedia"]),
+        "news_desk": None if rng.random() < 0.3 else rng.choice(_SECTIONS),
+        "section_name": None if rng.random() < 0.25 else rng.choice(_SECTIONS),
+        "byline": _byline(rng),
+        "type_of_material": rng.choice(_MATERIAL),
+        "_id": random_hex(rng, 24),
+        # The second Num/Str conflict field the paper mentions.
+        "word_count": word_count if rng.random() < 0.7 else str(word_count),
+    }

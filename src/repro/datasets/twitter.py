@@ -1,0 +1,192 @@
+"""Synthetic Twitter stream records (the paper's second dataset).
+
+Structural signature reproduced (Section 6.1):
+
+* a mix of **two kinds of records**: tweet entities and tiny *delete*
+  notices (the paper: "a tiny fraction ... corresponds to a specific API
+  call meant to delete tweets"), giving very small minimum type sizes
+  (min 7 in Table 3);
+* **five different top-level schemas** sharing common parts: deletes,
+  plain tweets, retweets (``retweeted_status``), quote tweets
+  (``quoted_status``) and tweets with ``extended_entities``;
+* both records and **arrays of records** (``entities.hashtags``,
+  ``entities.urls``, ``entities.user_mentions``), with nesting depth <= 3
+  before arrays are considered;
+* varying array lengths and nullable fields make distinct-type counts grow
+  faster than GitHub's but fusion still compacts well (fused/avg <= 4 in
+  Table 3).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any
+
+from repro.datasets.vocabulary import (
+    random_login,
+    random_name,
+    random_sentence,
+    random_timestamp_ms,
+    random_url,
+    random_word,
+)
+
+__all__ = ["generate_record", "DELETE_FRACTION"]
+
+#: Fraction of records that are delete notices rather than tweets.
+DELETE_FRACTION = 0.07
+
+
+def _delete(rng: Random) -> dict[str, Any]:
+    """A delete notice — the smallest record shape in the stream."""
+    tweet_id = rng.randint(10**9, 10**12)
+    return {
+        "delete": {
+            "status": {
+                "id": tweet_id,
+                "user_id": rng.randint(1, 10**9),
+            },
+            "timestamp_ms": random_timestamp_ms(rng),
+        }
+    }
+
+
+def _twitter_user(rng: Random) -> dict[str, Any]:
+    login = random_login(rng)
+    return {
+        "id": rng.randint(1, 10**9),
+        "name": random_name(rng),
+        "screen_name": login,
+        "location": None if rng.random() < 0.4 else random_word(rng).capitalize(),
+        "url": None if rng.random() < 0.6 else random_url(rng),
+        "description": None if rng.random() < 0.3 else random_sentence(rng, 3, 10),
+        "protected": rng.random() < 0.05,
+        "verified": rng.random() < 0.02,
+        "followers_count": rng.randint(0, 2_000_000),
+        "friends_count": rng.randint(0, 50_000),
+        "statuses_count": rng.randint(0, 500_000),
+        "lang": rng.choice(["en", "fr", "es", "pt", "ja", "ar", "de"]),
+        "geo_enabled": rng.random() < 0.3,
+    }
+
+
+def _hashtags(rng: Random, n: int) -> list[dict[str, Any]]:
+    out = []
+    for _ in range(n):
+        start = rng.randint(0, 100)
+        word = random_word(rng)
+        out.append({"text": word, "indices": [start, start + len(word) + 1]})
+    return out
+
+
+def _urls(rng: Random, n: int) -> list[dict[str, Any]]:
+    out = []
+    for _ in range(n):
+        start = rng.randint(0, 100)
+        out.append({
+            "url": random_url(rng, "t.example.org"),
+            "expanded_url": random_url(rng),
+            "display_url": random_word(rng) + ".example.org",
+            "indices": [start, start + 23],
+        })
+    return out
+
+
+def _mentions(rng: Random, n: int) -> list[dict[str, Any]]:
+    out = []
+    for _ in range(n):
+        start = rng.randint(0, 100)
+        login = random_login(rng)
+        out.append({
+            "screen_name": login,
+            "name": random_name(rng),
+            "id": rng.randint(1, 10**9),
+            "indices": [start, start + len(login) + 1],
+        })
+    return out
+
+
+def _entities(rng: Random) -> dict[str, Any]:
+    """The entities record: arrays of records with data-dependent lengths."""
+    return {
+        "hashtags": _hashtags(rng, rng.randint(0, 3)),
+        "urls": _urls(rng, rng.randint(0, 2)),
+        "user_mentions": _mentions(rng, rng.randint(0, 2)),
+        "symbols": [],
+    }
+
+
+def _media(rng: Random, n: int) -> list[dict[str, Any]]:
+    out = []
+    for _ in range(n):
+        start = rng.randint(0, 100)
+        out.append({
+            "id": rng.randint(1, 10**12),
+            "media_url": random_url(rng, "pbs.example.org"),
+            "type": rng.choice(["photo", "video", "animated_gif"]),
+            "indices": [start, start + 23],
+            # Sizes are flattened to strings so that Twitter stays within
+            # the paper's record-nesting bound of 3 levels
+            # (extended_entities -> media[] -> item is already 3).
+            "size_small": f"340x{rng.randint(100, 340)}",
+            "size_large": f"1024x{rng.randint(300, 1024)}",
+        })
+    return out
+
+
+def _coordinates(rng: Random) -> dict[str, Any] | None:
+    if rng.random() < 0.9:
+        return None
+    return {
+        "type": "Point",
+        "coordinates": [
+            round(rng.uniform(-180, 180), 5),
+            round(rng.uniform(-90, 90), 5),
+        ],
+    }
+
+
+def _base_tweet(rng: Random) -> dict[str, Any]:
+    """The shape shared by the four tweet-flavoured top-level schemas."""
+    return {
+        "created_at": random_timestamp_ms(rng),
+        "id": rng.randint(10**9, 10**12),
+        "text": random_sentence(rng, 3, 18),
+        "source": f"<a href=\"{random_url(rng)}\">{random_word(rng)}</a>",
+        "truncated": rng.random() < 0.03,
+        "in_reply_to_status_id": (
+            None if rng.random() < 0.8 else rng.randint(10**9, 10**12)
+        ),
+        "user": _twitter_user(rng),
+        "geo": None,
+        "coordinates": _coordinates(rng),
+        "retweet_count": rng.randint(0, 10_000),
+        "favorite_count": rng.randint(0, 50_000),
+        "entities": _entities(rng),
+        "favorited": False,
+        "retweeted": False,
+        "lang": rng.choice(["en", "fr", "es", "pt", "ja", "ar", "und"]),
+        "timestamp_ms": random_timestamp_ms(rng),
+    }
+
+
+def generate_record(rng: Random) -> dict[str, Any]:
+    """One stream record: a delete notice or one of four tweet shapes."""
+    if rng.random() < DELETE_FRACTION:
+        return _delete(rng)
+    tweet = _base_tweet(rng)
+    shape = rng.random()
+    if shape < 0.25:
+        # Retweet: embeds the original as a nested (array-free) stub.
+        inner = _base_tweet(rng)
+        inner.pop("entities")
+        tweet["retweeted_status"] = inner
+    elif shape < 0.40:
+        # Quote tweet.
+        tweet["quoted_status_id"] = rng.randint(10**9, 10**12)
+        tweet["is_quote_status"] = True
+    elif shape < 0.55:
+        # Media tweet with extended entities.
+        tweet["extended_entities"] = {"media": _media(rng, rng.randint(1, 2))}
+    # else: plain tweet.
+    return tweet

@@ -1,0 +1,122 @@
+"""Shared word/identifier pools for the synthetic dataset generators.
+
+All helpers take an explicit ``random.Random`` so that every generated
+dataset is a pure function of its seed — the benchmarks rely on that for
+reproducible tables.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+__all__ = [
+    "WORDS",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "LANGUAGES",
+    "WIKI_SITES",
+    "random_word",
+    "random_words",
+    "random_sentence",
+    "random_name",
+    "random_login",
+    "random_hex",
+    "random_sha",
+    "random_url",
+    "random_date",
+    "random_timestamp_ms",
+]
+
+WORDS = (
+    "data schema json record array type union merge fusion spark stream "
+    "query index table column cluster node shard block region partition "
+    "value field label claim badge token branch commit issue review "
+    "release deploy metric trace event signal window batch source sink "
+    "model graph vertex edge path route cache buffer queue topic offset "
+    "market policy budget sensor device report story article press media "
+    "culture science travel sports health climate energy finance election "
+    "city street bridge river garden market museum theatre station harbor"
+).split()
+
+FIRST_NAMES = (
+    "ada alan grace edsger barbara donald tony leslie john ken dennis "
+    "margaret radia frances jean kathleen annie mary joan betty marlyn"
+).split()
+
+LAST_NAMES = (
+    "lovelace turing hopper dijkstra liskov knuth hoare lamport backus "
+    "thompson ritchie hamilton perlman allen sammet bartik holberton "
+    "jennings snyder teitelbaum wescoff meltzer"
+).split()
+
+#: ISO-639-ish language codes used by the Wikidata generator's labels maps.
+LANGUAGES = (
+    "en fr de it es pt nl sv da no fi pl cs sk hu ro bg el ru uk tr ar he "
+    "fa hi bn ta te ml kn ur th vi id ms zh ja ko ca eu gl ast oc br cy ga "
+    "is lv lt et sl hr sr mk sq"
+).split()
+
+#: Wiki site identifiers for the Wikidata generator's sitelinks maps.
+WIKI_SITES = tuple(
+    f"{lang}wiki" for lang in (
+        "en fr de it es pt nl sv da no fi pl cs ru uk ja zh ko ar he tr "
+        "hu ro el bg ca eu"
+    ).split()
+)
+
+
+def random_word(rng: Random) -> str:
+    """A single lowercase word."""
+    return rng.choice(WORDS)
+
+
+def random_words(rng: Random, n: int) -> list[str]:
+    """``n`` independent words."""
+    return [rng.choice(WORDS) for _ in range(n)]
+
+
+def random_sentence(rng: Random, min_words: int = 4, max_words: int = 14) -> str:
+    """A capitalised, dot-terminated pseudo-sentence."""
+    n = rng.randint(min_words, max_words)
+    words = random_words(rng, n)
+    return (" ".join(words)).capitalize() + "."
+
+
+def random_name(rng: Random) -> str:
+    """A "Firstname Lastname" pair."""
+    return f"{rng.choice(FIRST_NAMES).capitalize()} {rng.choice(LAST_NAMES).capitalize()}"
+
+
+def random_login(rng: Random) -> str:
+    """A GitHub-style user login."""
+    return f"{rng.choice(FIRST_NAMES)}{rng.randint(1, 9999)}"
+
+
+def random_hex(rng: Random, length: int = 24) -> str:
+    """A lowercase hex identifier of the given length."""
+    return "".join(rng.choice("0123456789abcdef") for _ in range(length))
+
+
+def random_sha(rng: Random) -> str:
+    """A git-style 40-character SHA."""
+    return random_hex(rng, 40)
+
+
+def random_url(rng: Random, host: str = "example.org") -> str:
+    """An https URL with a couple of word path segments."""
+    path = "/".join(random_words(rng, rng.randint(1, 3)))
+    return f"https://{host}/{path}"
+
+
+def random_date(rng: Random) -> str:
+    """An ISO-8601 date-time string (second precision, Zulu)."""
+    return (
+        f"{rng.randint(2008, 2016):04d}-{rng.randint(1, 12):02d}-"
+        f"{rng.randint(1, 28):02d}T{rng.randint(0, 23):02d}:"
+        f"{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}Z"
+    )
+
+
+def random_timestamp_ms(rng: Random) -> str:
+    """A millisecond epoch timestamp, as the string Twitter uses."""
+    return str(rng.randint(1_300_000_000_000, 1_480_000_000_000))

@@ -1,0 +1,116 @@
+"""Synthetic Wikidata entity records (the paper's third dataset).
+
+Structural signature reproduced (Section 6.1):
+
+* the pathology the paper singles out: **data encoded as keys**.  Language
+  codes key the ``labels``/``descriptions`` maps, property identifiers
+  (``P31``, ``P569``, ...) key the ``claims`` map, and wiki names key the
+  ``sitelinks`` map.  Since fusion merges records *by key*, records with
+  different key subsets never collapse — the distinct-type count explodes
+  (640K distinct types at 1M in Table 4) and the fused schema is the
+  largest of the four datasets, while still far smaller than the sum of
+  the inputs;
+* nesting reaches **6 levels** (root -> claims -> P-id -> claim ->
+  mainsnak -> datavalue -> value record);
+* otherwise a fixed overall layout ("structured following a fixed schema,
+  but suffer from a poor design").
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any
+
+from repro.datasets.vocabulary import (
+    LANGUAGES,
+    WIKI_SITES,
+    random_sentence,
+    random_word,
+)
+
+__all__ = ["generate_record", "PROPERTY_SPACE"]
+
+#: Size of the property-identifier space claims draw from.  A large space
+#: relative to the per-record claim count makes almost every record's key
+#: set — and hence its inferred type — unique.
+PROPERTY_SPACE = 2000
+
+
+def _label(rng: Random, language: str) -> dict[str, Any]:
+    return {"language": language, "value": random_word(rng).capitalize()}
+
+
+def _snak_value(rng: Random) -> Any:
+    """A datavalue payload: either a plain string or an item reference."""
+    roll = rng.random()
+    if roll < 0.45:
+        return {
+            "entity-type": "item",
+            "numeric-id": rng.randint(1, 20_000_000),
+        }
+    if roll < 0.75:
+        return random_word(rng)
+    if roll < 0.9:
+        return {
+            "time": f"+{rng.randint(1500, 2016)}-01-01T00:00:00Z",
+            "precision": rng.choice([9, 10, 11]),
+            "calendarmodel": "http://example.org/entity/Q1985727",
+        }
+    return {
+        "amount": f"+{rng.randint(0, 10_000)}",
+        "unit": "1",
+    }
+
+
+def _claim(rng: Random, property_id: str) -> dict[str, Any]:
+    snaktype = "value" if rng.random() < 0.9 else "somevalue"
+    mainsnak: dict[str, Any] = {
+        "snaktype": snaktype,
+        "property": property_id,
+        "datatype": rng.choice(
+            ["wikibase-item", "string", "time", "quantity", "url"]
+        ),
+    }
+    if snaktype == "value":
+        mainsnak["datavalue"] = {
+            "value": _snak_value(rng),
+            "type": rng.choice(["wikibase-entityid", "string", "time"]),
+        }
+    return {
+        "mainsnak": mainsnak,
+        "type": "statement",
+        "id": f"Q{rng.randint(1, 20_000_000)}${random_word(rng)}",
+        "rank": rng.choice(["normal", "normal", "normal", "preferred"]),
+    }
+
+
+def generate_record(rng: Random) -> dict[str, Any]:
+    """One Wikidata entity with ids-as-keys maps throughout."""
+    entity_id = f"Q{rng.randint(1, 20_000_000)}"
+    languages = rng.sample(LANGUAGES, rng.randint(1, 6))
+    description_languages = rng.sample(LANGUAGES, rng.randint(0, 4))
+    properties = [
+        f"P{rng.randint(1, PROPERTY_SPACE)}" for _ in range(rng.randint(1, 8))
+    ]
+    sites = rng.sample(WIKI_SITES, rng.randint(0, 4))
+    return {
+        "id": entity_id,
+        "type": "item",
+        "labels": {lang: _label(rng, lang) for lang in languages},
+        "descriptions": {
+            lang: {"language": lang, "value": random_sentence(rng, 2, 6)}
+            for lang in description_languages
+        },
+        "claims": {
+            pid: [_claim(rng, pid) for _ in range(rng.randint(1, 2))]
+            for pid in sorted(set(properties))
+        },
+        "sitelinks": {
+            site: {
+                "site": site,
+                "title": random_word(rng).capitalize(),
+                "badges": [],
+            }
+            for site in sites
+        },
+    }

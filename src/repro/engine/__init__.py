@@ -1,0 +1,30 @@
+"""Mini-Spark execution substrate (the paper ran on Spark 1.6.1).
+
+* :mod:`repro.engine.context` / :mod:`repro.engine.rdd` — partitioned
+  datasets with lazy transformations and parallel actions.
+* :mod:`repro.engine.scheduler` — the thread-pool task scheduler.
+* :mod:`repro.engine.accumulators` — driver-readable shared counters.
+* :mod:`repro.engine.cluster` — the deterministic cluster simulator used by
+  the Table 7/8 scalability experiments.
+"""
+
+from repro.engine.accumulators import Accumulator, CounterAccumulator
+from repro.engine.cluster import (
+    Block,
+    ClusterSimulator,
+    NodeSpec,
+    SimulationResult,
+    default_cluster,
+    place_on_single_node,
+    place_round_robin,
+)
+from repro.engine.context import Context, split_evenly
+from repro.engine.rdd import RDD
+from repro.engine.scheduler import Scheduler
+
+__all__ = [
+    "Context", "RDD", "Scheduler", "split_evenly",
+    "Accumulator", "CounterAccumulator",
+    "NodeSpec", "Block", "ClusterSimulator", "SimulationResult",
+    "default_cluster", "place_on_single_node", "place_round_robin",
+]

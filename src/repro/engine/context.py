@@ -1,0 +1,105 @@
+"""The engine entry point, in the style of Spark's ``SparkContext``.
+
+A :class:`Context` owns a scheduler and creates source RDDs::
+
+    with Context(parallelism=4) as ctx:
+        schema = (ctx.parallelize(records, num_partitions=8)
+                     .map(infer_type)
+                     .tree_reduce(fuse))
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Sequence, TypeVar
+
+from repro.engine.rdd import RDD
+from repro.engine.scheduler import Scheduler
+from repro.jsonio.ndjson import iter_lines
+from repro.jsonio.parser import loads
+
+__all__ = ["Context"]
+
+T = TypeVar("T")
+
+
+def split_evenly(items: Sequence[T], num_partitions: int) -> list[list[T]]:
+    """Split ``items`` into ``num_partitions`` contiguous, balanced chunks.
+
+    Sizes differ by at most one element; trailing partitions may be empty
+    when there are fewer items than partitions.
+
+    >>> split_evenly([1, 2, 3, 4, 5, 6], 3)
+    [[1, 2], [3, 4], [5, 6]]
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    n = len(items)
+    bounds = [round(i * n / num_partitions) for i in range(num_partitions + 1)]
+    return [list(items[a:b]) for a, b in zip(bounds, bounds[1:])]
+
+
+class _ParallelizedRDD(RDD[T]):
+    """Source RDD over in-memory data, pre-split into partitions."""
+
+    def __init__(self, context: "Context", partitions: list[list[T]]) -> None:
+        super().__init__(context, len(partitions))
+        self._partitions = partitions
+
+    def _compute(self, index: int) -> list[T]:
+        return self._partitions[index]
+
+
+class Context:
+    """Driver-side entry point: creates source RDDs and owns the scheduler."""
+
+    def __init__(self, parallelism: int | None = None) -> None:
+        self.scheduler = Scheduler(parallelism)
+
+    @property
+    def default_parallelism(self) -> int:
+        """Default number of partitions for new source RDDs."""
+        return self.scheduler.parallelism
+
+    def parallelize(
+        self, data: Iterable[T], num_partitions: int | None = None
+    ) -> RDD[T]:
+        """Distribute an in-memory collection over ``num_partitions``."""
+        items = list(data)
+        n = num_partitions or self.default_parallelism
+        return _ParallelizedRDD(self, split_evenly(items, n))
+
+    def from_partitions(self, partitions: Iterable[Iterable[T]]) -> RDD[T]:
+        """Build an RDD from an explicit partition layout.
+
+        Used by the partition-isolated strategy (paper Section 6.2 /
+        Table 8), where the caller controls exactly what each partition
+        holds.
+        """
+        return _ParallelizedRDD(self, [list(p) for p in partitions])
+
+    def text_file(
+        self, path: str | Path, num_partitions: int | None = None
+    ) -> RDD[str]:
+        """One element per non-blank line of ``path``."""
+        return self.parallelize(iter_lines(path), num_partitions)
+
+    def ndjson_file(
+        self, path: str | Path, num_partitions: int | None = None
+    ) -> RDD[Any]:
+        """One parsed JSON record per line of ``path``.
+
+        Parsing happens inside the partitions (i.e. in parallel), not at
+        RDD-creation time.
+        """
+        return self.text_file(path, num_partitions).map(loads)
+
+    def stop(self) -> None:
+        """Shut the scheduler down; the context may be reused afterwards."""
+        self.scheduler.shutdown()
+
+    def __enter__(self) -> "Context":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

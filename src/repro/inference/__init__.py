@@ -1,0 +1,54 @@
+"""Schema inference: the paper's primary contribution (Section 5).
+
+* :mod:`repro.inference.infer` — value typing, the Map phase (Fig. 4).
+* :mod:`repro.inference.fusion` — type fusion, the Reduce phase (Figs. 5-6).
+* :mod:`repro.inference.pipeline` — end-to-end, incremental and
+  partition-isolated pipelines.
+* :mod:`repro.inference.counting` — the statistics enrichment sketched as
+  future work in Section 7.
+* :mod:`repro.inference.parametric` — equivalence-parameterised fusion
+  (the precision/succinctness axis of Section 7's future work).
+"""
+
+from repro.inference.counting import (
+    ArrayLengthStats,
+    FieldPresence,
+    StatisticsCollector,
+    presence_report,
+)
+from repro.inference.fusion import (
+    collapse,
+    fuse,
+    fuse_all,
+    fuse_multiset,
+    lfuse,
+    simplify,
+)
+from repro.inference.infer import infer_type
+from repro.inference.parametric import (
+    ParametricFuser,
+    fuse_labelled,
+    infer_schema_labelled,
+    label_equivalence,
+)
+from repro.inference.pipeline import (
+    InferenceRun,
+    PartitionReport,
+    PartitionedRun,
+    SchemaInferencer,
+    infer_partitioned,
+    infer_schema,
+    run_inference,
+)
+
+__all__ = [
+    "infer_type", "fuse", "lfuse", "collapse", "fuse_all",
+    "fuse_multiset", "simplify",
+    "infer_schema", "run_inference", "InferenceRun",
+    "SchemaInferencer", "infer_partitioned", "PartitionReport",
+    "PartitionedRun",
+    "StatisticsCollector", "FieldPresence", "ArrayLengthStats",
+    "presence_report",
+    "ParametricFuser", "label_equivalence", "fuse_labelled",
+    "infer_schema_labelled",
+]

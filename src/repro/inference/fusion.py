@@ -1,0 +1,256 @@
+"""Type fusion — the Reduce phase of the paper (Figs. 5-6, Section 5.2).
+
+The entry point is :func:`fuse`, the binary operator the paper proves
+correct (Theorem 5.2: the result is a supertype of both inputs),
+commutative (Theorem 5.4) and associative (Theorem 5.5).  Associativity is
+the property that lets a distributed engine reduce a collection of types in
+any grouping — and lets schemas be maintained incrementally.
+
+Structure of the algorithm, mirroring Fig. 6 line by line:
+
+* :func:`fuse` (line 1) splits both inputs into non-union addends
+  (``o(T)``), pairs addends of equal kind (``KMatch``), fuses each pair with
+  :func:`lfuse`, copies unmatched addends through (``KUnmatch``) and
+  rebuilds a union (``(+)``).
+* :func:`lfuse` handles two non-union types of the same kind:
+
+  - line 2: identical basic types fuse to themselves;
+  - line 3: records fuse key-wise — matched keys (``FMatch``) recurse and
+    take the *minimum* cardinality (``? < 1``), unmatched keys
+    (``FUnmatch``) become optional;
+  - lines 4-7: arrays are simplified with :func:`collapse` where needed and
+    fuse into ``[Fuse(body1, body2)*]``.
+
+* :func:`collapse` (lines 8-9) folds ``fuse`` over the element types of a
+  positional array type, producing the star body; the empty array collapses
+  to the empty type (footnote 1: ``[] simplifies to [eps*]``).
+
+One deliberate deviation from the letter of the paper: Fig. 6 line 3 writes
+``LFuse(T1, T2)`` for matched field types, but field types are routinely
+*union* types (the paper's own worked example fuses field types ``Num`` and
+``Bool`` into ``Num + Bool``, which ``LFuse`` cannot produce since it
+requires equal kinds).  Following the worked examples and the statement of
+Theorem 5.2, matched field types are fused with :func:`fuse`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import reduce
+from typing import Iterable
+
+from repro.core.errors import NormalizationError
+from repro.core.kinds import Kind
+from repro.core.types import (
+    ArrayType,
+    BasicType,
+    EMPTY,
+    Field,
+    RecordType,
+    StarArrayType,
+    Type,
+    UnionType,
+    make_union,
+)
+
+__all__ = [
+    "fuse",
+    "lfuse",
+    "collapse",
+    "fuse_all",
+    "fuse_multiset",
+    "simplify",
+    "k_match",
+    "k_unmatch",
+    "f_match",
+    "f_unmatch",
+]
+
+
+def _addends_by_kind(t: Type) -> dict[Kind, Type]:
+    """Index the non-union addends of a normal type by kind.
+
+    Raises :class:`NormalizationError` if a kind repeats — i.e. the input
+    violates the normal-type invariant fusion relies on.
+    """
+    by_kind: dict[Kind, Type] = {}
+    for addend in t.addends():
+        kind = addend.kind
+        if kind in by_kind:
+            raise NormalizationError(
+                f"kind {kind.name} occurs twice in union: {t!s}"
+            )
+        by_kind[kind] = addend
+    return by_kind
+
+
+def k_match(t1: Type, t2: Type) -> list[tuple[Type, Type]]:
+    """``KMatch``: pairs of addends of ``t1``/``t2`` sharing a kind (Fig. 5)."""
+    by_kind1 = _addends_by_kind(t1)
+    by_kind2 = _addends_by_kind(t2)
+    return [(by_kind1[k], by_kind2[k]) for k in by_kind1 if k in by_kind2]
+
+
+def k_unmatch(t1: Type, t2: Type) -> list[Type]:
+    """``KUnmatch``: addends whose kind appears on one side only (Fig. 5)."""
+    by_kind1 = _addends_by_kind(t1)
+    by_kind2 = _addends_by_kind(t2)
+    out = [u for k, u in by_kind1.items() if k not in by_kind2]
+    out.extend(u for k, u in by_kind2.items() if k not in by_kind1)
+    return out
+
+
+def f_match(r1: RecordType, r2: RecordType) -> list[tuple[Field, Field]]:
+    """``FMatch``: pairs of fields of ``r1``/``r2`` with equal keys (Fig. 5)."""
+    return [
+        (f1, f2)
+        for f1 in r1.fields
+        if (f2 := r2.field(f1.name)) is not None
+    ]
+
+
+def f_unmatch(r1: RecordType, r2: RecordType) -> list[Field]:
+    """``FUnmatch``: fields whose key appears on one side only (Fig. 5)."""
+    out = [f for f in r1.fields if f.name not in r2]
+    out.extend(f for f in r2.fields if f.name not in r1)
+    return out
+
+
+def fuse(t1: Type, t2: Type) -> Type:
+    """``Fuse`` (Fig. 6 line 1): fuse two normal types into a supertype.
+
+    >>> from repro.core.type_parser import parse_type as p
+    >>> from repro.core.printer import print_type
+    >>> print_type(fuse(p("{A: Str, B: Num}"), p("{B: Bool, C: Str}")))
+    '{A: Str?, B: (Bool + Num), C: Str?}'
+
+    The empty type is the neutral element: ``fuse(t, EMPTY) == t``.
+    """
+    # Fast path: fusing a type with itself is the identity — by far the
+    # most common case on homogeneous datasets.  Only valid for types
+    # without positional arrays: per Fig. 6 line 4, fusing two equal
+    # positional array types still collapses them into a star type, so
+    # skipping that would break associativity.
+    if t1 == t2 and not t1.has_positional_array:
+        return t1
+    fused = [lfuse(u1, u2) for u1, u2 in k_match(t1, t2)]
+    fused.extend(k_unmatch(t1, t2))
+    return make_union(fused)
+
+
+def lfuse(t1: Type, t2: Type) -> Type:
+    """``LFuse`` (Fig. 6 lines 2-7): fuse two non-union types of equal kind."""
+    if isinstance(t1, BasicType) and isinstance(t2, BasicType):
+        if t1.kind != t2.kind:
+            raise ValueError(f"lfuse on different kinds: {t1!s} vs {t2!s}")
+        return t1  # line 2
+    if isinstance(t1, RecordType) and isinstance(t2, RecordType):
+        return _lfuse_records(t1, t2)  # line 3
+    if isinstance(t1, (ArrayType, StarArrayType)) and isinstance(
+        t2, (ArrayType, StarArrayType)
+    ):
+        return _lfuse_arrays(t1, t2)  # lines 4-7
+    raise ValueError(f"lfuse on different kinds: {t1!s} vs {t2!s}")
+
+
+def _lfuse_records(r1: RecordType, r2: RecordType) -> RecordType:
+    """Fig. 6 line 3: key-wise record fusion.
+
+    Matched keys recurse with the minimum cardinality (a field stays
+    mandatory only if mandatory on both sides); unmatched keys come through
+    as optional.
+    """
+    fields = [
+        Field(f1.name, fuse(f1.type, f2.type),
+              optional=f1.optional or f2.optional)
+        for f1, f2 in f_match(r1, r2)
+    ]
+    fields.extend(f.with_optional(True) for f in f_unmatch(r1, r2))
+    return RecordType(fields)
+
+
+def _star_body(t: ArrayType | StarArrayType) -> Type:
+    """The star body of an array type, collapsing positional types first."""
+    if isinstance(t, StarArrayType):
+        return t.body
+    return collapse(t)
+
+
+def _lfuse_arrays(t1: ArrayType | StarArrayType,
+                  t2: ArrayType | StarArrayType) -> StarArrayType:
+    """Fig. 6 lines 4-7: all four array combinations reduce to one rule.
+
+    Both inputs are turned into star bodies (via ``collapse`` for positional
+    types) and the bodies fused: ``[Fuse(body1, body2)*]``.
+    """
+    return StarArrayType(fuse(_star_body(t1), _star_body(t2)))
+
+
+def collapse(t: ArrayType) -> Type:
+    """``collapse`` (Fig. 6 lines 8-9): fold fusion over array elements.
+
+    ``collapse([]) = eps`` and ``collapse([T | rest]) = Fuse(T,
+    collapse(rest))``; by commutativity/associativity of ``fuse`` a plain
+    left fold gives the same result as the paper's right fold.
+
+    >>> from repro.core.type_parser import parse_type as p
+    >>> from repro.core.printer import print_type
+    >>> print_type(collapse(p("[Num, Bool, Num]")))
+    'Bool + Num'
+    """
+    return reduce(fuse, t.elements, EMPTY)
+
+
+def simplify(t: Type) -> Type:
+    """Collapse every positional array type in ``t`` into a star type.
+
+    Fusion itself only simplifies an array when it meets another array
+    (Fig. 6 lines 4-7), so a fused schema can still contain positional
+    array types for fields seen in a single record shape.  This utility
+    applies the same ``collapse`` everywhere, producing a uniformly
+    star-shaped schema — the form most readable to users and the one the
+    ablation benchmark contrasts with keeping positional arrays.
+
+    The result is a supertype of ``t`` (collapse only widens), which the
+    property tests check.
+    """
+    if isinstance(t, RecordType):
+        return RecordType(
+            Field(f.name, simplify(f.type), f.optional) for f in t.fields
+        )
+    if isinstance(t, ArrayType):
+        return StarArrayType(simplify(collapse(t)))
+    if isinstance(t, StarArrayType):
+        return StarArrayType(simplify(t.body))
+    if isinstance(t, UnionType):
+        return make_union(simplify(m) for m in t.members)
+    return t
+
+
+def fuse_all(types: Iterable[Type]) -> Type:
+    """Fuse an entire collection of types (a sequential Reduce).
+
+    Returns :data:`repro.core.types.EMPTY` for an empty collection — the
+    schema of a dataset with no records admits no value.
+    """
+    return reduce(fuse, types, EMPTY)
+
+
+def fuse_multiset(types: Iterable[Type]) -> Type:
+    """Fuse a collection after deduplicating — efficiently but *exactly*.
+
+    The paper's Map phase "yields a set of distinct types to be fused"
+    (Section 2).  Naive deduplication would change the result, because
+    fusion is not idempotent on positional arrays (``fuse([Num], [Num])``
+    is ``[Num*]``, not ``[Num]``); instead each type occurring more than
+    once is self-fused once, which by the absorption law
+    ``fuse(fuse(T, T), T) == fuse(T, T)`` (hypothesis-checked in the test
+    suite) makes the result equal to fusing the full multiset — while
+    doing one fusion per *distinct* type, the property that makes
+    homogeneous datasets cheap.
+    """
+    counts = Counter(types)
+    return fuse_all(
+        fuse(t, t) if count > 1 and t.has_positional_array else t
+        for t, count in counts.items()
+    )

@@ -1,0 +1,257 @@
+"""End-to-end schema inference pipelines (Section 5 wired to Section 6).
+
+Three ways to run the paper's two-phase algorithm:
+
+* :func:`infer_schema` — the one-liner: values in, fused schema out.
+* :func:`run_inference` — the instrumented version the benchmarks use: runs
+  the Map phase (value typing) and the Reduce phase (fusion) separately,
+  reports wall-clock per phase, the number of *distinct* inferred types
+  (the quantity Tables 2-5 report) and the fused schema.  Optionally
+  executes on a :class:`repro.engine.Context` instead of in-line.
+* :class:`SchemaInferencer` — the incremental API motivated in the
+  introduction: fold new records into an existing schema one at a time or
+  merge two inferencers, both safe by commutativity/associativity
+  (Theorems 5.4-5.5).
+
+Plus :func:`infer_partitioned`, the partition-isolated strategy of
+Section 6.2 (Table 8): each partition is processed independently, yielding
+a per-partition report and a tiny partial schema; the partials are fused at
+the end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.types import EMPTY, Type
+from repro.engine.context import Context
+from repro.inference.fusion import fuse, fuse_all, fuse_multiset
+from repro.inference.infer import infer_type
+
+__all__ = [
+    "infer_schema",
+    "run_inference",
+    "InferenceRun",
+    "SchemaInferencer",
+    "infer_partitioned",
+    "PartitionReport",
+    "PartitionedRun",
+]
+
+
+def infer_schema(values: Iterable[Any], context: Context | None = None,
+                 num_partitions: int | None = None) -> Type:
+    """Infer the fused schema of a collection of JSON values.
+
+    >>> from repro.core.printer import print_type
+    >>> print_type(infer_schema([{"a": 1}, {"a": "x", "b": True}]))
+    '{a: (Num + Str), b: Bool?}'
+
+    With a ``context``, typing and fusion run as a distributed map +
+    tree-reduce; without one, in-line in the calling thread.  An empty
+    collection yields the empty type.
+    """
+    if context is None:
+        return fuse_all(infer_type(v) for v in values)
+    rdd = context.parallelize(values, num_partitions).map(infer_type)
+    return rdd.fold(EMPTY, fuse)
+
+
+@dataclass
+class InferenceRun:
+    """Everything a Tables 2-6 row needs, from one pass over the data."""
+
+    schema: Type
+    record_count: int
+    distinct_type_count: int
+    map_seconds: float
+    reduce_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Map plus Reduce wall-clock."""
+        return self.map_seconds + self.reduce_seconds
+
+
+def _distinct(types: Sequence[Type]) -> list[Type]:
+    """Deduplicate types preserving first-seen order."""
+    seen: set[Type] = set()
+    out: list[Type] = []
+    for t in types:
+        if t not in seen:
+            seen.add(t)
+            out.append(t)
+    return out
+
+
+def run_inference(
+    values: Iterable[Any],
+    context: Context | None = None,
+    num_partitions: int | None = None,
+    dedupe: bool = True,
+) -> InferenceRun:
+    """Instrumented two-phase inference.
+
+    ``dedupe=True`` fuses over the deduplicated inferred types — the
+    paper's Map phase "yields a set of distinct types to be fused"
+    (Section 2).  :func:`repro.inference.fusion.fuse_multiset` makes this
+    an *exact* optimisation (same schema as fusing the raw sequence), so
+    the flag only trades time, never results; it is kept as an ablation
+    knob for the benchmarks.
+    """
+    if context is None:
+        start = time.perf_counter()
+        types = [infer_type(v) for v in values]
+        map_seconds = time.perf_counter() - start
+
+        distinct_count = len(set(types))
+        start = time.perf_counter()
+        schema = fuse_multiset(types) if dedupe else fuse_all(types)
+        reduce_seconds = time.perf_counter() - start
+        return InferenceRun(
+            schema=schema,
+            record_count=len(types),
+            distinct_type_count=distinct_count,
+            map_seconds=map_seconds,
+            reduce_seconds=reduce_seconds,
+        )
+
+    source = context.parallelize(values, num_partitions)
+    start = time.perf_counter()
+    typed = source.map(infer_type).cache()
+    record_count = typed.count()  # forces the Map phase to run
+    map_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    distinct_count = len(set(typed.map_partitions(_distinct).collect()))
+    if dedupe:
+        # Dedup-fuse each partition, then fold the partial schemas.
+        per_part = typed.map_partitions(lambda part: [fuse_multiset(part)])
+        schema = per_part.fold(EMPTY, fuse)
+    else:
+        schema = typed.fold(EMPTY, fuse)
+    reduce_seconds = time.perf_counter() - start
+    return InferenceRun(
+        schema=schema,
+        record_count=record_count,
+        distinct_type_count=distinct_count,
+        map_seconds=map_seconds,
+        reduce_seconds=reduce_seconds,
+    )
+
+
+class SchemaInferencer:
+    """Incremental schema inference (introduction, "incremental evolution").
+
+    Maintains a running fused schema; each :meth:`add` fuses one more
+    record's type in.  Two inferencers over disjoint slices of a dataset can
+    be :meth:`merge`-d, and the result equals what a single pass would have
+    produced — that equality *is* the associativity theorem, and the test
+    suite checks it property-based.
+
+    >>> inf = SchemaInferencer()
+    >>> inf.add({"a": 1})
+    >>> inf.add({"b": "x"})
+    >>> from repro.core.printer import print_type
+    >>> print_type(inf.schema)
+    '{a: Num?, b: Str?}'
+    """
+
+    def __init__(self) -> None:
+        self._schema: Type = EMPTY
+        self._count = 0
+
+    @property
+    def schema(self) -> Type:
+        """The schema of everything added so far (empty type if nothing)."""
+        return self._schema
+
+    @property
+    def record_count(self) -> int:
+        """How many records have been folded in."""
+        return self._count
+
+    def add(self, value: Any) -> None:
+        """Fuse one more JSON value into the schema."""
+        self._schema = fuse(self._schema, infer_type(value))
+        self._count += 1
+
+    def add_type(self, t: Type, records: int = 1) -> None:
+        """Fuse a pre-computed type (e.g. a partial schema) into the schema."""
+        self._schema = fuse(self._schema, t)
+        self._count += records
+
+    def add_many(self, values: Iterable[Any]) -> None:
+        """Fuse a batch of values."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "SchemaInferencer") -> "SchemaInferencer":
+        """Combine two inferencers into a new one (neither input changes)."""
+        merged = SchemaInferencer()
+        merged._schema = fuse(self._schema, other._schema)
+        merged._count = self._count + other._count
+        return merged
+
+    def __or__(self, other: "SchemaInferencer") -> "SchemaInferencer":
+        return self.merge(other)
+
+
+@dataclass
+class PartitionReport:
+    """One row of the paper's Table 8: a partition processed in isolation."""
+
+    index: int
+    record_count: int
+    distinct_type_count: int
+    seconds: float
+    schema: Type
+
+
+@dataclass
+class PartitionedRun:
+    """Result of the partition-isolated strategy (Section 6.2)."""
+
+    schema: Type
+    partitions: list[PartitionReport] = field(default_factory=list)
+    final_fuse_seconds: float = 0.0
+
+    @property
+    def record_count(self) -> int:
+        """Total records across partitions."""
+        return sum(p.record_count for p in self.partitions)
+
+
+def infer_partitioned(partitions: Iterable[Iterable[Any]],
+                      dedupe: bool = True) -> PartitionedRun:
+    """Process each partition in isolation, then fuse the partial schemas.
+
+    This is the manual strategy of Section 6.2: no shuffle, no
+    synchronisation during partition processing, and a final fusion of the
+    per-partition schemas that "is a fast operation as each schema to fuse
+    has a very small size" — the benchmarks confirm by reporting
+    ``final_fuse_seconds`` separately.
+    """
+    reports: list[PartitionReport] = []
+    for index, partition in enumerate(partitions):
+        start = time.perf_counter()
+        run = run_inference(list(partition), dedupe=dedupe)
+        elapsed = time.perf_counter() - start
+        reports.append(PartitionReport(
+            index=index,
+            record_count=run.record_count,
+            distinct_type_count=run.distinct_type_count,
+            seconds=elapsed,
+            schema=run.schema,
+        ))
+
+    start = time.perf_counter()
+    schema = fuse_all(report.schema for report in reports)
+    final_fuse_seconds = time.perf_counter() - start
+    return PartitionedRun(
+        schema=schema,
+        partitions=reports,
+        final_fuse_seconds=final_fuse_seconds,
+    )

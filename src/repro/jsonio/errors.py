@@ -1,0 +1,36 @@
+"""Errors raised by the JSON I/O layer."""
+
+from __future__ import annotations
+
+__all__ = ["JsonError", "JsonSyntaxError", "DuplicateKeyError"]
+
+
+class JsonError(Exception):
+    """Base class for all JSON I/O errors."""
+
+
+class JsonSyntaxError(JsonError):
+    """Malformed JSON text.
+
+    Carries 1-based ``line`` and ``column`` of the offending character, so
+    that errors inside multi-megabyte NDJSON files are actionable.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class DuplicateKeyError(JsonSyntaxError):
+    """A JSON object repeats a key.
+
+    The paper's data model (Section 4) only admits *well-formed* records,
+    whose top-level keys are mutually different; unlike the standard library
+    parser (which silently keeps the last occurrence), this parser rejects
+    the document.
+    """
+
+    def __init__(self, key: str, line: int, column: int) -> None:
+        super().__init__(f"duplicate object key {key!r}", line, column)
+        self.key = key

@@ -1,0 +1,63 @@
+"""Streaming newline-delimited JSON (NDJSON) readers and writers.
+
+The paper's datasets are collections of JSON records, one per line; this
+module reads and writes that format without materialising the whole file.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Iterable, Iterator, TextIO
+
+from repro.jsonio.errors import JsonError
+from repro.jsonio.parser import loads
+from repro.jsonio.writer import dumps
+
+__all__ = ["read_ndjson", "write_ndjson", "iter_lines", "count_records"]
+
+
+def iter_lines(path: str | Path) -> Iterator[str]:
+    """Yield non-blank lines of ``path`` (each should be one JSON record)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if stripped:
+                yield stripped
+
+
+def read_ndjson(path: str | Path, skip_invalid: bool = False) -> Iterator[Any]:
+    """Stream the JSON records of an NDJSON file.
+
+    With ``skip_invalid=True``, unparseable lines are silently dropped —
+    useful for raw crawls; the default propagates the parse error with its
+    line context prepended.
+    """
+    for line_number, line in enumerate(iter_lines(path), start=1):
+        try:
+            yield loads(line)
+        except JsonError as exc:
+            if skip_invalid:
+                continue
+            raise JsonError(f"record {line_number}: {exc}") from exc
+
+
+def write_ndjson(path: str | Path, values: Iterable[Any]) -> int:
+    """Write ``values`` to ``path`` as NDJSON; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for value in values:
+            handle.write(dumps(value))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def count_records(path: str | Path) -> int:
+    """Number of records in an NDJSON file (blank lines excluded)."""
+    return sum(1 for _ in iter_lines(path))
+
+
+def file_size_bytes(path: str | Path) -> int:
+    """Size of a file in bytes (for Table 1 style dataset-size reports)."""
+    return os.stat(path).st_size

@@ -1,0 +1,113 @@
+"""Recursive-descent JSON parser over the token stream.
+
+Differences from :func:`json.loads` that matter for schema inference:
+
+* **Duplicate keys are rejected** (:class:`DuplicateKeyError`).  The paper's
+  data model only admits well-formed records; the standard library silently
+  keeps the last occurrence, which would make inferred schemas lie about the
+  data.
+* Errors carry line/column positions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.jsonio.errors import DuplicateKeyError, JsonSyntaxError
+from repro.jsonio.tokenizer import Token, TokenType, tokenize
+
+__all__ = ["loads"]
+
+
+class _TokenStream:
+    """One-token-lookahead wrapper over the tokenizer."""
+
+    __slots__ = ("_iter", "current")
+
+    def __init__(self, tokens: Iterator[Token]) -> None:
+        self._iter = tokens
+        self.current = next(tokens)
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type != TokenType.EOF:
+            self.current = next(self._iter)
+        return token
+
+    def expect(self, token_type: str) -> Token:
+        if self.current.type != token_type:
+            raise JsonSyntaxError(
+                f"expected {token_type!r}, found {self.current.type!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance()
+
+
+_ATOMS = {TokenType.STRING, TokenType.NUMBER, TokenType.TRUE,
+          TokenType.FALSE, TokenType.NULL}
+
+
+def _parse_value(stream: _TokenStream) -> Any:
+    token = stream.current
+    if token.type in _ATOMS:
+        stream.advance()
+        return token.value
+    if token.type == TokenType.LBRACE:
+        return _parse_object(stream)
+    if token.type == TokenType.LBRACKET:
+        return _parse_array(stream)
+    raise JsonSyntaxError(
+        f"unexpected token {token.type!r}", token.line, token.column
+    )
+
+
+def _parse_object(stream: _TokenStream) -> dict[str, Any]:
+    stream.expect(TokenType.LBRACE)
+    obj: dict[str, Any] = {}
+    if stream.current.type == TokenType.RBRACE:
+        stream.advance()
+        return obj
+    while True:
+        key_token = stream.expect(TokenType.STRING)
+        key = key_token.value
+        if key in obj:
+            raise DuplicateKeyError(key, key_token.line, key_token.column)
+        stream.expect(TokenType.COLON)
+        obj[key] = _parse_value(stream)
+        if stream.current.type == TokenType.COMMA:
+            stream.advance()
+            continue
+        stream.expect(TokenType.RBRACE)
+        return obj
+
+
+def _parse_array(stream: _TokenStream) -> list[Any]:
+    stream.expect(TokenType.LBRACKET)
+    arr: list[Any] = []
+    if stream.current.type == TokenType.RBRACKET:
+        stream.advance()
+        return arr
+    while True:
+        arr.append(_parse_value(stream))
+        if stream.current.type == TokenType.COMMA:
+            stream.advance()
+            continue
+        stream.expect(TokenType.RBRACKET)
+        return arr
+
+
+def loads(text: str) -> Any:
+    """Parse a JSON document from a string.
+
+    >>> loads('{"a": [1, true, null]}')
+    {'a': [1, True, None]}
+    >>> loads('{"a": 1, "a": 2}')
+    Traceback (most recent call last):
+        ...
+    repro.jsonio.errors.DuplicateKeyError: duplicate object key 'a' (line 1, column 10)
+    """
+    stream = _TokenStream(tokenize(text))
+    value = _parse_value(stream)
+    stream.expect(TokenType.EOF)
+    return value

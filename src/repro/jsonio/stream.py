@@ -1,0 +1,82 @@
+"""Streaming readers for large JSON documents.
+
+NDJSON (one record per line) is the friendly case; plenty of real dumps —
+including Wikidata's official exports — ship as **one giant JSON array**.
+Loading such a file with :func:`repro.jsonio.parser.loads` materialises the
+whole parsed object graph at once; this module parses element-wise:
+
+* :func:`iter_json_array` yields the elements of a top-level JSON array
+  one at a time — only the current element's *parsed form* is alive, which
+  is the expensive part (parsed Python objects typically take an order of
+  magnitude more memory than their JSON text);
+* :func:`iter_json_values` auto-detects the container: a top-level array
+  streams element-wise, anything else (including NDJSON-style concatenated
+  documents) streams document-wise.
+
+The raw text is held as a single string (the tokenizer's input); the
+element-level laziness is about the parsed values.  Both readers use the
+same token stream as the strict parser, so duplicate-key detection and
+position-carrying errors work identically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.jsonio.errors import JsonSyntaxError
+from repro.jsonio.parser import _parse_value, _TokenStream
+from repro.jsonio.tokenizer import TokenType, tokenize
+
+__all__ = ["iter_json_array", "iter_json_values"]
+
+def _file_token_stream(path: str | Path) -> _TokenStream:
+    """A lazy token stream over a file's text."""
+    text = Path(path).read_text(encoding="utf-8")
+    return _TokenStream(tokenize(text))
+
+
+def iter_json_array(path: str | Path) -> Iterator[Any]:
+    """Stream the elements of a file whose top level is a JSON array.
+
+    Elements are parsed and yielded one at a time; the consumed prefix of
+    the token stream is released as iteration advances.
+
+    Raises :class:`JsonSyntaxError` if the top level is not an array or
+    the document is malformed (including trailing garbage after ``]``).
+    """
+    stream = _file_token_stream(path)
+    first = stream.current
+    if first.type != TokenType.LBRACKET:
+        raise JsonSyntaxError(
+            "top-level value is not an array", first.line, first.column
+        )
+    stream.advance()
+    if stream.current.type == TokenType.RBRACKET:
+        stream.advance()
+        stream.expect(TokenType.EOF)
+        return
+    while True:
+        yield _parse_value(stream)
+        if stream.current.type == TokenType.COMMA:
+            stream.advance()
+            continue
+        stream.expect(TokenType.RBRACKET)
+        stream.expect(TokenType.EOF)
+        return
+
+
+def iter_json_values(path: str | Path) -> Iterator[Any]:
+    """Stream JSON values from a file of either common container layout.
+
+    * top-level array -> its elements (like :func:`iter_json_array`);
+    * anything else -> whitespace-separated concatenated documents, which
+      covers NDJSON as a special case.
+    """
+    stream = _file_token_stream(path)
+    if stream.current.type == TokenType.LBRACKET:
+        # Delegate by re-reading: element-wise protocol.
+        yield from iter_json_array(path)
+        return
+    while stream.current.type != TokenType.EOF:
+        yield _parse_value(stream)

@@ -1,0 +1,118 @@
+"""Unit tests for schema diffing (repro.analysis.diff)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.diff import ChangeKind, diff_schemas
+from repro.core.type_parser import parse_type as p
+from repro.inference import infer_schema
+from tests.conftest import json_records
+
+
+def kinds_at(changes, path):
+    return {c.kind for c in changes if c.path == path}
+
+
+class TestFieldChanges:
+    def test_no_changes(self):
+        assert diff_schemas(p("{a: Num}"), p("{a: Num}")) == []
+
+    def test_added_field(self):
+        changes = diff_schemas(p("{a: Num}"), p("{a: Num, b: Str}"))
+        assert kinds_at(changes, "$.b") == {ChangeKind.ADDED}
+
+    def test_removed_field(self):
+        changes = diff_schemas(p("{a: Num, b: Str}"), p("{a: Num}"))
+        assert kinds_at(changes, "$.b") == {ChangeKind.REMOVED}
+
+    def test_type_widened(self):
+        changes = diff_schemas(p("{a: Num}"), p("{a: Num + Str}"))
+        assert kinds_at(changes, "$.a") == {ChangeKind.TYPE_CHANGED}
+        detail = next(c for c in changes if c.path == "$.a").detail
+        assert "Num" in detail and "Num + Str" in detail
+
+    def test_became_optional(self):
+        changes = diff_schemas(p("{a: Num}"), p("{a: Num?}"))
+        assert kinds_at(changes, "$.a") == {ChangeKind.BECAME_OPTIONAL}
+
+    def test_became_mandatory(self):
+        changes = diff_schemas(p("{a: Num?}"), p("{a: Num}"))
+        assert kinds_at(changes, "$.a") == {ChangeKind.BECAME_MANDATORY}
+
+    def test_nested_changes_have_nested_paths(self):
+        changes = diff_schemas(
+            p("{a: {b: Num}}"), p("{a: {b: Num, c: Str}}")
+        )
+        assert kinds_at(changes, "$.a.c") == {ChangeKind.ADDED}
+
+    def test_docstring_example(self):
+        changes = diff_schemas(
+            p("{a: Num, b: Str}"), p("{a: Num + Str, c: Bool}")
+        )
+        assert [str(c) for c in changes] == [
+            "[type-changed] $.a: Num -> Num + Str",
+            "[removed] $.b",
+            "[added] $.c",
+        ]
+
+
+class TestArrayAndUnionChanges:
+    def test_star_body_change(self):
+        changes = diff_schemas(p("{a: [Num*]}"), p("{a: [(Num + Str)*]}"))
+        paths = {c.path for c in changes}
+        assert "$.a" in paths or "$.a[*]" in paths
+
+    def test_root_atom_change(self):
+        changes = diff_schemas(p("Num"), p("Str"))
+        assert kinds_at(changes, "$") == {ChangeKind.TYPE_CHANGED}
+
+    def test_union_gains_record_alternative(self):
+        changes = diff_schemas(p("{a: Num}"), p("{a: Num + {x: Str}}"))
+        assert kinds_at(changes, "$.a") == {ChangeKind.TYPE_CHANGED}
+
+
+class TestDiffProperties:
+    @given(st.lists(json_records, max_size=5))
+    def test_self_diff_is_empty(self, records):
+        schema = infer_schema(records)
+        assert diff_schemas(schema, schema) == []
+
+    @given(st.lists(json_records, max_size=4), st.lists(json_records, max_size=4))
+    def test_diff_never_crashes(self, old_records, new_records):
+        diff_schemas(infer_schema(old_records), infer_schema(new_records))
+
+    @given(st.lists(json_records, min_size=1, max_size=4),
+           st.lists(json_records, min_size=1, max_size=4))
+    def test_added_and_removed_are_antisymmetric(self, a, b):
+        forward = diff_schemas(infer_schema(a), infer_schema(b))
+        backward = diff_schemas(infer_schema(b), infer_schema(a))
+        added_fwd = {c.path for c in forward if c.kind == ChangeKind.ADDED}
+        removed_bwd = {c.path for c in backward
+                       if c.kind == ChangeKind.REMOVED}
+        assert added_fwd == removed_bwd
+
+
+class TestRealisticEvolution:
+    def test_schema_evolution_on_inferred_schemas(self):
+        old = infer_schema([
+            {"id": 1, "name": "a", "email": "x@y"},
+            {"id": 2, "name": "b", "email": "z@w"},
+        ])
+        new = infer_schema([
+            {"id": "3", "name": "c", "tags": ["new"]},
+            {"id": 4, "name": "d", "email": "q@r", "tags": []},
+        ])
+        changes = diff_schemas(old, new)
+        assert kinds_at(changes, "$.id") == {ChangeKind.TYPE_CHANGED}
+        assert ChangeKind.BECAME_OPTIONAL in kinds_at(changes, "$.email")
+        assert kinds_at(changes, "$.tags") == {ChangeKind.ADDED}
+
+    def test_diff_is_empty_for_identical_runs(self):
+        values = [{"a": 1, "b": [True]}, {"a": "x"}]
+        assert diff_schemas(infer_schema(values), infer_schema(values)) == []
+
+    def test_changes_sorted_by_path(self):
+        changes = diff_schemas(
+            p("{z: Num, a: Num}"), p("{z: Str, a: Num, m: Bool}")
+        )
+        assert [c.path for c in changes] == sorted(c.path for c in changes)

@@ -1,0 +1,144 @@
+"""Unit and property tests for schema paths (repro.analysis.paths)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.paths import (
+    expand_wildcard,
+    iter_schema_paths,
+    parse_path,
+    resolve_path,
+)
+from repro.core.type_parser import parse_type as p
+from repro.core.values import iter_paths
+from repro.inference import infer_schema
+from tests.conftest import json_records
+
+SCHEMA = p(
+    "{user: {name: Str, age: Num?},"
+    " tags: [Str*],"
+    " meta: (Null + {source: Str})?}"
+)
+
+
+class TestParsePath:
+    @pytest.mark.parametrize("text,steps", [
+        ("a", ["a"]),
+        ("a.b", ["a", "b"]),
+        ("$.a.b", ["a", "b"]),
+        ("a[*]", ["a", "[*]"]),
+        ("a[*].b", ["a", "[*]", "b"]),
+        ("a[*][*]", ["a", "[*]", "[*]"]),
+        ("$", []),
+        ("", []),
+    ])
+    def test_parsing(self, text, steps):
+        assert parse_path(text) == steps
+
+
+class TestResolvePath:
+    def test_mandatory_nested_path(self):
+        info = resolve_path(SCHEMA, "user.name")
+        assert info.exists and info.guaranteed
+        assert info.type == p("Str")
+
+    def test_optional_field_not_guaranteed(self):
+        info = resolve_path(SCHEMA, "user.age")
+        assert info.exists and not info.guaranteed
+
+    def test_absent_path(self):
+        info = resolve_path(SCHEMA, "user.zzz")
+        assert not info.exists
+        assert info.type is None
+
+    def test_array_traversal(self):
+        info = resolve_path(SCHEMA, "tags[*]")
+        assert info.exists
+        assert info.type == p("Str")
+        assert not info.guaranteed  # arrays may be empty
+
+    def test_path_through_union_with_null(self):
+        """meta is Null + record: source exists but is never guaranteed."""
+        info = resolve_path(SCHEMA, "meta.source")
+        assert info.exists and not info.guaranteed
+
+    def test_root_path(self):
+        info = resolve_path(SCHEMA, "$")
+        assert info.exists and info.guaranteed
+        assert info.type == SCHEMA
+
+    def test_path_through_atom_fails(self):
+        assert not resolve_path(SCHEMA, "user.name.deeper").exists
+
+    def test_union_of_alternative_types_at_end(self):
+        schema = p("{a: {b: Num} + [Str*]}")
+        info = resolve_path(schema, "a.b")
+        assert info.exists and not info.guaranteed
+        assert info.type == p("Num")
+
+
+class TestIterSchemaPaths:
+    def test_enumerates_all_paths(self):
+        got = dict(iter_schema_paths(SCHEMA))
+        assert got["$.user"] is True
+        assert got["$.user.name"] is True
+        assert got["$.user.age"] is False
+        assert got["$.tags[*]"] is False
+        assert got["$.meta"] is False
+        assert got["$.meta.source"] is False
+
+    def test_positional_arrays_contribute_paths(self):
+        got = dict(iter_schema_paths(p("{a: [Num, {b: Str}]}")))
+        assert "$.a[*]" in got
+        assert "$.a[*].b" in got
+
+    def test_atom_schema_has_no_paths(self):
+        assert list(iter_schema_paths(p("Num"))) == []
+
+    @given(st.lists(json_records, min_size=1, max_size=6))
+    def test_schema_paths_complete_for_inferred_schema(self, records):
+        """The paper's completeness property: every path traversable in any
+        input value is traversable in the inferred schema."""
+        schema = infer_schema(records)
+        schema_paths = {path for path, _ in iter_schema_paths(schema)}
+        for record in records:
+            for path in iter_paths(record):
+                if path != "$":
+                    assert path in schema_paths
+
+    @given(st.lists(json_records, min_size=1, max_size=6))
+    def test_mandatory_paths_resolve_as_guaranteed(self, records):
+        schema = infer_schema(records)
+        for path, guaranteed in iter_schema_paths(schema):
+            info = resolve_path(schema, path)
+            assert info.exists
+            assert info.guaranteed == guaranteed
+
+
+class TestExpandWildcard:
+    def test_top_level(self):
+        assert expand_wildcard(SCHEMA, "*") == ["$.meta", "$.tags", "$.user"]
+
+    def test_nested(self):
+        assert expand_wildcard(SCHEMA, "user.*") == [
+            "$.user.age", "$.user.name",
+        ]
+
+    def test_through_union(self):
+        assert expand_wildcard(SCHEMA, "meta.*") == ["$.meta.source"]
+
+    def test_over_atoms_is_empty(self):
+        assert expand_wildcard(SCHEMA, "user.name.*") == []
+
+    def test_absent_prefix_is_empty(self):
+        assert expand_wildcard(SCHEMA, "zzz.*") == []
+
+    def test_requires_trailing_star(self):
+        with pytest.raises(ValueError):
+            expand_wildcard(SCHEMA, "user")
+
+    def test_dollar_prefix(self):
+        assert expand_wildcard(SCHEMA, "$.user.*") == [
+            "$.user.age", "$.user.name",
+        ]

@@ -1,0 +1,102 @@
+"""Unit tests for schema-directed projection (repro.analysis.projection)."""
+
+import pytest
+
+from repro.analysis.projection import ProjectionError, Projector
+from repro.core.semantics import matches
+from repro.datasets import generate_list
+from repro.inference import infer_schema
+
+DATA = [
+    {"a": {"x": 1, "y": 2}, "b": ["big", "payload"], "c": True},
+    {"a": {"x": 3}, "b": [], "c": False},
+]
+
+
+def projector(paths, data=DATA, validate=True):
+    return Projector(infer_schema(data), paths, validate=validate)
+
+
+class TestProjection:
+    def test_keeps_only_required_fragments(self):
+        assert projector(["a.x"]).project(DATA[0]) == {"a": {"x": 1}}
+
+    def test_multiple_paths(self):
+        got = projector(["a.x", "c"]).project(DATA[0])
+        assert got == {"a": {"x": 1}, "c": True}
+
+    def test_whole_subtree_path(self):
+        assert projector(["a"]).project(DATA[0]) == {"a": {"x": 1, "y": 2}}
+
+    def test_array_traversal(self):
+        data = [{"items": [{"id": 1, "blob": "x" * 100}]}]
+        proj = Projector(infer_schema(data), ["items[*].id"])
+        assert proj.project(data[0]) == {"items": [{"id": 1}]}
+
+    def test_array_without_star_step_becomes_empty(self):
+        data = [{"items": [1, 2, 3]}]
+        proj = Projector(infer_schema(data), ["items"])
+        # "items" keeps the whole array (leaf of the required trie).
+        assert proj.project(data[0]) == {"items": [1, 2, 3]}
+
+    def test_absent_optional_fragment_stays_absent(self):
+        got = projector(["a.y"]).project(DATA[1])
+        assert got == {"a": {}}
+
+    def test_project_many_is_lazy_and_complete(self):
+        proj = projector(["c"])
+        stream = proj.project_many(iter(DATA))
+        assert next(stream) == {"c": True}
+        assert list(stream) == [{"c": False}]
+
+
+class TestValidation:
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ProjectionError, match="zzz"):
+            projector(["zzz"])
+
+    def test_validation_can_be_disabled(self):
+        proj = projector(["zzz"], validate=False)
+        assert proj.project(DATA[0]) == {}
+
+    def test_valid_paths_accepted(self):
+        projector(["a.x", "b[*]", "c"])  # does not raise
+
+
+class TestProjectionSoundness:
+    def test_projected_values_match_projected_requirements(self):
+        """Projection keeps required paths intact on realistic data."""
+        values = generate_list("twitter", 100)
+        schema = infer_schema(values)
+        paths = ["user.screen_name", "entities.hashtags[*].text", "lang"]
+        proj = Projector(schema, paths)
+        for value in values:
+            pruned = proj.project(value)
+            if "user" in value:
+                assert pruned["user"]["screen_name"] \
+                    == value["user"]["screen_name"]
+                assert set(pruned["user"]) == {"screen_name"}
+            if "entities" in value:
+                original = [h["text"] for h in value["entities"]["hashtags"]]
+                kept = [h["text"] for h in pruned["entities"]["hashtags"]]
+                assert kept == original
+
+    def test_projection_shrinks_or_preserves(self):
+        from repro.core.values import value_node_count
+
+        values = generate_list("nytimes", 50)
+        proj = Projector(infer_schema(values), ["headline.main", "_id"])
+        for value in values:
+            assert value_node_count(proj.project(value)) \
+                <= value_node_count(value)
+
+    def test_projected_record_matches_projected_schema_optionally(self):
+        """A projected record still matches the original schema's shape for
+        the retained paths (weaker check: projection of a record type's
+        mandatory path keeps a record)."""
+        values = generate_list("github", 30)
+        proj = Projector(infer_schema(values), ["pull_request.title"])
+        for value in values:
+            pruned = proj.project(value)
+            assert pruned["pull_request"]["title"] \
+                == value["pull_request"]["title"]

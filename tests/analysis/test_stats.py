@@ -1,0 +1,66 @@
+"""Unit tests for succinctness statistics (repro.analysis.stats)."""
+
+import pytest
+
+from repro.analysis.stats import (
+    SUCCINCTNESS_HEADERS,
+    SuccinctnessRow,
+    TypeStatistics,
+    succinctness_row,
+)
+from repro.core.type_parser import parse_type as p
+from repro.inference import infer_schema
+
+
+class TestTypeStatistics:
+    def test_from_types(self):
+        types = [p("Num"), p("{a: Num}"), p("Num")]
+        stats = TypeStatistics.from_types(types)
+        assert stats.count == 3
+        assert stats.distinct_count == 2
+        assert stats.min_size == 1
+        assert stats.max_size == 3
+        assert stats.mean_size == pytest.approx(5 / 3)
+        assert stats.total_size == 5
+
+    def test_empty(self):
+        stats = TypeStatistics.from_types([])
+        assert stats.count == 0
+        assert stats.distinct_count == 0
+        assert stats.mean_size == 0.0
+
+    def test_from_values(self):
+        stats = TypeStatistics.from_values([{"a": 1}, {"a": 2}, {"b": "x"}])
+        assert stats.count == 3
+        assert stats.distinct_count == 2
+
+
+class TestSuccinctnessRow:
+    def test_row_from_values(self):
+        values = [{"a": 1}, {"a": "x", "b": True}, {"a": 1}]
+        row = succinctness_row(values, label="demo")
+        assert row.record_count == 3
+        assert row.distinct_types == 2
+        assert row.min_size == 3    # {a: Num}
+        assert row.max_size == 5    # {a: Str, b: Bool}
+        assert row.fused_size == infer_schema(values).size
+
+    def test_ratio(self):
+        row = SuccinctnessRow("x", 10, 5, 1, 9, 4.0, 8)
+        assert row.ratio == 2.0
+
+    def test_ratio_with_zero_avg(self):
+        row = SuccinctnessRow("x", 0, 0, 0, 0, 0.0, 0)
+        assert row.ratio == 0.0
+
+    def test_cells_match_headers(self):
+        row = succinctness_row([{"a": 1}], label="demo")
+        assert len(row.cells()) == len(SUCCINCTNESS_HEADERS)
+
+    def test_cells_formatting(self):
+        row = SuccinctnessRow("1K", 1000, 1234, 7, 196, 115.125, 233)
+        cells = row.cells()
+        assert cells[0] == "1K"
+        assert cells[1] == "1,234"
+        assert cells[4] == "115.1"
+        assert cells[6] == "2.02"

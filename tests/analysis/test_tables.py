@@ -1,0 +1,59 @@
+"""Unit tests for table rendering and formatting (repro.analysis.tables)."""
+
+from repro.analysis.tables import format_bytes, format_seconds, render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["name", "n"], [["github", 1000], ["tw", 7]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("| name")
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_numeric_cells_right_aligned(self):
+        out = render_table(["name", "n"], [["github", 1000], ["tw", 7]])
+        rows = out.split("\n")[2:]
+        assert rows[0].endswith("| 1000 |")
+        assert rows[1].endswith("|    7 |")
+
+    def test_title(self):
+        out = render_table(["a"], [["x"]], title="Table 2")
+        assert out.startswith("Table 2\n")
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "| a" in out
+
+    def test_column_widths_fit_content(self):
+        out = render_table(["x"], [["longer-content"]])
+        header, sep, row = out.split("\n")
+        assert len(header) == len(sep) == len(row)
+
+
+class TestFormatBytes:
+    def test_byte_range(self):
+        assert format_bytes(14) == "14B"
+
+    def test_kilobytes(self):
+        assert format_bytes(2_200) == "2.2KB"
+
+    def test_megabytes(self):
+        assert format_bytes(14_000_000) == "14MB"
+
+    def test_gigabytes(self):
+        assert format_bytes(1_300_000_000) == "1.3GB"
+
+    def test_large_values_have_no_decimals(self):
+        assert format_bytes(137_000_000) == "137MB"
+
+
+class TestFormatSeconds:
+    def test_milliseconds(self):
+        assert format_seconds(0.45) == "450ms"
+
+    def test_seconds(self):
+        assert format_seconds(12.34) == "12.3s"
+
+    def test_minutes(self):
+        assert format_seconds(171.0) == "2.9min"

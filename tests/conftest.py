@@ -1,0 +1,129 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.core.types import (
+    ArrayType,
+    BOOL,
+    Field,
+    NULL,
+    NUM,
+    RecordType,
+    STR,
+    StarArrayType,
+    make_union,
+)
+
+# A single moderate profile: the suite runs hundreds of property tests, so
+# keep per-test example counts reasonable.  Select the "deep" profile for
+# an occasional heavier fuzz: HYPOTHESIS_PROFILE=deep pytest tests/
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "deep",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+
+# ---------------------------------------------------------------------------
+# JSON value strategies
+
+json_atoms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+)
+
+#: Keys kept short and drawn from a small alphabet so that records collide
+#: often enough for fusion to have something to merge.
+json_keys = st.text(
+    alphabet="abcdefgh_", min_size=1, max_size=4
+)
+
+
+def json_values(max_leaves: int = 20) -> st.SearchStrategy:
+    """Arbitrary JSON values (records, arrays, atoms), moderately sized."""
+    return st.recursive(
+        json_atoms,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(json_keys, children, max_size=4),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+#: Values that are records at the top level, like real dataset entries.
+json_records = st.dictionaries(json_keys, json_values(10), max_size=5)
+
+
+# ---------------------------------------------------------------------------
+# Type strategies (arbitrary *normal* types, as fusion requires)
+
+basic_types = st.sampled_from([NULL, BOOL, NUM, STR])
+
+
+def _record_types(inner: st.SearchStrategy) -> st.SearchStrategy:
+    field = st.tuples(json_keys, inner, st.booleans()).map(
+        lambda t: Field(t[0], t[1], optional=t[2])
+    )
+    return st.lists(field, max_size=4).map(
+        lambda fields: RecordType(
+            {f.name: f for f in fields}.values()  # dedupe keys, keep last
+        )
+    )
+
+
+def _array_types(inner: st.SearchStrategy) -> st.SearchStrategy:
+    from repro.core.types import EMPTY
+
+    positional = st.lists(inner, max_size=3).map(ArrayType)
+    star = inner.map(StarArrayType)
+    # The paper's footnote-1 corner case: the simplified empty array [eps*].
+    star_of_empty = st.just(StarArrayType(EMPTY))
+    return st.one_of(positional, star, star_of_empty)
+
+
+def _union_of(non_union: st.SearchStrategy) -> st.SearchStrategy:
+    # make_union flattens and canonicalises; drawing a set of non-union
+    # members with distinct kinds keeps the result normal.
+    def build(members):
+        by_kind = {}
+        for m in members:
+            by_kind[m.kind] = m
+        return make_union(list(by_kind.values()))
+
+    return st.lists(non_union, min_size=1, max_size=4).map(build)
+
+
+def normal_types(max_leaves: int = 12) -> st.SearchStrategy:
+    """Arbitrary normal types, including unions, records and arrays."""
+    def extend(children: st.SearchStrategy) -> st.SearchStrategy:
+        non_union = st.one_of(
+            basic_types,
+            _record_types(children),
+            _array_types(children),
+        )
+        return st.one_of(non_union, _union_of(non_union))
+
+    return st.recursive(basic_types, extend, max_leaves=max_leaves)
+
+
+#: Non-union normal types (what LFuse accepts, per kind).
+non_union_types = normal_types().filter(
+    lambda t: t.kind is not None
+)

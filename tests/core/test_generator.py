@@ -1,0 +1,118 @@
+"""Unit and property tests for type-directed generation (repro.core.generator)."""
+
+from random import Random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.generator import generate_value, generate_values
+from repro.core.semantics import matches
+from repro.core.type_parser import parse_type as p
+from repro.core.types import EMPTY, make_star
+from tests.conftest import normal_types
+
+
+class TestBasicGeneration:
+    def test_null(self):
+        assert generate_value(p("Null"), Random(0)) is None
+
+    def test_bool(self):
+        assert isinstance(generate_value(p("Bool"), Random(0)), bool)
+
+    def test_num_is_not_bool(self):
+        values = [generate_value(p("Num"), Random(i)) for i in range(20)]
+        assert all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in values
+        )
+
+    def test_str(self):
+        assert isinstance(generate_value(p("Str"), Random(0)), str)
+
+
+class TestContainers:
+    def test_record_mandatory_fields_always_present(self):
+        t = p("{a: Num, b: Str}")
+        for seed in range(10):
+            value = generate_value(t, Random(seed))
+            assert set(value) == {"a", "b"}
+
+    def test_optional_fields_sometimes_absent(self):
+        t = p("{a: Num?}")
+        presence = {
+            "a" in generate_value(t, Random(seed)) for seed in range(40)
+        }
+        assert presence == {True, False}
+
+    def test_positional_array_length_fixed(self):
+        value = generate_value(p("[Num, Str, Null]"), Random(0))
+        assert len(value) == 3
+
+    def test_star_array_length_varies(self):
+        t = p("[Num*]")
+        lengths = {
+            len(generate_value(t, Random(seed))) for seed in range(40)
+        }
+        assert len(lengths) > 1
+
+    def test_max_array_len_respected(self):
+        t = p("[Num*]")
+        for seed in range(30):
+            assert len(generate_value(t, Random(seed), max_array_len=2)) <= 2
+
+    def test_union_covers_both_members(self):
+        t = p("Num + Str")
+        kinds = {
+            type(generate_value(t, Random(seed))) for seed in range(40)
+        }
+        assert kinds == {int, str} or kinds == {float, str} \
+            or kinds == {int, float, str}
+
+
+class TestUninhabitedTypes:
+    def test_empty_type_raises(self):
+        with pytest.raises(ValueError, match="uninhabited"):
+            generate_value(EMPTY, Random(0))
+
+    def test_record_with_mandatory_empty_field_raises(self):
+        t = p("{a: (empty)}")
+        with pytest.raises(ValueError):
+            generate_value(t, Random(0))
+
+    def test_star_of_empty_yields_empty_array(self):
+        assert generate_value(make_star(EMPTY), Random(0)) == []
+
+    def test_optional_empty_field_always_absent(self):
+        t = p("{a: (empty)?, b: Num}")
+        for seed in range(10):
+            assert "a" not in generate_value(t, Random(seed))
+
+    def test_union_with_empty_member_via_star(self):
+        # [(empty)*] + Num: both inhabited, generation never fails.
+        t = p("[(empty)*] + Num")
+        for seed in range(10):
+            value = generate_value(t, Random(seed))
+            assert value == [] or isinstance(value, (int, float))
+
+
+class TestDeterminism:
+    def test_generate_values_deterministic(self):
+        t = p("{a: Num + Str, b: [Bool*]?}")
+        assert generate_values(t, 10, seed=3) == generate_values(t, 10, seed=3)
+
+    def test_different_seeds_differ(self):
+        t = p("{a: Num}")
+        assert generate_values(t, 10, seed=0) != generate_values(t, 10, seed=1)
+
+
+class TestSoundness:
+    """The defining property: generated values inhabit their type."""
+
+    @given(normal_types(), st.integers(0, 1000))
+    def test_generated_value_matches_type(self, t, seed):
+        try:
+            value = generate_value(t, Random(seed))
+        except ValueError:
+            return  # uninhabited type: nothing to check
+        assert matches(value, t)

@@ -1,0 +1,83 @@
+"""Unit tests for type hash-consing (repro.core.interning)."""
+
+from hypothesis import given
+
+from repro.core.interning import TypeInterner
+from repro.core.type_parser import parse_type as p
+from repro.inference import infer_type
+from tests.conftest import normal_types
+
+
+class TestBasicInterning:
+    def test_equal_types_become_identical(self):
+        interner = TypeInterner()
+        a = interner.intern(infer_type({"x": 1, "y": "s"}))
+        b = interner.intern(infer_type({"x": 2, "y": "t"}))
+        assert a is b
+
+    def test_interned_type_equal_to_original(self):
+        interner = TypeInterner()
+        t = p("{a: Num + Str, b: [Bool*]?}")
+        assert interner.intern(t) == t
+
+    def test_shared_subtrees_are_shared_objects(self):
+        interner = TypeInterner()
+        t1 = interner.intern(p("{outer1: {x: Num, y: Str}}"))
+        t2 = interner.intern(p("{outer2: {x: Num, y: Str}}"))
+        inner1 = t1.field("outer1").type
+        inner2 = t2.field("outer2").type
+        assert inner1 is inner2
+
+    def test_star_and_union_subtrees_pooled(self):
+        interner = TypeInterner()
+        a = interner.intern(p("[Num + Str*]"))
+        b = interner.intern(p("{k: [Num + Str*]}")).field("k").type
+        assert a is b
+
+    def test_positional_array_elements_pooled(self):
+        interner = TypeInterner()
+        a = interner.intern(p("[{x: Num}, {x: Num}]"))
+        assert a.elements[0] is a.elements[1]
+
+
+class TestPoolAccounting:
+    def test_hits_and_misses_counted(self):
+        interner = TypeInterner()
+        interner.intern(p("Num"))
+        assert interner.misses == 1 and interner.hits == 0
+        interner.intern(p("Num"))
+        assert interner.hits == 1
+
+    def test_hit_rate(self):
+        interner = TypeInterner()
+        assert interner.hit_rate == 0.0
+        interner.intern(p("Num"))
+        interner.intern(p("Num"))
+        assert interner.hit_rate == 0.5
+
+    def test_len_counts_distinct_nodes(self):
+        interner = TypeInterner()
+        interner.intern(p("{a: Num}"))
+        # record + Num = 2 pooled type nodes (fields pool separately).
+        assert len(interner) == 2
+
+    def test_intern_all(self):
+        interner = TypeInterner()
+        types = [infer_type({"x": i}) for i in range(100)]
+        interned = interner.intern_all(types)
+        assert len({id(t) for t in interned}) == 1
+
+
+class TestProperties:
+    @given(normal_types())
+    def test_intern_preserves_equality_and_hash(self, t):
+        interner = TypeInterner()
+        interned = interner.intern(t)
+        assert interned == t
+        assert hash(interned) == hash(t)
+
+    @given(normal_types())
+    def test_interning_twice_is_identity(self, t):
+        interner = TypeInterner()
+        once = interner.intern(t)
+        assert interner.intern(once) is once

@@ -1,0 +1,94 @@
+"""Unit tests for the JSON Schema exporter (repro.core.json_schema)."""
+
+from repro.core.json_schema import SCHEMA_DIALECT, to_json_schema
+from repro.core.type_parser import parse_type as p
+from repro.core.types import EMPTY, make_star
+
+
+def convert(text: str) -> dict:
+    schema = to_json_schema(p(text))
+    schema.pop("$schema")
+    return schema
+
+
+class TestBasicTypes:
+    def test_null(self):
+        assert convert("Null") == {"type": "null"}
+
+    def test_bool(self):
+        assert convert("Bool") == {"type": "boolean"}
+
+    def test_num(self):
+        assert convert("Num") == {"type": "number"}
+
+    def test_str(self):
+        assert convert("Str") == {"type": "string"}
+
+
+class TestDocumentEnvelope:
+    def test_dialect_declared(self):
+        assert to_json_schema(p("Num"))["$schema"] == SCHEMA_DIALECT
+
+    def test_title(self):
+        assert to_json_schema(p("Num"), title="t")["title"] == "t"
+
+    def test_no_title_by_default(self):
+        assert "title" not in to_json_schema(p("Num"))
+
+
+class TestRecords:
+    def test_properties_and_required(self):
+        doc = convert("{a: Num, b: Str?}")
+        assert doc["type"] == "object"
+        assert doc["properties"]["a"] == {"type": "number"}
+        assert doc["required"] == ["a"]
+        assert doc["additionalProperties"] is False
+
+    def test_all_optional_record_has_no_required(self):
+        assert "required" not in convert("{a: Num?}")
+
+    def test_empty_record(self):
+        doc = convert("{}")
+        assert doc["properties"] == {}
+
+
+class TestArrays:
+    def test_star_array(self):
+        doc = convert("[Num*]")
+        assert doc == {"type": "array", "items": {"type": "number"}}
+
+    def test_star_of_empty_admits_only_empty(self):
+        doc = to_json_schema(make_star(EMPTY))
+        doc.pop("$schema")
+        assert doc == {"type": "array", "maxItems": 0}
+
+    def test_positional_array(self):
+        doc = convert("[Num, Str]")
+        assert doc["prefixItems"] == [{"type": "number"}, {"type": "string"}]
+        assert doc["minItems"] == doc["maxItems"] == 2
+
+    def test_empty_positional_array(self):
+        doc = convert("[]")
+        assert doc["minItems"] == doc["maxItems"] == 0
+        assert "prefixItems" not in doc
+
+
+class TestUnions:
+    def test_atomic_union_uses_type_list(self):
+        assert convert("Num + Str") == {"type": ["number", "string"]}
+
+    def test_mixed_union_uses_any_of(self):
+        doc = convert("Num + {a: Str}")
+        assert "anyOf" in doc
+        assert {"type": "number"} in doc["anyOf"]
+
+    def test_nested_union_in_field(self):
+        doc = convert("{a: Num + Null}")
+        assert doc["properties"]["a"] == {"type": ["null", "number"]}
+
+
+class TestEmpty:
+    def test_empty_matches_nothing(self):
+        doc = to_json_schema(EMPTY)
+        doc.pop("$schema")
+        assert doc == {"not": {}}

@@ -1,0 +1,87 @@
+"""External conformance of the JSON Schema exporter.
+
+The exporter's claim is interoperability: schemas inferred here can be fed
+to any off-the-shelf JSON Schema validator.  These tests check the claim
+against the independent ``jsonschema`` package (skipped if absent): for
+random types and random values, the third-party validator's verdict on the
+exported document must agree with our own ``matches`` semantics.
+"""
+
+import pytest
+
+jsonschema = pytest.importorskip("jsonschema")
+
+from hypothesis import given
+
+from repro.core.json_schema import to_json_schema
+from repro.core.semantics import matches
+from repro.core.type_parser import parse_type as p
+from repro.datasets import generate_list
+from repro.inference import infer_schema
+from tests.conftest import json_values, normal_types
+
+
+def third_party_accepts(value, t) -> bool:
+    validator = jsonschema.Draft202012Validator(to_json_schema(t))
+    return validator.is_valid(value)
+
+
+class TestAgreementWithThirdPartyValidator:
+    @given(json_values(), normal_types())
+    def test_verdicts_agree(self, value, t):
+        assert third_party_accepts(value, t) == matches(value, t)
+
+    @given(json_values())
+    def test_inferred_schema_validates_its_value(self, value):
+        from repro.inference import infer_type
+
+        t = infer_type(value)
+        assert third_party_accepts(value, t)
+
+
+class TestDatasetSchemasValidate:
+    @pytest.mark.parametrize("name", ["github", "twitter", "nytimes"])
+    def test_every_record_passes_exported_schema(self, name):
+        values = generate_list(name, 100)
+        doc = to_json_schema(infer_schema(values))
+        validator = jsonschema.Draft202012Validator(doc)
+        for value in values:
+            assert validator.is_valid(value)
+
+    def test_foreign_record_rejected(self):
+        doc = to_json_schema(infer_schema(generate_list("github", 50)))
+        validator = jsonschema.Draft202012Validator(doc)
+        assert not validator.is_valid({"totally": "unrelated"})
+
+
+class TestSpecificConstructs:
+    def test_optional_field(self):
+        t = p("{a: Num, b: Str?}")
+        assert third_party_accepts({"a": 1}, t)
+        assert not third_party_accepts({"b": "x"}, t)
+
+    def test_closed_records(self):
+        assert not third_party_accepts({"a": 1, "z": 2}, p("{a: Num}"))
+
+    def test_union(self):
+        t = p("Num + {a: Str}")
+        assert third_party_accepts(3, t)
+        assert third_party_accepts({"a": "x"}, t)
+        assert not third_party_accepts(True, t)
+
+    def test_star_array(self):
+        t = p("[(Num + Str)*]")
+        assert third_party_accepts([1, "x"], t)
+        assert not third_party_accepts([None], t)
+
+    def test_positional_array(self):
+        t = p("[Num, Str]")
+        assert third_party_accepts([1, "x"], t)
+        assert not third_party_accepts([1], t)
+        assert not third_party_accepts(["x", 1], t)
+
+    def test_empty_type(self):
+        from repro.core.types import EMPTY
+
+        assert not third_party_accepts(None, EMPTY)
+        assert not third_party_accepts({}, EMPTY)

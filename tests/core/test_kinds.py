@@ -1,0 +1,47 @@
+"""Unit tests for the kind function (repro.core.kinds)."""
+
+from repro.core.kinds import Kind, N_KINDS
+from repro.core.types import (
+    ArrayType,
+    BOOL,
+    NULL,
+    NUM,
+    RecordType,
+    STR,
+    StarArrayType,
+)
+
+
+class TestKindValues:
+    """The paper fixes the kind numbering exactly (Section 4)."""
+
+    def test_paper_numbering(self):
+        assert Kind.NULL == 0
+        assert Kind.BOOL == 1
+        assert Kind.NUM == 2
+        assert Kind.STR == 3
+        assert Kind.RECORD == 4
+        assert Kind.ARRAY == 5
+
+    def test_six_kinds(self):
+        assert N_KINDS == 6
+
+    def test_is_basic(self):
+        assert Kind.NULL.is_basic
+        assert Kind.STR.is_basic
+        assert not Kind.RECORD.is_basic
+        assert not Kind.ARRAY.is_basic
+
+
+class TestKindsOnTypes:
+    def test_basic_types(self):
+        assert [t.kind for t in (NULL, BOOL, NUM, STR)] == [
+            Kind.NULL, Kind.BOOL, Kind.NUM, Kind.STR,
+        ]
+
+    def test_array_and_star_share_kind(self):
+        """kind(at) = kind(sat) = 5 — the paper's key array rule."""
+        assert ArrayType(()).kind == StarArrayType(NUM).kind == Kind.ARRAY
+
+    def test_record_kind(self):
+        assert RecordType(()).kind == Kind.RECORD

@@ -1,0 +1,75 @@
+"""Unit tests for the normal-type invariant (repro.core.normal_form)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import NormalizationError
+from repro.core.normal_form import check_normal, is_normal
+from repro.core.type_parser import parse_type as p
+from repro.core.types import (
+    Field,
+    NUM,
+    RecordType,
+    StarArrayType,
+    UnionType,
+    make_array,
+    make_record,
+    make_union,
+)
+from tests.conftest import normal_types
+
+
+class TestNormalCases:
+    @pytest.mark.parametrize("text", [
+        "Num", "(empty)", "{a: Num?}", "[Num, Num]", "[Num*]",
+        "Num + Str", "Null + Bool + Num + Str + {a: Num} + [Str*]",
+        "{a: Num + {b: Str}}",
+    ])
+    def test_normal_types_pass(self, text):
+        assert is_normal(p(text))
+        check_normal(p(text))  # does not raise
+
+    @given(normal_types())
+    def test_strategy_generates_normal_types(self, t):
+        assert is_normal(t)
+
+
+class TestViolations:
+    def test_two_records_in_union(self):
+        u = UnionType([make_record({"a": NUM}), make_record({"b": NUM})])
+        assert not is_normal(u)
+
+    def test_two_arrays_in_union(self):
+        u = UnionType([make_array(NUM), StarArrayType(NUM)])
+        assert not is_normal(u)
+
+    def test_violation_nested_in_record(self):
+        bad = UnionType([make_record({"a": NUM}), make_record({"b": NUM})])
+        t = make_record({"outer": bad})
+        assert not is_normal(t)
+
+    def test_violation_nested_in_array(self):
+        bad = UnionType([make_array(NUM), make_array(NUM, NUM)])
+        assert not is_normal(make_array(bad))
+        assert not is_normal(StarArrayType(bad))
+
+    def test_error_message_carries_path(self):
+        bad = UnionType([make_record({"a": NUM}), make_record({"b": NUM})])
+        t = make_record({"outer": bad})
+        with pytest.raises(NormalizationError, match=r"\$\.outer"):
+            check_normal(t)
+
+    def test_duplicate_basic_kind(self):
+        assert not is_normal(UnionType([NUM, NUM]))
+
+
+class TestMakeUnionNormality:
+    def test_make_union_of_distinct_kinds_is_normal(self):
+        u = make_union([NUM, make_record({"a": NUM}), StarArrayType(NUM)])
+        assert is_normal(u)
+
+    def test_make_union_does_not_merge_same_kind(self):
+        # make_union dedupes equal members but does not fuse same-kind ones;
+        # producing a normal union from same-kind members is fusion's job.
+        u = make_union([make_record({"a": NUM}), make_record({"b": NUM})])
+        assert not is_normal(u)

@@ -1,0 +1,123 @@
+"""Unit tests for the concrete type syntax printer (repro.core.printer)."""
+
+from hypothesis import given
+
+from repro.core.printer import pretty_print, print_type
+from repro.core.type_parser import parse_type
+from repro.core.types import (
+    ArrayType,
+    BOOL,
+    EMPTY,
+    Field,
+    NULL,
+    NUM,
+    RecordType,
+    STR,
+    make_array,
+    make_record,
+    make_star,
+    make_union,
+)
+from tests.conftest import normal_types
+
+
+class TestBasicForms:
+    def test_basic_types(self):
+        assert print_type(NULL) == "Null"
+        assert print_type(BOOL) == "Bool"
+        assert print_type(NUM) == "Num"
+        assert print_type(STR) == "Str"
+
+    def test_empty(self):
+        assert print_type(EMPTY) == "(empty)"
+
+    def test_union(self):
+        assert print_type(make_union([NUM, STR])) == "Num + Str"
+
+    def test_union_sorted_by_kind(self):
+        assert print_type(make_union([STR, NULL])) == "Null + Str"
+
+
+class TestRecords:
+    def test_simple_record(self):
+        assert print_type(make_record({"a": NUM, "b": STR})) == "{a: Num, b: Str}"
+
+    def test_optional_marker(self):
+        rt = make_record({"a": NUM}, optional=["a"])
+        assert print_type(rt) == "{a: Num?}"
+
+    def test_union_field_parenthesised(self):
+        rt = make_record({"a": make_union([NUM, STR])})
+        assert print_type(rt) == "{a: (Num + Str)}"
+
+    def test_optional_union_field(self):
+        rt = make_record({"a": make_union([NUM, NULL])}, optional=["a"])
+        assert print_type(rt) == "{a: (Null + Num)?}"
+
+    def test_empty_record(self):
+        assert print_type(RecordType(())) == "{}"
+
+    def test_keys_needing_quotes(self):
+        rt = make_record({"a b": NUM})
+        assert print_type(rt) == '{"a b": Num}'
+
+    def test_key_with_quote_escaped(self):
+        rt = make_record({'a"b': NUM})
+        assert print_type(rt) == '{"a\\"b": Num}'
+
+    def test_leading_digit_key_quoted(self):
+        assert print_type(make_record({"1a": NUM})) == '{"1a": Num}'
+
+    def test_identifier_like_keys_bare(self):
+        assert print_type(make_record({"a_b-c$": NUM})) == "{a_b-c$: Num}"
+
+
+class TestArrays:
+    def test_positional(self):
+        assert print_type(make_array(NUM, STR)) == "[Num, Str]"
+
+    def test_empty_positional(self):
+        assert print_type(ArrayType(())) == "[]"
+
+    def test_star_simple(self):
+        assert print_type(make_star(NUM)) == "[Num*]"
+
+    def test_star_union_parenthesised(self):
+        t = make_star(make_union([NUM, STR]))
+        assert print_type(t) == "[(Num + Str)*]"
+
+    def test_star_of_empty(self):
+        assert print_type(make_star(EMPTY)) == "[(empty)*]"
+
+    def test_nested(self):
+        t = make_array(make_record({"a": make_star(STR)}))
+        assert print_type(t) == "[{a: [Str*]}]"
+
+
+class TestPrettyPrint:
+    def test_multiline_record(self):
+        rt = make_record({"a": NUM, "b": STR}, optional=["b"])
+        assert pretty_print(rt) == "{\n  a: Num,\n  b: Str?\n}"
+
+    def test_atoms_unchanged(self):
+        assert pretty_print(NUM) == "Num"
+
+    def test_output_reparses(self):
+        rt = make_record({
+            "a": make_record({"x": make_union([NUM, NULL])}),
+            "b": make_star(make_record({"y": STR})),
+        }, optional=["b"])
+        assert parse_type(pretty_print(rt)) == rt
+
+    @given(normal_types())
+    def test_pretty_print_round_trips(self, t):
+        assert parse_type(pretty_print(t)) == t
+
+
+class TestReprAndStr:
+    def test_str_is_concrete_syntax(self):
+        assert str(make_record({"a": NUM})) == "{a: Num}"
+
+    def test_repr_mentions_class_and_syntax(self):
+        r = repr(make_star(NUM))
+        assert "StarArrayType" in r and "[Num*]" in r

@@ -1,0 +1,147 @@
+"""Unit tests for type semantics / membership (repro.core.semantics)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.semantics import matches
+from repro.core.type_parser import parse_type as p
+from repro.core.types import EMPTY, make_star
+from tests.conftest import json_values
+
+
+class TestBasicMembership:
+    def test_null(self):
+        assert matches(None, p("Null"))
+        assert not matches(0, p("Null"))
+        assert not matches(False, p("Null"))
+
+    def test_bool(self):
+        assert matches(True, p("Bool"))
+        assert matches(False, p("Bool"))
+        assert not matches(1, p("Bool"))
+        assert not matches("true", p("Bool"))
+
+    def test_num(self):
+        assert matches(3, p("Num"))
+        assert matches(-2.5, p("Num"))
+        assert not matches(True, p("Num"))  # bool is not a number here
+        assert not matches("3", p("Num"))
+
+    def test_str(self):
+        assert matches("x", p("Str"))
+        assert matches("", p("Str"))
+        assert not matches(None, p("Str"))
+
+
+class TestEmptyType:
+    @pytest.mark.parametrize("value", [None, 0, "x", {}, [], {"a": 1}])
+    def test_nothing_matches_empty(self, value):
+        assert not matches(value, EMPTY)
+
+
+class TestUnionMembership:
+    def test_member_of_either_side(self):
+        t = p("Num + Str")
+        assert matches(3, t)
+        assert matches("x", t)
+        assert not matches(None, t)
+
+    def test_union_with_record(self):
+        t = p("Num + {a: Str}")
+        assert matches({"a": "x"}, t)
+        assert not matches({"a": 1}, t)
+
+
+class TestRecordMembership:
+    def test_exact_record(self):
+        t = p("{a: Num, b: Str}")
+        assert matches({"a": 1, "b": "x"}, t)
+
+    def test_missing_mandatory_field(self):
+        assert not matches({"a": 1}, p("{a: Num, b: Str}"))
+
+    def test_optional_field_may_be_absent(self):
+        t = p("{a: Num, b: Str?}")
+        assert matches({"a": 1}, t)
+        assert matches({"a": 1, "b": "x"}, t)
+
+    def test_optional_field_type_still_checked(self):
+        assert not matches({"a": 1, "b": 7}, p("{a: Num, b: Str?}"))
+
+    def test_closed_records_reject_extra_keys(self):
+        assert not matches({"a": 1, "z": 2}, p("{a: Num}"))
+
+    def test_empty_record_type(self):
+        assert matches({}, p("{}"))
+        assert not matches({"a": 1}, p("{}"))
+
+    def test_non_record_values_rejected(self):
+        assert not matches([1], p("{a: Num}"))
+        assert not matches("x", p("{}"))
+
+    def test_nested(self):
+        t = p("{a: {b: Num}}")
+        assert matches({"a": {"b": 1}}, t)
+        assert not matches({"a": {"b": "x"}}, t)
+
+
+class TestArrayMembership:
+    def test_positional_exact_length(self):
+        t = p("[Num, Str]")
+        assert matches([1, "x"], t)
+        assert not matches([1], t)
+        assert not matches([1, "x", None], t)
+        assert not matches(["x", 1], t)
+
+    def test_empty_positional(self):
+        assert matches([], p("[]"))
+        assert not matches([1], p("[]"))
+
+    def test_star_any_length(self):
+        t = p("[Num*]")
+        assert matches([], t)
+        assert matches([1], t)
+        assert matches([1, 2, 3], t)
+        assert not matches([1, "x"], t)
+
+    def test_star_of_empty_admits_only_empty_array(self):
+        t = make_star(EMPTY)
+        assert matches([], t)
+        assert not matches([1], t)
+
+    def test_star_union_body(self):
+        t = p("[(Num + Str)*]")
+        assert matches([1, "x", 2], t)
+        assert not matches([1, None], t)
+
+    def test_non_arrays_rejected(self):
+        assert not matches({"a": 1}, p("[Num*]"))
+        assert not matches("xyz", p("[Str*]"))
+
+
+class TestPaperExamples:
+    def test_section4_example(self):
+        """{l: Num?, m: (Str + Null)} from Section 4."""
+        t = p("{l: Num?, m: Str + Null}")
+        assert matches({"m": None}, t)
+        assert matches({"m": "x"}, t)
+        assert matches({"l": 3, "m": "x"}, t)
+        assert not matches({"l": "no", "m": "x"}, t)
+        assert not matches({"l": 3}, t)
+
+    def test_mixed_content_array(self):
+        """The Section 2 mixed-content array and its simplified type."""
+        value = ["abc", "cde", {"E": "fr", "F": 12}]
+        assert matches(value, p("[Str, Str, {E: Str, F: Num}]"))
+        assert matches(value, p("[(Str + {E: Str, F: Num})*]"))
+        # The swapped order only matches the simplified type.
+        swapped = [{"E": "fr", "F": 12}, "abc", "cde"]
+        assert not matches(swapped, p("[Str, Str, {E: Str, F: Num}]"))
+        assert matches(swapped, p("[(Str + {E: Str, F: Num})*]"))
+
+
+class TestMatchesTotality:
+    @given(json_values())
+    def test_matches_never_crashes(self, value):
+        for text in ["Num", "{a: Num?}", "[Str*]", "Num + {b: [Null*]}"]:
+            matches(value, p(text))

@@ -1,0 +1,141 @@
+"""Unit and property tests for the subtype checker (repro.core.subtyping)."""
+
+from hypothesis import given
+
+from repro.core.semantics import matches
+from repro.core.subtyping import is_equivalent, is_subtype
+from repro.core.type_parser import parse_type as p
+from repro.core.types import EMPTY, make_star
+from tests.conftest import json_values, normal_types
+
+
+class TestReflexivityAndEmpty:
+    @given(normal_types())
+    def test_reflexive(self, t):
+        assert is_subtype(t, t)
+
+    @given(normal_types())
+    def test_empty_is_bottom(self, t):
+        assert is_subtype(EMPTY, t)
+
+    def test_nothing_below_empty_but_empty(self):
+        assert is_subtype(EMPTY, EMPTY)
+        assert not is_subtype(p("Null"), EMPTY)
+
+
+class TestBasic:
+    def test_equal_basic(self):
+        assert is_subtype(p("Num"), p("Num"))
+
+    def test_different_basic(self):
+        assert not is_subtype(p("Num"), p("Str"))
+        assert not is_subtype(p("Bool"), p("Num"))
+
+    def test_basic_vs_record(self):
+        assert not is_subtype(p("Num"), p("{}"))
+        assert not is_subtype(p("{}"), p("Num"))
+
+
+class TestUnions:
+    def test_member_below_union(self):
+        assert is_subtype(p("Num"), p("Num + Str"))
+
+    def test_union_below_wider_union(self):
+        assert is_subtype(p("Num + Str"), p("Null + Num + Str"))
+
+    def test_union_not_below_member(self):
+        assert not is_subtype(p("Num + Str"), p("Num"))
+
+    def test_union_of_records_below_merged(self):
+        assert is_subtype(
+            p("{a: Num} + {b: Str}"),
+            p("{a: Num + Str, b: Str?}"),
+        ) is False  # {a: Num} lacks b which is fine, but {b: Str} lacks a!
+
+    def test_union_of_records_below_all_optional(self):
+        assert is_subtype(
+            p("{a: Num} + {b: Str}"),
+            p("{a: Num?, b: Str?}"),
+        )
+
+
+class TestRecords:
+    def test_width_narrowing_requires_optional(self):
+        # A record without b is below one where b is optional...
+        assert is_subtype(p("{a: Num}"), p("{a: Num, b: Str?}"))
+        # ...but not below one where b is mandatory.
+        assert not is_subtype(p("{a: Num}"), p("{a: Num, b: Str}"))
+
+    def test_extra_keys_on_left_rejected(self):
+        assert not is_subtype(p("{a: Num, z: Str}"), p("{a: Num}"))
+
+    def test_depth_subtyping(self):
+        assert is_subtype(p("{a: {b: Num}}"), p("{a: {b: Num + Null}}"))
+
+    def test_optional_cannot_become_mandatory(self):
+        assert not is_subtype(p("{a: Num?}"), p("{a: Num}"))
+
+    def test_mandatory_can_become_optional(self):
+        assert is_subtype(p("{a: Num}"), p("{a: Num?}"))
+
+    def test_optional_stays_optional(self):
+        assert is_subtype(p("{a: Num?}"), p("{a: Num?}"))
+
+    def test_field_type_must_widen(self):
+        assert not is_subtype(p("{a: Num + Str}"), p("{a: Num}"))
+
+
+class TestArrays:
+    def test_positional_pointwise(self):
+        assert is_subtype(p("[Num, Str]"), p("[Num + Null, Str]"))
+        assert not is_subtype(p("[Num, Str]"), p("[Str, Num]"))
+
+    def test_positional_length_mismatch(self):
+        assert not is_subtype(p("[Num]"), p("[Num, Num]"))
+
+    def test_positional_below_star(self):
+        assert is_subtype(p("[Num, Num]"), p("[Num*]"))
+        assert is_subtype(p("[Num, Str]"), p("[(Num + Str)*]"))
+        assert not is_subtype(p("[Num, Str]"), p("[Num*]"))
+
+    def test_empty_positional_below_any_star(self):
+        assert is_subtype(p("[]"), p("[Num*]"))
+        assert is_subtype(p("[]"), make_star(EMPTY))
+
+    def test_star_below_star(self):
+        assert is_subtype(p("[Num*]"), p("[(Num + Str)*]"))
+        assert not is_subtype(p("[(Num + Str)*]"), p("[Num*]"))
+
+    def test_star_below_positional_only_degenerate(self):
+        assert is_subtype(make_star(EMPTY), p("[]"))
+        assert not is_subtype(p("[Num*]"), p("[]"))
+        assert not is_subtype(p("[Num*]"), p("[Num]"))
+
+    def test_array_vs_record(self):
+        assert not is_subtype(p("[Num*]"), p("{a: Num}"))
+
+
+class TestEquivalence:
+    def test_star_empty_equivalent_to_empty_positional(self):
+        assert is_equivalent(make_star(EMPTY), p("[]"))
+
+    def test_equal_types_equivalent(self):
+        assert is_equivalent(p("{a: Num}"), p("{a: Num}"))
+
+    def test_subtype_not_equivalent(self):
+        assert not is_equivalent(p("Num"), p("Num + Str"))
+
+
+class TestSoundness:
+    """is_subtype is sound w.r.t. the semantics: if it says T <: U, every
+    value of T is a value of U."""
+
+    @given(json_values(), normal_types(), normal_types())
+    def test_subtype_implies_membership_preserved(self, value, t, u):
+        if is_subtype(t, u) and matches(value, t):
+            assert matches(value, u)
+
+    @given(normal_types(), normal_types(), normal_types())
+    def test_transitivity_spot(self, a, b, c):
+        if is_subtype(a, b) and is_subtype(b, c):
+            assert is_subtype(a, c)

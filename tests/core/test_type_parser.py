@@ -1,0 +1,143 @@
+"""Unit tests for the type syntax parser (repro.core.type_parser)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import TypeSyntaxError
+from repro.core.printer import print_type
+from repro.core.type_parser import parse_type
+from repro.core.types import (
+    ArrayType,
+    BOOL,
+    EMPTY,
+    NULL,
+    NUM,
+    STR,
+    StarArrayType,
+    UnionType,
+    make_array,
+    make_record,
+    make_star,
+    make_union,
+)
+from tests.conftest import normal_types
+
+
+class TestBasicParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("Null", NULL), ("Bool", BOOL), ("Num", NUM), ("Str", STR),
+    ])
+    def test_basic_types(self, text, expected):
+        assert parse_type(text) == expected
+
+    def test_empty(self):
+        assert parse_type("(empty)") == EMPTY
+
+    def test_union(self):
+        assert parse_type("Num + Str") == make_union([NUM, STR])
+
+    def test_parenthesised_type(self):
+        assert parse_type("(Num)") == NUM
+        assert parse_type("((Num + Str))") == make_union([NUM, STR])
+
+    def test_whitespace_insensitive(self):
+        assert parse_type("  Num+Str ") == parse_type("Num + Str")
+        assert parse_type("{\n  a: Num\n}") == make_record({"a": NUM})
+
+
+class TestRecordParsing:
+    def test_simple(self):
+        assert parse_type("{a: Num, b: Str}") == make_record({"a": NUM, "b": STR})
+
+    def test_empty_record(self):
+        assert parse_type("{}") == make_record({})
+
+    def test_optional_field(self):
+        assert parse_type("{a: Num?}") == make_record({"a": NUM}, optional=["a"])
+
+    def test_union_field_with_parens(self):
+        t = parse_type("{a: (Num + Str)?}")
+        field = t.field("a")
+        assert field.optional and field.type == make_union([NUM, STR])
+
+    def test_quoted_keys(self):
+        assert parse_type('{"a b": Num}') == make_record({"a b": NUM})
+
+    def test_escaped_quote_in_key(self):
+        assert parse_type('{"a\\"b": Num}') == make_record({'a"b': NUM})
+
+    def test_bare_digit_leading_key_accepted(self):
+        # The reader is permissive on input; the printer quotes such keys.
+        assert parse_type("{3x: Num}") == make_record({"3x": NUM})
+
+    def test_nested_records(self):
+        t = parse_type("{a: {b: {c: Null}}}")
+        assert t.field("a").type.field("b").type.field("c").type == NULL
+
+
+class TestArrayParsing:
+    def test_empty_array(self):
+        assert parse_type("[]") == ArrayType(())
+
+    def test_positional(self):
+        assert parse_type("[Num, Str]") == make_array(NUM, STR)
+
+    def test_star(self):
+        assert parse_type("[Num*]") == make_star(NUM)
+
+    def test_star_with_parens(self):
+        assert parse_type("[(Num)*]") == make_star(NUM)
+
+    def test_star_union_body(self):
+        expected = make_star(make_union([NUM, STR]))
+        assert parse_type("[(Num + Str)*]") == expected
+        assert parse_type("[Num + Str*]") == expected
+
+    def test_star_of_empty(self):
+        assert parse_type("[(empty)*]") == make_star(EMPTY)
+
+    def test_single_element_union_array_is_positional(self):
+        t = parse_type("[Num + Str]")
+        assert isinstance(t, ArrayType)
+        assert t.elements == (make_union([NUM, STR]),)
+
+    def test_nested_arrays(self):
+        assert parse_type("[[Num*]]") == make_array(make_star(NUM))
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "", "Foo", "{a Num}", "{a:}", "[Num", "{a: Num", "Num +", "(Num",
+        "Num Str", "{a: Num}}", "[Num*", '{"a: Num}', "{: Num}",
+    ])
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(TypeSyntaxError):
+            parse_type(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(TypeSyntaxError) as exc_info:
+            parse_type("{a: Zzz}")
+        assert exc_info.value.position is not None
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TypeSyntaxError, match="trailing"):
+            parse_type("Num xyz")
+
+    def test_unknown_name_mentions_it(self):
+        with pytest.raises(TypeSyntaxError, match="Zzz"):
+            parse_type("Zzz")
+
+
+class TestRoundTrip:
+    """The central contract: parse(print(t)) == t for all normal types."""
+
+    @given(normal_types())
+    def test_print_parse_round_trip(self, t):
+        assert parse_type(print_type(t)) == t
+
+    def test_paper_example_t12(self):
+        # The worked example from Section 2.
+        text = "{A: Str?, B: Num + Bool, C: Str?}"
+        t = parse_type(text)
+        assert t.field("B").type == make_union([NUM, BOOL])
+        assert t.field("A").optional and t.field("C").optional

@@ -1,0 +1,274 @@
+"""Unit tests for the type AST (repro.core.types)."""
+
+import pickle
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import InvalidTypeError
+from repro.core.kinds import Kind
+from repro.core.types import (
+    ArrayType,
+    BOOL,
+    EMPTY,
+    EmptyType,
+    Field,
+    NULL,
+    NUM,
+    RecordType,
+    STR,
+    BasicType,
+    StarArrayType,
+    UnionType,
+    make_array,
+    make_record,
+    make_star,
+    make_union,
+)
+from tests.conftest import normal_types
+
+
+class TestBasicTypes:
+    def test_singletons_have_expected_kinds(self):
+        assert NULL.kind == Kind.NULL
+        assert BOOL.kind == Kind.BOOL
+        assert NUM.kind == Kind.NUM
+        assert STR.kind == Kind.STR
+
+    def test_equality_is_structural(self):
+        assert BasicType(Kind.NUM) == NUM
+        assert BasicType(Kind.NUM) is not NUM
+
+    def test_different_basic_types_differ(self):
+        assert NUM != STR
+        assert NULL != BOOL
+
+    def test_size_is_one(self):
+        assert NUM.size == 1
+
+    def test_names(self):
+        assert NUM.name == "Num"
+        assert NULL.name == "Null"
+
+    def test_non_basic_kind_rejected(self):
+        with pytest.raises(InvalidTypeError):
+            BasicType(Kind.RECORD)
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({NUM, BasicType(Kind.NUM), STR}) == 2
+
+    def test_addends_of_non_union_is_singleton(self):
+        assert NUM.addends() == (NUM,)
+
+
+class TestEmptyType:
+    def test_equality(self):
+        assert EmptyType() == EMPTY
+
+    def test_kind_is_none(self):
+        assert EMPTY.kind is None
+
+    def test_addends_empty(self):
+        assert EMPTY.addends() == ()
+
+    def test_not_equal_to_basic(self):
+        assert EMPTY != NULL
+
+
+class TestField:
+    def test_defaults_to_mandatory(self):
+        assert not Field("a", NUM).optional
+
+    def test_with_optional_returns_same_when_unchanged(self):
+        f = Field("a", NUM, optional=True)
+        assert f.with_optional(True) is f
+
+    def test_with_optional_flips(self):
+        f = Field("a", NUM)
+        g = f.with_optional(True)
+        assert g.optional and g.name == "a" and g.type == NUM
+
+    def test_equality_considers_optionality(self):
+        assert Field("a", NUM) != Field("a", NUM, optional=True)
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(InvalidTypeError):
+            Field(3, NUM)
+
+    def test_non_type_rejected(self):
+        with pytest.raises(InvalidTypeError):
+            Field("a", 42)
+
+
+class TestRecordType:
+    def test_fields_sorted_by_key(self):
+        rt = RecordType([Field("b", NUM), Field("a", STR)])
+        assert rt.keys() == ("a", "b")
+
+    def test_field_order_does_not_affect_equality(self):
+        r1 = RecordType([Field("b", NUM), Field("a", STR)])
+        r2 = RecordType([Field("a", STR), Field("b", NUM)])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(InvalidTypeError, match="duplicate"):
+            RecordType([Field("a", NUM), Field("a", STR)])
+
+    def test_empty_record(self):
+        rt = RecordType()
+        assert rt.keys() == ()
+        assert rt.size == 1
+
+    def test_size_counts_field_nodes(self):
+        # record node + 2 * (field node + basic type node)
+        rt = make_record({"a": NUM, "b": STR})
+        assert rt.size == 5
+
+    def test_field_lookup(self):
+        rt = make_record({"a": NUM})
+        assert rt.field("a").type == NUM
+        assert rt.field("zz") is None
+        assert "a" in rt and "zz" not in rt
+
+    def test_children_are_field_types(self):
+        rt = make_record({"a": NUM, "b": STR})
+        assert list(rt.children()) == [NUM, STR]
+
+    def test_kind(self):
+        assert RecordType().kind == Kind.RECORD
+
+    def test_make_record_optional_validation(self):
+        with pytest.raises(InvalidTypeError, match="optional keys"):
+            make_record({"a": NUM}, optional=["b"])
+
+    def test_non_field_rejected(self):
+        with pytest.raises(InvalidTypeError):
+            RecordType([NUM])
+
+
+class TestArrayType:
+    def test_positional_equality(self):
+        assert make_array(NUM, STR) == make_array(NUM, STR)
+        assert make_array(NUM, STR) != make_array(STR, NUM)
+
+    def test_length(self):
+        assert len(make_array(NUM, STR)) == 2
+
+    def test_size(self):
+        assert make_array(NUM, STR).size == 3
+        assert ArrayType(()).size == 1
+
+    def test_kind(self):
+        assert make_array().kind == Kind.ARRAY
+
+    def test_non_type_element_rejected(self):
+        with pytest.raises(InvalidTypeError):
+            ArrayType([42])
+
+    def test_empty_array_differs_from_empty_record(self):
+        assert ArrayType(()) != RecordType(())
+
+
+class TestStarArrayType:
+    def test_equality(self):
+        assert make_star(NUM) == make_star(NUM)
+        assert make_star(NUM) != make_star(STR)
+
+    def test_star_differs_from_positional_singleton(self):
+        assert make_star(NUM) != make_array(NUM)
+
+    def test_kind_matches_array(self):
+        assert make_star(NUM).kind == Kind.ARRAY
+
+    def test_size(self):
+        assert make_star(NUM).size == 2
+
+    def test_empty_body_allowed(self):
+        assert make_star(EMPTY).body == EMPTY
+
+
+class TestUnionType:
+    def test_members_sorted_by_kind(self):
+        u = UnionType([STR, NULL, NUM])
+        assert [m.kind for m in u.members] == [Kind.NULL, Kind.NUM, Kind.STR]
+
+    def test_member_order_does_not_affect_equality(self):
+        assert UnionType([NUM, STR]) == UnionType([STR, NUM])
+
+    def test_requires_two_members(self):
+        with pytest.raises(InvalidTypeError):
+            UnionType([NUM])
+
+    def test_nested_union_rejected(self):
+        with pytest.raises(InvalidTypeError):
+            UnionType([UnionType([NUM, STR]), BOOL])
+
+    def test_empty_member_rejected(self):
+        with pytest.raises(InvalidTypeError):
+            UnionType([EMPTY, NUM])
+
+    def test_addends(self):
+        assert UnionType([NUM, STR]).addends() == (NUM, STR)
+
+    def test_size(self):
+        assert UnionType([NUM, STR]).size == 3
+
+
+class TestMakeUnion:
+    def test_empty_yields_empty_type(self):
+        assert make_union([]) == EMPTY
+
+    def test_singleton_returns_member(self):
+        assert make_union([NUM]) is NUM
+
+    def test_flattens_nested_unions(self):
+        inner = make_union([NUM, STR])
+        assert make_union([inner, BOOL]) == make_union([NUM, STR, BOOL])
+
+    def test_drops_empty(self):
+        assert make_union([EMPTY, NUM]) is NUM
+        assert make_union([EMPTY]) == EMPTY
+
+    def test_dedupes_members(self):
+        assert make_union([NUM, NUM]) is NUM
+        assert make_union([NUM, STR, NUM]) == make_union([NUM, STR])
+
+    def test_same_kind_distinct_members_kept(self):
+        r1 = make_record({"a": NUM})
+        r2 = make_record({"b": NUM})
+        u = make_union([r1, r2])
+        assert isinstance(u, UnionType) and len(u.members) == 2
+
+
+class TestPickling:
+    @given(normal_types())
+    def test_round_trip_preserves_equality(self, t):
+        assert pickle.loads(pickle.dumps(t)) == t
+
+    @given(normal_types())
+    def test_round_trip_preserves_hash(self, t):
+        assert hash(pickle.loads(pickle.dumps(t))) == hash(t)
+
+
+class TestHasPositionalArray:
+    def test_basic_and_empty(self):
+        assert not NUM.has_positional_array
+        assert not EMPTY.has_positional_array
+
+    def test_positional_array(self):
+        assert make_array(NUM).has_positional_array
+        assert ArrayType(()).has_positional_array
+
+    def test_star_over_basic(self):
+        assert not make_star(NUM).has_positional_array
+
+    def test_star_over_positional(self):
+        assert make_star(make_array(NUM)).has_positional_array
+
+    def test_record_propagates(self):
+        assert make_record({"a": make_array(NUM)}).has_positional_array
+        assert not make_record({"a": make_star(NUM)}).has_positional_array
+
+    def test_union_propagates(self):
+        assert make_union([NUM, make_array(STR)]).has_positional_array

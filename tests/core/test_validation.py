@@ -1,0 +1,117 @@
+"""Unit and property tests for validation with error paths (repro.core.validation)."""
+
+from hypothesis import given
+
+from repro.core.semantics import matches
+from repro.core.type_parser import parse_type as p
+from repro.core.types import EMPTY
+from repro.core.validation import validate
+from tests.conftest import json_values, normal_types
+
+
+def paths_of(violations):
+    return [v.path for v in violations]
+
+
+class TestAtomViolations:
+    def test_matching_value_has_no_violations(self):
+        assert validate(3, p("Num")) == []
+
+    def test_wrong_atom_reports_root_path(self):
+        violations = validate("x", p("Num"))
+        assert paths_of(violations) == ["$"]
+        assert violations[0].expected == "Num"
+        assert "'x'" in violations[0].found
+
+    def test_bool_is_not_num(self):
+        assert validate(True, p("Num")) != []
+
+    def test_empty_type_always_fails(self):
+        assert len(validate(None, EMPTY)) == 1
+
+
+class TestRecordViolations:
+    SCHEMA = p("{a: Num, b: Str, c: Bool?}")
+
+    def test_all_good(self):
+        assert validate({"a": 1, "b": "x"}, self.SCHEMA) == []
+        assert validate({"a": 1, "b": "x", "c": True}, self.SCHEMA) == []
+
+    def test_missing_mandatory_field(self):
+        violations = validate({"a": 1}, self.SCHEMA)
+        assert "$.b" in paths_of(violations)
+        assert any("mandatory" in v.expected for v in violations)
+
+    def test_missing_optional_field_is_fine(self):
+        assert validate({"a": 1, "b": "x"}, self.SCHEMA) == []
+
+    def test_unexpected_key(self):
+        violations = validate({"a": 1, "b": "x", "zz": 0}, self.SCHEMA)
+        assert paths_of(violations) == ["$.zz"]
+        assert violations[0].expected == "no such key"
+
+    def test_wrong_field_type_reports_field_path(self):
+        violations = validate({"a": "no", "b": "x"}, self.SCHEMA)
+        assert paths_of(violations) == ["$.a"]
+
+    def test_multiple_violations_all_reported(self):
+        violations = validate({"a": "no", "zz": 0}, self.SCHEMA)
+        assert set(paths_of(violations)) == {"$.a", "$.b", "$.zz"}
+
+    def test_non_record_value(self):
+        violations = validate([1], self.SCHEMA)
+        assert paths_of(violations) == ["$"]
+
+    def test_nested_paths(self):
+        schema = p("{outer: {inner: Num}}")
+        violations = validate({"outer": {"inner": "x"}}, schema)
+        assert paths_of(violations) == ["$.outer.inner"]
+
+
+class TestArrayViolations:
+    def test_star_array_reports_bad_index(self):
+        violations = validate([1, "x", 2], p("[Num*]"))
+        assert paths_of(violations) == ["$[1]"]
+
+    def test_positional_wrong_length(self):
+        violations = validate([1], p("[Num, Num]"))
+        assert "exactly 2" in violations[0].expected
+
+    def test_positional_pointwise(self):
+        violations = validate([1, 2], p("[Num, Str]"))
+        assert paths_of(violations) == ["$[1]"]
+
+    def test_non_array_value(self):
+        assert paths_of(validate("s", p("[Num*]"))) == ["$"]
+
+
+class TestUnionViolations:
+    def test_union_match_is_clean(self):
+        assert validate("x", p("Num + Str")) == []
+
+    def test_union_failure_reports_best_alternative(self):
+        # The record alternative misses by one field; the Num alternative
+        # misses entirely.  The report should explain the record.
+        schema = p("Num + {a: Num, b: Str}")
+        violations = validate({"a": 1}, schema)
+        assert paths_of(violations) == ["$.b"]
+
+    def test_union_of_atoms_failure(self):
+        violations = validate(None, p("Num + Str"))
+        assert len(violations) == 1
+        assert violations[0].path == "$"
+
+
+class TestConsistencyWithMatches:
+    @given(json_values(), normal_types())
+    def test_empty_violations_iff_matches(self, value, t):
+        assert (validate(value, t) == []) == matches(value, t)
+
+    @given(json_values(), normal_types())
+    def test_violation_paths_are_rooted(self, value, t):
+        for violation in validate(value, t):
+            assert violation.path.startswith("$")
+
+    def test_str_rendering(self):
+        violation = validate(5, p("Str"))[0]
+        assert str(violation) == "$: expected Str, found the number 5"

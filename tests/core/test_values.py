@@ -1,0 +1,91 @@
+"""Unit tests for JSON value helpers (repro.core.values)."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import InvalidValueError
+from repro.core.values import (
+    is_valid_value,
+    iter_paths,
+    record_depth,
+    validate_value,
+    value_depth,
+    value_node_count,
+)
+from tests.conftest import json_values
+
+
+class TestValidateValue:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -3, 2.5, "", "x",
+        {}, {"a": 1}, [], [1, "x", None], {"a": {"b": [True]}},
+    ])
+    def test_valid_values_pass(self, value):
+        validate_value(value)
+        assert is_valid_value(value)
+
+    @pytest.mark.parametrize("value", [
+        float("nan"), float("inf"), -float("inf"),
+        {1: "x"}, {"a": {2: 1}}, (1, 2), {1, 2}, b"bytes", object(),
+        {"a": [object()]},
+    ])
+    def test_invalid_values_rejected(self, value):
+        with pytest.raises(InvalidValueError):
+            validate_value(value)
+        assert not is_valid_value(value)
+
+    def test_error_mentions_path(self):
+        with pytest.raises(InvalidValueError, match=r"\$\.a\[0\]"):
+            validate_value({"a": [float("nan")]})
+
+    @given(json_values())
+    def test_strategy_values_valid(self, value):
+        validate_value(value)
+
+
+class TestValueDepth:
+    @pytest.mark.parametrize("value,depth", [
+        (1, 0), ("x", 0), (None, 0),
+        ({}, 1), ([], 1), ({"a": 1}, 1),
+        ({"a": [1]}, 2), ([[1]], 2), ({"a": {"b": {"c": []}}}, 4),
+    ])
+    def test_depths(self, value, depth):
+        assert value_depth(value) == depth
+
+
+class TestRecordDepth:
+    @pytest.mark.parametrize("value,depth", [
+        (1, 0), ([], 0), ([1, 2], 0),
+        ({}, 1), ({"a": 1}, 1),
+        ({"a": [{"b": 1}]}, 2),   # arrays are transparent
+        ([{"a": {"b": 1}}], 2),
+        ({"a": {"b": {"c": 1}}}, 3),
+    ])
+    def test_depths(self, value, depth):
+        assert record_depth(value) == depth
+
+
+class TestNodeCount:
+    @pytest.mark.parametrize("value,count", [
+        (1, 1), ({}, 1), ([], 1),
+        ({"a": 1}, 2), ([1, 2], 3), ({"a": [1, {"b": None}]}, 5),
+    ])
+    def test_counts(self, value, count):
+        assert value_node_count(value) == count
+
+
+class TestIterPaths:
+    def test_paths_of_nested_value(self):
+        got = sorted(iter_paths({"a": {"b": 1}, "c": [2, {"d": 3}]}))
+        assert got == [
+            "$", "$.a", "$.a.b", "$.c", "$.c[*]", "$.c[*].d",
+        ]
+
+    def test_array_items_deduplicated(self):
+        got = list(iter_paths([1, 2, 3]))
+        assert got == ["$", "$[*]"]
+
+    def test_atom(self):
+        assert list(iter_paths(42)) == ["$"]

@@ -1,0 +1,235 @@
+"""Tests for the synthetic dataset generators (repro.datasets).
+
+Each generator must (a) produce valid, deterministic JSON records and
+(b) reproduce the structural signature the paper attributes to its dataset
+(Section 6.1) — those signatures are what Tables 2-5 actually measure.
+"""
+
+import pytest
+
+from repro.core.values import record_depth, validate_value
+from repro.datasets import (
+    DATASET_NAMES,
+    SCALES,
+    dataset_generator,
+    generate,
+    generate_list,
+    write_dataset,
+)
+from repro.datasets.twitter import DELETE_FRACTION
+from repro.inference import infer_type, run_inference
+from repro.jsonio.ndjson import count_records, read_ndjson
+
+N = 300
+
+
+@pytest.fixture(scope="module")
+def samples():
+    """300 records of each dataset, generated once per test run."""
+    return {name: generate_list(name, N) for name in DATASET_NAMES}
+
+
+class TestRegistry:
+    def test_all_four_paper_datasets_present(self):
+        assert set(DATASET_NAMES) == {"github", "twitter", "wikidata", "nytimes"}
+
+    def test_paper_scales(self):
+        assert SCALES == {
+            "1K": 1_000, "10K": 10_000, "100K": 100_000, "1M": 1_000_000,
+        }
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError, match="github"):
+            dataset_generator("nope")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_same_seed_same_records(self, name):
+        assert generate_list(name, 20) == generate_list(name, 20)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_different_seed_different_records(self, name):
+        assert generate_list(name, 20, seed=0) != generate_list(name, 20, seed=1)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_prefix_stability(self, name):
+        """A 1K sub-dataset is a prefix of the 10K one (the paper's
+        sub-sampling protocol made reproducible)."""
+        assert generate_list(name, 10) == generate_list(name, 30)[:10]
+
+
+class TestValidity:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_records_are_valid_json_values(self, name, samples):
+        for record in samples[name]:
+            validate_value(record)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_records_are_objects(self, name, samples):
+        assert all(isinstance(r, dict) for r in samples[name])
+
+
+class TestGitHubSignature:
+    """Homogeneous nested records, no arrays, depth <= 4 (Section 6.1)."""
+
+    def test_no_arrays_at_all(self, samples):
+        def has_array(value):
+            if isinstance(value, list):
+                return True
+            if isinstance(value, dict):
+                return any(has_array(v) for v in value.values())
+            return False
+
+        assert not any(has_array(r) for r in samples["github"])
+
+    def test_depth_at_most_four(self, samples):
+        assert max(record_depth(r) for r in samples["github"]) == 4
+
+    def test_top_level_schema_constant(self, samples):
+        keys = {tuple(sorted(r)) for r in samples["github"]}
+        assert len(keys) == 1
+
+    def test_type_sizes_homogeneous(self, samples):
+        sizes = {infer_type(r).size for r in samples["github"]}
+        assert max(sizes) - min(sizes) < 60  # narrow band, like the paper's 147
+
+    def test_fewest_distinct_types(self, samples):
+        distinct = {
+            name: run_inference(vals).distinct_type_count
+            for name, vals in samples.items()
+        }
+        assert distinct["github"] == min(distinct.values())
+
+
+class TestTwitterSignature:
+    """Tweets plus tiny deletes, arrays of records, depth <= 3 (Section 6.1)."""
+
+    def test_contains_deletes_and_tweets(self, samples):
+        deletes = [r for r in samples["twitter"] if "delete" in r]
+        tweets = [r for r in samples["twitter"] if "delete" not in r]
+        assert deletes and tweets
+        # "A tiny fraction of these records corresponds to ... delete".
+        assert len(deletes) / len(samples["twitter"]) < 2.5 * DELETE_FRACTION
+
+    def test_deletes_are_smallest_types(self, samples):
+        sizes = [infer_type(r).size for r in samples["twitter"]]
+        delete = next(r for r in samples["twitter"] if "delete" in r)
+        assert infer_type(delete).size == min(sizes) < 15
+
+    def test_five_top_level_shapes(self, samples):
+        shapes = {tuple(sorted(r)) for r in samples["twitter"]}
+        assert len(shapes) == 5
+
+    def test_arrays_of_records_present(self, samples):
+        tweet = next(r for r in samples["twitter"]
+                     if "delete" not in r and r["entities"]["hashtags"])
+        assert isinstance(tweet["entities"]["hashtags"][0], dict)
+
+    def test_record_depth_at_most_three(self, samples):
+        assert max(record_depth(r) for r in samples["twitter"]) == 3
+
+
+class TestWikidataSignature:
+    """Ids-as-keys pathology, depth 6 (Section 6.1)."""
+
+    def test_property_ids_used_as_keys(self, samples):
+        claims = samples["wikidata"][0]["claims"]
+        assert all(k.startswith("P") for k in claims)
+
+    def test_language_codes_used_as_keys(self, samples):
+        labels = samples["wikidata"][0]["labels"]
+        assert all(labels[k]["language"] == k for k in labels)
+
+    def test_nearly_every_record_has_a_distinct_type(self, samples):
+        run = run_inference(samples["wikidata"])
+        assert run.distinct_type_count > 0.95 * N
+
+    def test_most_distinct_types_of_all_datasets(self, samples):
+        distinct = {
+            name: run_inference(vals).distinct_type_count
+            for name, vals in samples.items()
+        }
+        assert distinct["wikidata"] == max(distinct.values())
+
+    def test_record_depth_six(self, samples):
+        assert max(record_depth(r) for r in samples["wikidata"]) == 6
+
+    def test_worst_compaction_ratio(self, samples):
+        """Fusion compacts Wikidata worst (Table 4 vs Tables 2/3/5)."""
+        def ratio(vals):
+            run = run_inference(vals)
+            sizes = [infer_type(v).size for v in vals]
+            return run.schema.size / (sum(sizes) / len(sizes))
+
+        ratios = {name: ratio(vals) for name, vals in samples.items()}
+        assert ratios["wikidata"] == max(ratios.values())
+        assert ratios["wikidata"] > 10
+
+    def test_fused_size_still_below_sum_of_inputs(self, samples):
+        """"...the size of the fused types is smaller than the sum of the
+        input types" — the paper's consolation for Wikidata."""
+        run = run_inference(samples["wikidata"])
+        total = sum(infer_type(v).size for v in samples["wikidata"])
+        assert run.schema.size < total
+
+
+class TestNYTimesSignature:
+    """Fixed first level, deep lower-level variation (Section 6.1)."""
+
+    def test_top_level_keys_fixed(self, samples):
+        keys = {tuple(sorted(r)) for r in samples["nytimes"]}
+        assert len(keys) == 1
+
+    def test_headline_variants(self, samples):
+        """The paper: main/content_kicker/kicker vs main/print_headline."""
+        headline_shapes = {
+            tuple(sorted(r["headline"])) for r in samples["nytimes"]
+        }
+        assert any("content_kicker" in shape for shape in headline_shapes)
+        assert any("print_headline" in shape for shape in headline_shapes)
+
+    def test_num_str_conflict_on_word_count(self, samples):
+        kinds = {type(r["word_count"]) for r in samples["nytimes"]}
+        assert kinds == {int, str}
+
+    def test_record_depth_seven(self, samples):
+        assert max(record_depth(r) for r in samples["nytimes"]) == 7
+
+    def test_best_compaction_ratio(self, samples):
+        """Table 5: NYTimes results are "even better than the rest"."""
+        def ratio(vals):
+            run = run_inference(vals)
+            sizes = [infer_type(v).size for v in vals]
+            return run.schema.size / (sum(sizes) / len(sizes))
+
+        ratios = {name: ratio(vals) for name, vals in samples.items()}
+        assert ratios["nytimes"] == min(ratios.values())
+
+
+class TestPaperRatioBounds:
+    def test_github_ratio_within_paper_bound(self, samples):
+        """Table 2: fused/avg "not bigger than 1.4" for GitHub."""
+        run = run_inference(samples["github"])
+        sizes = [infer_type(v).size for v in samples["github"]]
+        assert run.schema.size / (sum(sizes) / len(sizes)) <= 1.4
+
+    def test_twitter_ratio_within_paper_bound(self, samples):
+        """Table 3: fused/avg "bounded by 4" for Twitter."""
+        run = run_inference(samples["twitter"])
+        sizes = [infer_type(v).size for v in samples["twitter"]]
+        assert run.schema.size / (sum(sizes) / len(sizes)) <= 4
+
+
+class TestWriteDataset:
+    def test_write_and_read_back(self, tmp_path):
+        path = tmp_path / "github.ndjson"
+        count = write_dataset("github", 25, path)
+        assert count == 25
+        assert count_records(path) == 25
+        assert list(read_ndjson(path)) == generate_list("github", 25)
+
+    def test_generate_is_a_stream(self):
+        stream = generate("twitter", 5)
+        first = next(stream)
+        assert isinstance(first, dict)

@@ -1,0 +1,39 @@
+"""Unit tests for accumulators (repro.engine.accumulators)."""
+
+from repro.engine.accumulators import Accumulator, CounterAccumulator
+from repro.engine.context import Context
+
+
+class TestCounterAccumulator:
+    def test_starts_at_zero(self):
+        assert CounterAccumulator().value == 0
+
+    def test_increment(self):
+        acc = CounterAccumulator()
+        acc.increment()
+        acc.increment(5)
+        assert acc.value == 6
+
+    def test_updates_from_parallel_tasks(self):
+        acc = CounterAccumulator()
+        with Context(parallelism=4) as ctx:
+            ctx.parallelize(range(1000), 8).map(
+                lambda x: acc.increment() or x
+            ).collect()
+        assert acc.value == 1000
+
+
+class TestGenericAccumulator:
+    def test_custom_combine(self):
+        acc = Accumulator(zero=set(), combine=lambda a, b: a | b)
+        acc.add({1})
+        acc.add({2, 3})
+        assert acc.value == {1, 2, 3}
+
+    def test_max_accumulator(self):
+        acc = Accumulator(zero=float("-inf"), combine=max)
+        with Context(parallelism=3) as ctx:
+            ctx.parallelize([3, 9, 1, 7], 4).map(
+                lambda x: acc.add(x) or x
+            ).collect()
+        assert acc.value == 9

@@ -1,0 +1,179 @@
+"""Unit tests for the cluster simulator (repro.engine.cluster).
+
+The simulator must reproduce the paper's two Section 6.2 findings:
+bad block placement strands nodes under strict locality, and spreading the
+partitions engages the whole cluster and cuts the makespan.
+"""
+
+import pytest
+
+from repro.engine.cluster import (
+    Block,
+    ClusterSimulator,
+    NodeSpec,
+    default_cluster,
+    place_on_single_node,
+    place_round_robin,
+)
+
+
+def nodes(n=6):
+    return default_cluster(n)
+
+
+class TestPlacements:
+    def test_single_node_placement(self):
+        blocks = place_on_single_node([10, 20], nodes())
+        assert all(b.replicas == ("node0",) for b in blocks)
+
+    def test_single_node_placement_other_index(self):
+        blocks = place_on_single_node([10], nodes(), node_index=2)
+        assert blocks[0].replicas == ("node2",)
+
+    def test_round_robin_spreads(self):
+        blocks = place_round_robin([1] * 12, nodes(6))
+        per_node = {f"node{i}": 0 for i in range(6)}
+        for b in blocks:
+            per_node[b.replicas[0]] += 1
+        assert all(count == 2 for count in per_node.values())
+
+    def test_replication(self):
+        blocks = place_round_robin([1, 1], nodes(6), replication=3)
+        assert all(len(b.replicas) == 3 for b in blocks)
+        assert len(set(blocks[0].replicas)) == 3
+
+    def test_replication_capped_at_cluster_size(self):
+        blocks = place_round_robin([1], nodes(2), replication=5)
+        assert len(blocks[0].replicas) == 2
+
+
+class TestTaskDuration:
+    def test_local_read(self):
+        sim = ClusterSimulator(nodes())
+        block = Block(0, 80.0, ("node0",))
+        assert sim.task_duration_s(block, "node0") == pytest.approx(10.0)
+
+    def test_remote_read_pays_network(self):
+        sim = ClusterSimulator(nodes(), network_mb_per_s=80.0,
+                               strict_locality=False)
+        block = Block(0, 80.0, ("node0",))
+        assert sim.task_duration_s(block, "node1") == pytest.approx(11.0)
+
+
+class TestScheduling:
+    def test_all_blocks_scheduled(self):
+        sim = ClusterSimulator(nodes())
+        result = sim.run(place_round_robin([5] * 30, nodes()))
+        assert sum(result.tasks_per_node.values()) == 30
+
+    def test_strict_locality_strands_idle_nodes(self):
+        """The paper's naive run: data on one node, four-plus nodes idle."""
+        sim = ClusterSimulator(nodes(6), strict_locality=True)
+        result = sim.run(place_on_single_node([10] * 60, nodes(6)))
+        assert result.nodes_used == 1
+
+    def test_spread_placement_uses_whole_cluster(self):
+        sim = ClusterSimulator(nodes(6), strict_locality=True)
+        result = sim.run(place_round_robin([10] * 60, nodes(6)))
+        assert result.nodes_used == 6
+
+    def test_spread_beats_single_node_makespan(self):
+        """The paper's partitioning optimisation, qualitatively."""
+        sim = ClusterSimulator(nodes(6), strict_locality=True)
+        sizes = [50.0] * 120
+        naive = sim.run(place_on_single_node(sizes, nodes(6)))
+        spread = sim.run(place_round_robin(sizes, nodes(6)))
+        assert spread.makespan_s < naive.makespan_s
+        # With 6x the nodes engaged the speedup should be roughly 6x.
+        assert naive.makespan_s / spread.makespan_s == pytest.approx(6, rel=0.2)
+
+    def test_relaxed_locality_can_use_remote_nodes(self):
+        sim = ClusterSimulator(nodes(6), strict_locality=False)
+        result = sim.run(place_on_single_node([50.0] * 120, nodes(6)))
+        assert result.nodes_used > 1
+
+    def test_makespan_zero_for_no_blocks(self):
+        sim = ClusterSimulator(nodes())
+        result = sim.run([])
+        assert result.makespan_s == 0
+        assert result.utilization() == 0.0
+
+    def test_utilization_bounds(self):
+        sim = ClusterSimulator(nodes(3))
+        result = sim.run(place_round_robin([10] * 30, nodes(3)))
+        assert 0.0 < result.utilization() <= 1.0
+
+    def test_deterministic(self):
+        sim = ClusterSimulator(nodes())
+        blocks = place_round_robin([float(i) for i in range(40)], nodes())
+        first = sim.run(blocks)
+        second = sim.run(blocks)
+        assert first.makespan_s == second.makespan_s
+        assert first.tasks_per_node == second.tasks_per_node
+
+
+class TestHeterogeneousClusters:
+    def test_faster_nodes_finish_more_tasks(self):
+        fast = NodeSpec("fast", cores=4, cpu_mb_per_s=32.0)
+        slow = NodeSpec("slow", cores=4, cpu_mb_per_s=8.0)
+        sim = ClusterSimulator([fast, slow], strict_locality=False)
+        blocks = place_round_robin([64.0] * 40, [fast, slow])
+        result = sim.run(blocks)
+        assert result.tasks_per_node["fast"] > result.tasks_per_node["slow"]
+
+    def test_single_core_nodes_serialize(self):
+        node = NodeSpec("solo", cores=1, cpu_mb_per_s=10.0)
+        sim = ClusterSimulator([node])
+        result = sim.run(place_on_single_node([10.0] * 5, [node]))
+        assert result.makespan_s == pytest.approx(5.0)
+
+    def test_makespan_bounded_by_critical_path(self):
+        """Makespan is at least the largest single task and at most the
+        serial time."""
+        nodes = default_cluster(3)
+        sim = ClusterSimulator(nodes, strict_locality=False)
+        sizes = [5.0, 80.0, 20.0, 40.0] * 6
+        result = sim.run(place_round_robin(sizes, nodes))
+        largest = max(sizes) / nodes[0].cpu_mb_per_s
+        serial = sum(sizes) / nodes[0].cpu_mb_per_s
+        assert largest <= result.makespan_s <= serial
+
+    def test_replication_improves_locality_options(self):
+        """With replication 2, strict locality can still balance load."""
+        nodes = default_cluster(2)
+        sim = ClusterSimulator(nodes, strict_locality=True)
+        sizes = [10.0] * 80
+        replicated = sim.run(place_round_robin(sizes, nodes, replication=2))
+        single = sim.run(place_round_robin(sizes, nodes, replication=1))
+        assert replicated.makespan_s <= single.makespan_s
+
+    def test_network_speed_matters_for_remote_reads(self):
+        nodes = default_cluster(4)
+        sizes = [100.0] * 200
+        slow_net = ClusterSimulator(nodes, network_mb_per_s=10.0,
+                                    strict_locality=False)
+        fast_net = ClusterSimulator(nodes, network_mb_per_s=1000.0,
+                                    strict_locality=False)
+        blocks = place_on_single_node(sizes, nodes)
+        assert fast_net.run(blocks).makespan_s \
+            <= slow_net.run(blocks).makespan_s
+
+
+class TestValidation:
+    def test_unknown_replica_rejected(self):
+        sim = ClusterSimulator(nodes(2))
+        with pytest.raises(ValueError, match="unknown"):
+            sim.run([Block(0, 1.0, ("nodeX",))])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator([])
+
+    def test_duplicate_node_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterSimulator([NodeSpec("a"), NodeSpec("a")])
+
+    def test_strict_locality_with_no_eligible_node(self):
+        sim = ClusterSimulator(nodes(2), strict_locality=True)
+        with pytest.raises(ValueError):
+            sim.run([Block(0, 1.0, ())])

@@ -1,0 +1,84 @@
+"""Property-based tests for the cluster simulator's scheduling invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.cluster import (
+    ClusterSimulator,
+    NodeSpec,
+    place_on_single_node,
+    place_round_robin,
+)
+
+sizes_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=500.0), min_size=1, max_size=40
+)
+nodes_strategy = st.integers(min_value=1, max_value=8).map(
+    lambda n: [NodeSpec(f"n{i}", cores=4, cpu_mb_per_s=10.0) for i in range(n)]
+)
+
+
+class TestMakespanBounds:
+    @given(sizes_strategy, nodes_strategy)
+    def test_makespan_at_least_longest_task(self, sizes, nodes):
+        sim = ClusterSimulator(nodes, strict_locality=False)
+        result = sim.run(place_round_robin(sizes, nodes))
+        longest_local = max(sizes) / nodes[0].cpu_mb_per_s
+        assert result.makespan_s >= longest_local - 1e-9
+
+    @given(sizes_strategy, nodes_strategy)
+    def test_makespan_at_least_perfect_parallelism(self, sizes, nodes):
+        """Work conservation: you cannot beat total work / total slots."""
+        sim = ClusterSimulator(nodes, strict_locality=True)
+        result = sim.run(place_round_robin(sizes, nodes))
+        total_work = sum(sizes) / nodes[0].cpu_mb_per_s
+        slots = sum(n.cores for n in nodes)
+        assert result.makespan_s >= total_work / slots - 1e-9
+
+    @given(sizes_strategy, nodes_strategy)
+    def test_makespan_at_most_serial_time(self, sizes, nodes):
+        sim = ClusterSimulator(nodes, strict_locality=False)
+        result = sim.run(place_round_robin(sizes, nodes))
+        serial = sum(sizes) / nodes[0].cpu_mb_per_s
+        # Remote reads add network time, so bound with the remote penalty.
+        remote = sum(sizes) / sim.network_mb_per_s
+        assert result.makespan_s <= serial + remote + 1e-9
+
+
+class TestConservation:
+    @given(sizes_strategy, nodes_strategy)
+    def test_every_task_scheduled_exactly_once(self, sizes, nodes):
+        sim = ClusterSimulator(nodes, strict_locality=True)
+        result = sim.run(place_round_robin(sizes, nodes))
+        assert sum(result.tasks_per_node.values()) == len(sizes)
+
+    @given(sizes_strategy, nodes_strategy)
+    def test_busy_time_equals_total_work_under_locality(self, sizes, nodes):
+        """With strict locality every read is local, so total busy time is
+        exactly total compute time."""
+        sim = ClusterSimulator(nodes, strict_locality=True)
+        result = sim.run(place_round_robin(sizes, nodes))
+        total_work = sum(sizes) / nodes[0].cpu_mb_per_s
+        assert abs(sum(result.busy_s.values()) - total_work) < 1e-6
+
+    @given(sizes_strategy, nodes_strategy)
+    def test_utilization_in_unit_interval(self, sizes, nodes):
+        sim = ClusterSimulator(nodes, strict_locality=False)
+        result = sim.run(place_on_single_node(sizes, nodes))
+        assert 0.0 <= result.utilization() <= 1.0 + 1e-9
+
+
+class TestMonotonicity:
+    @given(sizes_strategy)
+    def test_more_nodes_never_hurt(self, sizes):
+        small = [NodeSpec(f"n{i}", cores=4, cpu_mb_per_s=10.0)
+                 for i in range(2)]
+        large = small + [NodeSpec(f"m{i}", cores=4, cpu_mb_per_s=10.0)
+                         for i in range(2)]
+        small_result = ClusterSimulator(small, strict_locality=True).run(
+            place_round_robin(sizes, small)
+        )
+        large_result = ClusterSimulator(large, strict_locality=True).run(
+            place_round_robin(sizes, large)
+        )
+        assert large_result.makespan_s <= small_result.makespan_s + 1e-9

@@ -1,0 +1,61 @@
+"""Unit tests for the engine context (repro.engine.context)."""
+
+import pytest
+
+from repro.engine.context import Context, split_evenly
+from repro.jsonio.ndjson import write_ndjson
+
+
+class TestSplitEvenly:
+    def test_balanced(self):
+        # round() uses banker's rounding, so the smaller half comes first.
+        assert split_evenly([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4, 5]]
+
+    def test_exact_division(self):
+        assert split_evenly(list(range(6)), 3) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_more_partitions_than_items(self):
+        parts = split_evenly([1, 2], 4)
+        assert len(parts) == 4
+        assert [x for p in parts for x in p] == [1, 2]
+
+    def test_empty_input(self):
+        assert split_evenly([], 3) == [[], [], []]
+
+    def test_sizes_differ_by_at_most_one(self):
+        parts = split_evenly(list(range(17)), 5)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            split_evenly([1], 0)
+
+
+class TestContextSources:
+    def test_parallelize_round_trip(self):
+        with Context(parallelism=2) as ctx:
+            assert ctx.parallelize(range(10), 3).collect() == list(range(10))
+
+    def test_text_file(self, tmp_path):
+        path = tmp_path / "lines.txt"
+        path.write_text("one\ntwo\n\nthree\n")
+        with Context(parallelism=2) as ctx:
+            assert ctx.text_file(path, 2).collect() == ["one", "two", "three"]
+
+    def test_ndjson_file(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        records = [{"a": 1}, {"b": [True]}]
+        write_ndjson(path, records)
+        with Context(parallelism=2) as ctx:
+            assert ctx.ndjson_file(path, 2).collect() == records
+
+    def test_default_parallelism(self):
+        with Context(parallelism=3) as ctx:
+            assert ctx.default_parallelism == 3
+
+    def test_context_manager_stops_scheduler(self):
+        with Context(parallelism=2) as ctx:
+            ctx.parallelize([1], 1).collect()
+        # Scheduler is reusable even after stop().
+        assert ctx.parallelize([2], 1).collect() == [2]

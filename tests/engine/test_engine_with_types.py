@@ -1,0 +1,122 @@
+"""Integration: the engine operating on Type objects and failure injection.
+
+The engine is generic, but the workload it exists for moves :class:`Type`
+values through every primitive — these tests exercise exactly that, plus
+the failure modes a production run hits (bad records mid-partition).
+"""
+
+import pytest
+
+from repro.core.types import EMPTY, Type
+from repro.datasets import generate_list
+from repro.engine import Context
+from repro.inference import fuse, fuse_multiset, infer_type
+from repro.jsonio.errors import JsonError
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    with Context(parallelism=4) as context:
+        yield context
+
+
+class TestTypesThroughThePrimitives:
+    def test_distinct_over_types(self, ctx):
+        values = generate_list("github", 200)
+        typed = ctx.parallelize(values, 8).map(infer_type)
+        distinct = typed.distinct().collect()
+        assert len(distinct) == len(set(infer_type(v) for v in values))
+
+    def test_reduce_by_key_groups_by_type(self, ctx):
+        values = generate_list("twitter", 200)
+        counts = dict(
+            ctx.parallelize(values, 8)
+            .map(lambda v: (infer_type(v), 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        assert sum(counts.values()) == 200
+        assert all(isinstance(t, Type) for t in counts)
+
+    def test_count_by_value_over_types(self, ctx):
+        values = generate_list("github", 100)
+        histogram = ctx.parallelize(values, 4).map(infer_type).count_by_value()
+        assert sum(histogram.values()) == 100
+
+    def test_tree_reduce_fuse_equals_fold(self, ctx):
+        values = generate_list("nytimes", 150)
+        typed = ctx.parallelize(values, 8).map(infer_type).cache()
+        assert typed.tree_reduce(fuse) == typed.fold(EMPTY, fuse)
+
+    def test_aggregate_builds_partial_schemas(self, ctx):
+        values = generate_list("twitter", 120)
+        schema = ctx.parallelize(values, 6).aggregate(
+            EMPTY,
+            lambda acc, v: fuse(acc, infer_type(v)),
+            fuse,
+        )
+        assert schema == fuse_multiset(infer_type(v) for v in values)
+
+
+class TestFailureInjection:
+    def test_bad_record_fails_the_job(self, ctx, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"a":1}\n{broken\n{"a":2}\n')
+        rdd = ctx.ndjson_file(path, 2)
+        with pytest.raises(JsonError):
+            rdd.collect()
+
+    def test_bad_record_in_one_partition_fails_actions_too(self, ctx, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        lines = ['{"a":%d}' % i for i in range(50)]
+        lines[37] = "not json"
+        path.write_text("\n".join(lines))
+        rdd = ctx.ndjson_file(path, 8).map(infer_type)
+        with pytest.raises(JsonError):
+            rdd.fold(EMPTY, fuse)
+
+    def test_invalid_value_surfaces_from_map_phase(self, ctx):
+        from repro.core.errors import InvalidValueError
+
+        rdd = ctx.parallelize([{"ok": 1}, {"bad": object()}], 2).map(infer_type)
+        with pytest.raises(InvalidValueError):
+            rdd.collect()
+
+    def test_partial_failure_leaves_no_cached_garbage(self, ctx):
+        flaky = [1, 2, "boom", 4]
+
+        def explode(x):
+            if x == "boom":
+                raise RuntimeError("boom")
+            return x
+
+        rdd = ctx.parallelize(flaky, 4).map(explode)
+        with pytest.raises(RuntimeError):
+            rdd.cache()
+        # The failed cache attempt must not leave stale partitions behind.
+        assert rdd._cache is None or all(
+            part is not None for part in rdd._cache
+        )
+
+
+class TestUnicodeAndEdgeContent:
+    def test_unicode_record_keys_flow_through(self, ctx):
+        values = [{"café": 1, "日本": "x"}, {"café": None}]
+        schema = ctx.parallelize(values, 2).map(infer_type).fold(EMPTY, fuse)
+        assert schema.field("café") is not None
+        assert schema.field("日本").optional
+
+    def test_empty_string_key(self, ctx):
+        values = [{"": 1}]
+        schema = ctx.parallelize(values, 1).map(infer_type).fold(EMPTY, fuse)
+        assert schema.field("") is not None
+
+    def test_deeply_nested_value(self, ctx):
+        value: dict = {"leaf": 0}
+        for _ in range(60):
+            value = {"next": value}
+        schema = ctx.parallelize([value], 1).map(infer_type).fold(EMPTY, fuse)
+        t = schema
+        for _ in range(60):
+            t = t.field("next").type
+        assert t.field("leaf") is not None

@@ -1,0 +1,305 @@
+"""Unit tests for the RDD abstraction (repro.engine.rdd)."""
+
+import operator
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.context import Context
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    with Context(parallelism=4) as context:
+        yield context
+
+
+class TestSourcesAndCollect:
+    def test_collect_preserves_order(self, ctx):
+        data = list(range(100))
+        assert ctx.parallelize(data, 7).collect() == data
+
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(42), 5).count() == 42
+
+    def test_empty(self, ctx):
+        rdd = ctx.parallelize([], 3)
+        assert rdd.collect() == []
+        assert rdd.count() == 0
+
+    def test_num_partitions(self, ctx):
+        assert ctx.parallelize(range(10), 3).num_partitions == 3
+
+    def test_default_partitions(self, ctx):
+        assert ctx.parallelize(range(10)).num_partitions == 4
+
+    def test_iteration(self, ctx):
+        assert list(ctx.parallelize(range(5), 2)) == [0, 1, 2, 3, 4]
+
+    def test_from_partitions_layout_respected(self, ctx):
+        rdd = ctx.from_partitions([[1, 2], [], [3]])
+        assert rdd.num_partitions == 3
+        assert rdd.compute_partition(0) == [1, 2]
+        assert rdd.compute_partition(1) == []
+
+
+class TestNarrowTransformations:
+    def test_map(self, ctx):
+        assert ctx.parallelize([1, 2, 3], 2).map(lambda x: x * 10).collect() \
+            == [10, 20, 30]
+
+    def test_filter(self, ctx):
+        got = ctx.parallelize(range(10), 3).filter(lambda x: x % 2 == 0)
+        assert got.collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        got = ctx.parallelize([1, 2], 2).flat_map(lambda x: [x] * x)
+        assert got.collect() == [1, 2, 2]
+
+    def test_map_partitions(self, ctx):
+        got = ctx.parallelize(range(6), 3).map_partitions(lambda p: [sum(p)])
+        assert got.collect() == [1, 5, 9]
+
+    def test_map_partitions_with_index(self, ctx):
+        got = ctx.parallelize(range(4), 2).map_partitions_with_index(
+            lambda i, p: [(i, len(p))]
+        )
+        assert got.collect() == [(0, 2), (1, 2)]
+
+    def test_glom(self, ctx):
+        got = ctx.parallelize(range(4), 2).glom().collect()
+        assert got == [[0, 1], [2, 3]]
+
+    def test_key_by(self, ctx):
+        got = ctx.parallelize(["aa", "b"], 1).key_by(len).collect()
+        assert got == [(2, "aa"), (1, "b")]
+
+    def test_chaining(self, ctx):
+        got = (
+            ctx.parallelize(range(10), 4)
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 2 == 0)
+            .map(str)
+            .collect()
+        )
+        assert got == ["2", "4", "6", "8", "10"]
+
+    def test_transformations_are_lazy(self, ctx):
+        calls = []
+        rdd = ctx.parallelize([1, 2], 1).map(lambda x: calls.append(x) or x)
+        assert calls == []
+        rdd.collect()
+        assert calls == [1, 2]
+
+    def test_union(self, ctx):
+        a = ctx.parallelize([1, 2], 2)
+        b = ctx.parallelize([3], 1)
+        u = a.union(b)
+        assert u.num_partitions == 3
+        assert u.collect() == [1, 2, 3]
+
+    def test_coalesce(self, ctx):
+        rdd = ctx.parallelize(range(10), 8).coalesce(3)
+        assert rdd.num_partitions == 3
+        assert rdd.collect() == list(range(10))
+
+    def test_coalesce_cannot_grow(self, ctx):
+        assert ctx.parallelize(range(4), 2).coalesce(10).num_partitions == 2
+
+    def test_coalesce_validates(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize(range(4), 2).coalesce(0)
+
+
+class TestActions:
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(101), 5).reduce(operator.add) == 5050
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([], 3).reduce(operator.add)
+
+    def test_reduce_with_empty_partitions(self, ctx):
+        assert ctx.parallelize([5], 4).reduce(operator.add) == 5
+
+    def test_tree_reduce_matches_reduce(self, ctx):
+        data = list(range(37))
+        rdd = ctx.parallelize(data, 6)
+        assert rdd.tree_reduce(operator.add) == rdd.reduce(operator.add)
+
+    def test_tree_reduce_with_depth_limit(self, ctx):
+        rdd = ctx.parallelize(range(64), 16)
+        assert rdd.tree_reduce(operator.add, depth=2) == sum(range(64))
+
+    def test_tree_reduce_empty_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([], 2).tree_reduce(operator.add)
+
+    def test_fold(self, ctx):
+        assert ctx.parallelize(range(5), 2).fold(0, operator.add) == 10
+        assert ctx.parallelize([], 2).fold(99, operator.add) == 99
+
+    def test_aggregate(self, ctx):
+        # Compute (sum, count) in one pass.
+        total, count = ctx.parallelize(range(10), 3).aggregate(
+            (0, 0),
+            lambda acc, x: (acc[0] + x, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        assert (total, count) == (45, 10)
+
+    def test_take(self, ctx):
+        assert ctx.parallelize(range(100), 10).take(5) == [0, 1, 2, 3, 4]
+        assert ctx.parallelize([1], 4).take(10) == [1]
+
+    def test_first(self, ctx):
+        assert ctx.parallelize([7, 8], 2).first() == 7
+        with pytest.raises(ValueError):
+            ctx.parallelize([], 2).first()
+
+    def test_count_by_value(self, ctx):
+        counts = ctx.parallelize(["a", "b", "a"], 2).count_by_value()
+        assert counts == {"a": 2, "b": 1}
+
+
+class TestShuffle:
+    def test_reduce_by_key(self, ctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)]
+        got = dict(
+            ctx.parallelize(pairs, 3).reduce_by_key(operator.add).collect()
+        )
+        assert got == {"a": 4, "b": 7, "c": 4}
+
+    def test_reduce_by_key_output_partitions(self, ctx):
+        pairs = [(i, 1) for i in range(20)]
+        rdd = ctx.parallelize(pairs, 4).reduce_by_key(operator.add, 2)
+        assert rdd.num_partitions == 2
+        assert sorted(rdd.collect()) == [(i, 1) for i in range(20)]
+
+    def test_distinct(self, ctx):
+        got = ctx.parallelize([1, 2, 1, 3, 2, 1], 3).distinct().collect()
+        assert sorted(got) == [1, 2, 3]
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers())))
+    def test_reduce_by_key_matches_sequential(self, pairs):
+        with Context(parallelism=2) as local_ctx:
+            got = dict(
+                local_ctx.parallelize(pairs, 3)
+                .reduce_by_key(operator.add)
+                .collect()
+            )
+        expected: dict[int, int] = {}
+        for k, v in pairs:
+            expected[k] = expected.get(k, 0) + v
+        assert got == expected
+
+
+class TestSampleAndZip:
+    def test_sample_fraction_zero_and_one(self, ctx):
+        rdd = ctx.parallelize(range(50), 4)
+        assert rdd.sample(0.0).collect() == []
+        assert rdd.sample(1.0).collect() == list(range(50))
+
+    def test_sample_is_deterministic(self, ctx):
+        rdd = ctx.parallelize(range(200), 4)
+        assert rdd.sample(0.5, seed=3).collect() \
+            == rdd.sample(0.5, seed=3).collect()
+
+    def test_sample_respects_fraction_roughly(self, ctx):
+        got = ctx.parallelize(range(2000), 4).sample(0.25, seed=1).count()
+        assert 350 < got < 650
+
+    def test_sample_validates_fraction(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 1).sample(1.5)
+
+    def test_zip_with_index_global_order(self, ctx):
+        got = ctx.parallelize("abcde", 3).zip_with_index().collect()
+        assert got == [("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4)]
+
+    def test_zip_with_index_empty_partitions(self, ctx):
+        got = ctx.parallelize([7], 4).zip_with_index().collect()
+        assert got == [(7, 0)]
+
+
+class TestDebugString:
+    def test_lineage_chain(self, ctx):
+        rdd = ctx.parallelize([1], 1).map(str).filter(len)
+        lines = rdd.debug_string().split("\n")
+        assert len(lines) == 3
+        assert lines[0].startswith("MapPartitionsRDD")
+        assert lines[2].strip().startswith("ParallelizedRDD")
+
+    def test_indentation_reflects_depth(self, ctx):
+        rdd = ctx.parallelize([1], 1).map(str)
+        lines = rdd.debug_string().split("\n")
+        assert not lines[0].startswith(" ")
+        assert lines[1].startswith("  ")
+
+    def test_union_shows_both_parents(self, ctx):
+        a = ctx.parallelize([1], 1)
+        b = ctx.parallelize([2], 1)
+        out = a.union(b).debug_string()
+        assert out.count("ParallelizedRDD") == 2
+
+    def test_cached_marker(self, ctx):
+        rdd = ctx.parallelize([1], 1).map(str).cache()
+        assert "(cached)" in rdd.debug_string().split("\n")[0]
+
+
+class TestCaching:
+    def test_cache_freezes_results(self, ctx):
+        calls = []
+        rdd = ctx.parallelize([1, 2, 3], 1).map(
+            lambda x: calls.append(x) or x
+        )
+        rdd.cache()
+        rdd.collect()
+        rdd.collect()
+        assert calls == [1, 2, 3]  # computed once
+
+    def test_unpersist_recomputes(self, ctx):
+        calls = []
+        rdd = ctx.parallelize([1], 1).map(lambda x: calls.append(x) or x)
+        rdd.cache().collect()
+        rdd.unpersist().collect()
+        assert calls == [1, 1]
+
+
+class TestSaveNdjson:
+    def test_one_part_file_per_partition(self, ctx, tmp_path):
+        out = tmp_path / "out"
+        paths = ctx.parallelize([{"a": 1}, {"a": 2}, {"a": 3}], 2) \
+            .save_ndjson(out)
+        assert [p.split("/")[-1] for p in paths] == [
+            "part-00000.ndjson", "part-00001.ndjson",
+        ]
+
+    def test_round_trip_through_files(self, ctx, tmp_path):
+        from repro.jsonio.ndjson import read_ndjson
+
+        records = [{"a": i, "b": [str(i)]} for i in range(10)]
+        out = tmp_path / "out"
+        paths = ctx.parallelize(records, 3).save_ndjson(out)
+        read_back = [r for p in paths for r in read_ndjson(p)]
+        assert read_back == records
+
+    def test_directory_created(self, ctx, tmp_path):
+        nested = tmp_path / "deep" / "dir"
+        ctx.parallelize([1], 1).save_ndjson(nested)
+        assert (nested / "part-00000.ndjson").exists()
+
+    def test_empty_partitions_produce_empty_files(self, ctx, tmp_path):
+        out = tmp_path / "out"
+        paths = ctx.parallelize([], 2).save_ndjson(out)
+        assert len(paths) == 2
+        assert all((tmp_path / "out" / f"part-0000{i}.ndjson").read_text()
+                   == "" for i in range(2))
+
+
+class TestErrorPropagation:
+    def test_task_errors_surface(self, ctx):
+        rdd = ctx.parallelize([1, 0], 2).map(lambda x: 1 // x)
+        with pytest.raises(ZeroDivisionError):
+            rdd.collect()

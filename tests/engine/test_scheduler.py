@@ -1,0 +1,85 @@
+"""Unit tests for the task scheduler (repro.engine.scheduler)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.scheduler import Scheduler
+
+
+class TestBasics:
+    def test_results_in_input_order(self):
+        with Scheduler(parallelism=4) as sched:
+            assert sched.run(lambda x: x * 2, list(range(20))) == [
+                x * 2 for x in range(20)
+            ]
+
+    def test_empty_items(self):
+        with Scheduler(parallelism=2) as sched:
+            assert sched.run(lambda x: x, []) == []
+
+    def test_single_item_runs_inline(self):
+        with Scheduler(parallelism=4) as sched:
+            thread_names = sched.run(
+                lambda _: threading.current_thread().name, [0]
+            )
+        assert not thread_names[0].startswith("repro-engine")
+
+    def test_parallelism_one_runs_inline(self):
+        with Scheduler(parallelism=1) as sched:
+            names = sched.run(
+                lambda _: threading.current_thread().name, [0, 1, 2]
+            )
+        assert all(not n.startswith("repro-engine") for n in names)
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            Scheduler(parallelism=0)
+
+    def test_default_parallelism_positive(self):
+        assert Scheduler().parallelism >= 2
+
+
+class TestParallelExecution:
+    def test_tasks_actually_overlap(self):
+        """Two tasks sleeping 50ms should finish well under 100ms total."""
+        with Scheduler(parallelism=2) as sched:
+            start = time.perf_counter()
+            sched.run(lambda _: time.sleep(0.05), [0, 1])
+            elapsed = time.perf_counter() - start
+        assert elapsed < 0.095
+
+    def test_worker_threads_used(self):
+        with Scheduler(parallelism=4) as sched:
+            names = sched.run(
+                lambda _: threading.current_thread().name, list(range(8))
+            )
+        assert any(n.startswith("repro-engine") for n in names)
+
+
+class TestReentrancy:
+    def test_nested_run_does_not_deadlock(self):
+        """A task scheduling sub-tasks (as the shuffle does) must not
+        deadlock even when the pool is saturated."""
+        with Scheduler(parallelism=2) as sched:
+            def outer(i):
+                return sum(sched.run(lambda x: x + i, [1, 2, 3]))
+
+            got = sched.run(outer, list(range(8)))
+        assert got == [6 + 3 * i for i in range(8)]
+
+
+class TestErrorsAndShutdown:
+    def test_exceptions_propagate(self):
+        with Scheduler(parallelism=3) as sched:
+            with pytest.raises(RuntimeError, match="boom"):
+                sched.run(lambda _: (_ for _ in ()).throw(RuntimeError("boom")),
+                          [0, 1, 2, 3])
+
+    def test_reusable_after_shutdown(self):
+        sched = Scheduler(parallelism=2)
+        assert sched.run(lambda x: x, [1, 2]) == [1, 2]
+        sched.shutdown()
+        assert sched.run(lambda x: x, [3, 4]) == [3, 4]
+        sched.shutdown()

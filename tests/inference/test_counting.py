@@ -1,0 +1,172 @@
+"""Unit tests for the statistics enrichment (repro.inference.counting)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.kinds import Kind
+from repro.inference.counting import (
+    FieldPresence,
+    StatisticsCollector,
+    presence_report,
+)
+from repro.inference.pipeline import infer_schema
+from tests.conftest import json_records
+
+RECORDS = [
+    {"a": 1, "b": "x"},
+    {"a": "y"},
+    {"a": None, "b": "z", "c": {"d": [1, 2]}},
+]
+
+
+class TestStatisticsCollector:
+    def test_record_count(self):
+        stats = StatisticsCollector()
+        stats.observe_many(RECORDS)
+        assert stats.record_count == 3
+
+    def test_path_counts(self):
+        stats = StatisticsCollector()
+        stats.observe_many(RECORDS)
+        assert stats.path_counts["$"] == 3
+        assert stats.path_counts["$.a"] == 3
+        assert stats.path_counts["$.b"] == 2
+        assert stats.path_counts["$.c.d"] == 1
+        assert stats.path_counts["$.c.d[*]"] == 2  # two array items
+
+    def test_kind_counts(self):
+        stats = StatisticsCollector()
+        stats.observe_many(RECORDS)
+        assert stats.kind_counts[("$.a", Kind.NUM)] == 1
+        assert stats.kind_counts[("$.a", Kind.STR)] == 1
+        assert stats.kind_counts[("$.a", Kind.NULL)] == 1
+
+    def test_presence_ratio(self):
+        stats = StatisticsCollector()
+        stats.observe_many(RECORDS)
+        assert stats.presence_ratio("$.b") == pytest.approx(2 / 3)
+        assert stats.presence_ratio("$.missing") == 0.0
+
+    def test_presence_ratio_empty_collector(self):
+        assert StatisticsCollector().presence_ratio("$.a") == 0.0
+
+    def test_non_json_value_rejected(self):
+        with pytest.raises(TypeError):
+            StatisticsCollector().observe(object())
+
+    def test_merge_adds_counts(self):
+        left, right = StatisticsCollector(), StatisticsCollector()
+        left.observe(RECORDS[0])
+        right.observe_many(RECORDS[1:])
+        merged = left.merge(right)
+        assert merged.record_count == 3
+        assert merged.path_counts["$.a"] == 3
+
+    def test_merge_leaves_inputs_unchanged(self):
+        left, right = StatisticsCollector(), StatisticsCollector()
+        left.observe(RECORDS[0])
+        right.observe(RECORDS[1])
+        left.merge(right)
+        assert left.record_count == 1
+
+    @given(st.lists(json_records, max_size=6), st.integers(0, 6))
+    def test_merge_equals_single_pass(self, records, cut):
+        cut = min(cut, len(records))
+        left, right = StatisticsCollector(), StatisticsCollector()
+        left.observe_many(records[:cut])
+        right.observe_many(records[cut:])
+        single = StatisticsCollector()
+        single.observe_many(records)
+        merged = left.merge(right)
+        assert merged.path_counts == single.path_counts
+        assert merged.kind_counts == single.kind_counts
+
+
+class TestArrayLengthStats:
+    def observe_all(self, values):
+        stats = StatisticsCollector()
+        stats.observe_many(values)
+        return stats
+
+    def test_lengths_tracked_per_path(self):
+        stats = self.observe_all([
+            {"xs": [1, 2, 3]}, {"xs": []}, {"xs": [4]},
+        ])
+        lengths = stats.array_lengths["$.xs"]
+        assert lengths.count == 3
+        assert lengths.min_length == 0
+        assert lengths.max_length == 3
+        assert lengths.total_elements == 4
+
+    def test_mean_length(self):
+        stats = self.observe_all([{"xs": [1, 2]}, {"xs": [3, 4, 5, 6]}])
+        assert stats.array_lengths["$.xs"].mean_length == 3.0
+
+    def test_nested_array_paths(self):
+        stats = self.observe_all([{"m": [[1], [2, 3]]}])
+        assert stats.array_lengths["$.m"].count == 1
+        assert stats.array_lengths["$.m[*]"].count == 2
+        assert stats.array_lengths["$.m[*]"].max_length == 2
+
+    def test_no_arrays_no_stats(self):
+        stats = self.observe_all([{"a": 1}])
+        assert stats.array_lengths == {}
+
+    def test_merge_combines_length_stats(self):
+        left = self.observe_all([{"xs": [1]}])
+        right = self.observe_all([{"xs": [1, 2, 3]}, {"ys": []}])
+        merged = left.merge(right)
+        assert merged.array_lengths["$.xs"].count == 2
+        assert merged.array_lengths["$.xs"].max_length == 3
+        assert merged.array_lengths["$.ys"].count == 1
+
+    def test_merge_with_empty_side(self):
+        left = StatisticsCollector()
+        right = self.observe_all([{"xs": [1, 2]}])
+        merged = left.merge(right)
+        assert merged.array_lengths["$.xs"].count == 1
+        assert merged.array_lengths["$.xs"].min_length == 2
+
+    def test_empty_stats_mean_is_zero(self):
+        from repro.inference.counting import ArrayLengthStats
+
+        assert ArrayLengthStats().mean_length == 0.0
+
+
+class TestPresenceReport:
+    def make(self):
+        stats = StatisticsCollector()
+        stats.observe_many(RECORDS)
+        return presence_report(infer_schema(RECORDS), stats)
+
+    def test_mandatory_field_has_ratio_one(self):
+        report = {e.path: e for e in self.make()}
+        assert report["$.a"].ratio == 1.0
+        assert not report["$.a"].optional
+
+    def test_optional_field_ratio_below_one(self):
+        report = {e.path: e for e in self.make()}
+        entry = report["$.b"]
+        assert entry.optional
+        assert entry.ratio == pytest.approx(2 / 3)
+
+    def test_nested_fields_relative_to_parent(self):
+        report = {e.path: e for e in self.make()}
+        # c occurs once; within that one record, d always occurs.
+        assert report["$.c.d"].ratio == 1.0
+
+    def test_ratio_with_no_parent_occurrences(self):
+        entry = FieldPresence(path="$.x", optional=True,
+                              occurrences=0, parent_occurrences=0)
+        assert entry.ratio == 0.0
+
+    @given(st.lists(json_records, min_size=1, max_size=6))
+    def test_report_consistent_with_schema_optionality(self, records):
+        """A field the schema calls mandatory is present in every record
+        in which its parent is a record."""
+        stats = StatisticsCollector()
+        stats.observe_many(records)
+        for entry in presence_report(infer_schema(records), stats):
+            if not entry.optional:
+                assert entry.occurrences == entry.parent_occurrences

@@ -1,0 +1,261 @@
+"""Unit tests for type fusion — the Reduce phase (repro.inference.fusion).
+
+Covers every line of Fig. 6, the auxiliary functions of Fig. 5, and all the
+worked examples of Section 2.
+"""
+
+import pytest
+
+from repro.core.errors import NormalizationError
+from repro.core.kinds import Kind
+from repro.core.type_parser import parse_type as p
+from repro.core.types import (
+    ArrayType,
+    EMPTY,
+    NUM,
+    STR,
+    StarArrayType,
+    UnionType,
+    make_star,
+)
+from repro.inference.fusion import (
+    collapse,
+    f_match,
+    f_unmatch,
+    fuse,
+    fuse_all,
+    k_match,
+    k_unmatch,
+    lfuse,
+    simplify,
+)
+from repro.inference.infer import infer_type
+
+
+class TestKMatchUnmatch:
+    """Fig. 5: kind matching over union addends."""
+
+    def test_match_pairs_by_kind(self):
+        pairs = k_match(p("Num + Str"), p("Str + {a: Num}"))
+        assert pairs == [(STR, STR)]
+
+    def test_unmatch_collects_both_sides(self):
+        rest = k_unmatch(p("Num + Str"), p("Str + {a: Num}"))
+        assert NUM in rest
+        assert p("{a: Num}") in rest
+        assert STR not in rest
+
+    def test_empty_type_has_no_addends(self):
+        assert k_match(EMPTY, p("Num")) == []
+        assert k_unmatch(EMPTY, p("Num")) == [NUM]
+
+    def test_array_and_star_match_as_same_kind(self):
+        pairs = k_match(p("[Num]"), p("[Str*]"))
+        assert len(pairs) == 1
+
+    def test_non_normal_input_rejected(self):
+        bad = UnionType([p("{a: Num}"), p("{b: Num}")])
+        with pytest.raises(NormalizationError):
+            k_match(bad, NUM)
+
+
+class TestFMatchUnmatch:
+    """Fig. 5: key matching over record fields."""
+
+    def test_matching_keys(self):
+        r1, r2 = p("{a: Num, b: Str}"), p("{b: Bool, c: Str}")
+        pairs = f_match(r1, r2)
+        assert [(f1.name, f2.name) for f1, f2 in pairs] == [("b", "b")]
+
+    def test_unmatched_fields(self):
+        r1, r2 = p("{a: Num, b: Str}"), p("{b: Bool, c: Str}")
+        assert sorted(f.name for f in f_unmatch(r1, r2)) == ["a", "c"]
+
+
+class TestLFuseBasic:
+    """Fig. 6 line 2."""
+
+    def test_identical_basic(self):
+        assert lfuse(NUM, NUM) == NUM
+        assert lfuse(STR, STR) == STR
+
+    def test_different_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            lfuse(NUM, STR)
+        with pytest.raises(ValueError):
+            lfuse(NUM, p("{a: Num}"))
+
+
+class TestLFuseRecords:
+    """Fig. 6 line 3."""
+
+    def test_paper_example_t12(self):
+        """Section 2: {A: Str, B: Num} + {B: Bool, C: Str}."""
+        t12 = lfuse(p("{A: Str, B: Num}"), p("{B: Bool, C: Str}"))
+        assert t12 == p("{A: Str?, B: Bool + Num, C: Str?}")
+
+    def test_paper_example_t123(self):
+        """Section 2 continued: fusing T12 with {A: Null, B: Num}."""
+        t12 = p("{A: Str?, B: Num + Bool, C: Str?}")
+        t123 = lfuse(t12, p("{A: Null, B: Num}"))
+        assert t123 == p("{A: (Null + Str)?, B: Bool + Num, C: Str?}")
+
+    def test_optionality_prevails(self):
+        """min(?, 1) = ? — optional wins on matched fields."""
+        out = lfuse(p("{a: Num?}"), p("{a: Num}"))
+        assert out.field("a").optional
+
+    def test_mandatory_stays_when_both_mandatory(self):
+        out = lfuse(p("{a: Num}"), p("{a: Num}"))
+        assert not out.field("a").optional
+
+    def test_unmatched_fields_become_optional(self):
+        out = lfuse(p("{a: Num}"), p("{b: Str}"))
+        assert out.field("a").optional and out.field("b").optional
+
+    def test_empty_records(self):
+        assert lfuse(p("{}"), p("{}")) == p("{}")
+
+    def test_nested_record_example(self):
+        """Section 2: fusing {l: Bool + Str + {A: Num}} with
+        {l: {A: Num + Str, B: (Num)?}} style nested unions."""
+        t1 = p("{l: Bool + Str + {A: Num}}")
+        t2 = p("{l: {A: Str, B: Num}}")
+        out = lfuse(t1, t2)
+        assert out == p("{l: Bool + Str + {A: Num + Str, B: Num?}}")
+
+
+class TestLFuseArrays:
+    """Fig. 6 lines 4-7: all four positional/star combinations."""
+
+    def test_two_positional(self):
+        assert lfuse(p("[Num]"), p("[Str]")) == p("[(Num + Str)*]")
+
+    def test_identical_positional_still_starred(self):
+        """Fusing equal positional arrays yields the star form (line 4)."""
+        assert lfuse(p("[Num]"), p("[Num]")) == p("[Num*]")
+
+    def test_star_and_positional(self):
+        assert lfuse(p("[Num*]"), p("[Str]")) == p("[(Num + Str)*]")
+
+    def test_positional_and_star(self):
+        assert lfuse(p("[Str]"), p("[Num*]")) == p("[(Num + Str)*]")
+
+    def test_two_stars(self):
+        assert lfuse(p("[Num*]"), p("[Num*]")) == p("[Num*]")
+        assert lfuse(p("[Num*]"), p("[Str*]")) == p("[(Num + Str)*]")
+
+    def test_empty_arrays(self):
+        assert lfuse(p("[]"), p("[]")) == make_star(EMPTY)
+        assert lfuse(p("[]"), p("[Num]")) == p("[Num*]")
+        assert lfuse(make_star(EMPTY), p("[Num]")) == p("[Num*]")
+
+    def test_record_elements_fused(self):
+        out = lfuse(p("[{a: Num}]"), p("[{b: Str}]"))
+        assert out == p("[{a: Num?, b: Str?}*]")
+
+
+class TestCollapse:
+    """Fig. 6 lines 8-9 and the Section 2/5.2 examples."""
+
+    def test_empty(self):
+        assert collapse(ArrayType(())) == EMPTY
+
+    def test_single(self):
+        assert collapse(p("[Num]")) == NUM
+
+    def test_repeated_atoms(self):
+        assert collapse(p("[Num, Num, Num]")) == NUM
+
+    def test_mixed_atoms(self):
+        assert collapse(p("[Num, Bool, Num]")) == p("Bool + Num")
+
+    def test_paper_section52_example(self):
+        """collapse([Num, Bool, Num, {l1,l2}, {l1,l2,l3}]) from Section 5.2."""
+        t = p(
+            "[Num, Bool, Num, {l1: Num, l2: Str},"
+            " {l1: Num, l2: Bool, l3: Str}]"
+        )
+        got = collapse(t)
+        assert got == p("Bool + Num + {l1: Num, l2: Bool + Str, l3: Str?}")
+
+    def test_mixed_content_example(self):
+        """Section 2: ["abc", "cde", {E, F}] simplifies position-insensitively."""
+        t1 = infer_type(["abc", "cde", {"E": "fr", "F": 12}])
+        t2 = infer_type([{"E": "fr", "F": 12}, "abc", "cde"])
+        expected = p("Str + {E: Str, F: Num}")
+        assert collapse(t1) == expected
+        assert collapse(t2) == expected
+
+    def test_nested_arrays_collapse_recursively_on_fusion(self):
+        got = collapse(p("[[Num], [Str]]"))
+        assert got == p("[(Num + Str)*]")
+
+
+class TestFuse:
+    """Fig. 6 line 1: the top-level operator."""
+
+    def test_different_kinds_union(self):
+        assert fuse(NUM, STR) == p("Num + Str")
+
+    def test_same_kind_lfused(self):
+        assert fuse(p("{a: Num}"), p("{b: Num}")) == p("{a: Num?, b: Num?}")
+
+    def test_empty_is_neutral(self):
+        t = p("{a: Num + Str}")
+        assert fuse(t, EMPTY) == t
+        assert fuse(EMPTY, t) == t
+        assert fuse(EMPTY, EMPTY) == EMPTY
+
+    def test_union_inputs_matched_by_kind(self):
+        out = fuse(p("Num + {a: Str}"), p("Str + {b: Bool}"))
+        assert out == p("Num + Str + {a: Str?, b: Bool?}")
+
+    def test_six_kind_union_saturates(self):
+        t1 = p("Null + Bool + Num + Str + {a: Num} + [Str*]")
+        t2 = p("Null + Bool + Num + Str + {b: Num} + [Num*]")
+        out = fuse(t1, t2)
+        assert len(out.addends()) == 6
+
+    def test_fuse_identical_record_is_identity(self):
+        t = p("{a: Num, b: [Str*]}")
+        assert fuse(t, t) == t
+
+    def test_fuse_identical_positional_arrays_not_identity(self):
+        """The fast path must not skip array simplification."""
+        t = p("{a: [Num]}")
+        assert fuse(t, t) == p("{a: [Num*]}")
+
+
+class TestFuseAll:
+    def test_empty_collection(self):
+        assert fuse_all([]) == EMPTY
+
+    def test_singleton(self):
+        assert fuse_all([NUM]) == NUM
+
+    def test_many(self):
+        out = fuse_all([p("{a: Num}"), p("{b: Str}"), p("{a: Bool}")])
+        assert out == p("{a: (Bool + Num)?, b: Str?}")
+
+
+class TestSimplify:
+    def test_atoms_unchanged(self):
+        assert simplify(NUM) == NUM
+        assert simplify(EMPTY) == EMPTY
+
+    def test_positional_becomes_star(self):
+        assert simplify(p("[Num, Str]")) == p("[(Num + Str)*]")
+
+    def test_recurses_into_records(self):
+        assert simplify(p("{a: [Num, Num]}")) == p("{a: [Num*]}")
+
+    def test_recurses_into_star_bodies(self):
+        assert simplify(p("[[Num]*]")) == p("[[Num*]*]")
+
+    def test_recurses_into_unions(self):
+        assert simplify(p("Num + [Str, Str]")) == p("Num + [Str*]")
+
+    def test_result_has_no_positional_arrays(self):
+        t = p("{a: [Num, [Str], {b: [Bool, Null]}]}")
+        assert not simplify(t).has_positional_array

@@ -1,0 +1,161 @@
+"""Property-based tests for the fusion theorems (Section 5.2).
+
+These are the machine-checked counterparts of the paper's three theorems:
+
+* Theorem 5.2 (correctness): ``fuse(T1, T2)`` is a supertype of both inputs
+  — checked both with the syntactic subtype checker and semantically
+  (membership preservation).
+* Theorem 5.4 (commutativity): ``fuse(T1, T2) == fuse(T2, T1)``.
+* Theorem 5.5 (associativity): grouping does not matter — the property
+  that makes distributed/tree reduction and incremental fusion safe.
+
+Plus the normality invariant ("all of our algorithms ... only generate
+normal types") and idempotence on star-only types.
+"""
+
+from hypothesis import given
+
+from repro.core.normal_form import is_normal
+from repro.core.semantics import matches
+from repro.core.subtyping import is_subtype
+from repro.core.types import EMPTY
+from hypothesis import strategies as st
+
+from repro.inference.fusion import (
+    collapse,
+    fuse,
+    fuse_all,
+    fuse_multiset,
+    lfuse,
+    simplify,
+)
+from repro.inference.infer import infer_type
+from tests.conftest import json_values, non_union_types, normal_types
+
+
+class TestCorrectnessTheorem52:
+    @given(normal_types(), normal_types())
+    def test_fuse_yields_supertype_syntactically(self, t1, t2):
+        t3 = fuse(t1, t2)
+        assert is_subtype(t1, t3)
+        assert is_subtype(t2, t3)
+
+    @given(json_values(), json_values())
+    def test_membership_preserved_through_fusion(self, v1, v2):
+        """Semantic correctness on the actual pipeline: a value matching
+        its own inferred type still matches the fused schema."""
+        t1, t2 = infer_type(v1), infer_type(v2)
+        fused = fuse(t1, t2)
+        assert matches(v1, fused)
+        assert matches(v2, fused)
+
+    @given(non_union_types, non_union_types)
+    def test_lfuse_yields_supertype_for_same_kind(self, t, u):
+        if t.kind == u.kind:
+            t3 = lfuse(t, u)
+            assert is_subtype(t, t3)
+            assert is_subtype(u, t3)
+
+
+class TestCommutativityTheorem54:
+    @given(normal_types(), normal_types())
+    def test_fuse_commutes(self, t1, t2):
+        assert fuse(t1, t2) == fuse(t2, t1)
+
+    @given(non_union_types, non_union_types)
+    def test_lfuse_commutes_for_same_kind(self, t, u):
+        if t.kind == u.kind:
+            assert lfuse(t, u) == lfuse(u, t)
+
+
+class TestAssociativityTheorem55:
+    @given(normal_types(), normal_types(), normal_types())
+    def test_fuse_associates(self, t1, t2, t3):
+        assert fuse(fuse(t1, t2), t3) == fuse(t1, fuse(t2, t3))
+
+    @given(json_values(), json_values(), json_values())
+    def test_associativity_on_inferred_types(self, v1, v2, v3):
+        t1, t2, t3 = infer_type(v1), infer_type(v2), infer_type(v3)
+        assert fuse(fuse(t1, t2), t3) == fuse(t1, fuse(t2, t3))
+
+    @given(non_union_types, non_union_types, non_union_types)
+    def test_lfuse_associates_for_same_kind(self, t, u, v):
+        if t.kind == u.kind == v.kind:
+            assert lfuse(lfuse(t, u), v) == lfuse(t, lfuse(u, v))
+
+
+class TestInvariants:
+    @given(normal_types(), normal_types())
+    def test_fusion_preserves_normality(self, t1, t2):
+        assert is_normal(fuse(t1, t2))
+
+    @given(normal_types())
+    def test_empty_is_neutral(self, t):
+        assert fuse(t, EMPTY) == t
+        assert fuse(EMPTY, t) == t
+
+    @given(normal_types())
+    def test_idempotent_without_positional_arrays(self, t):
+        if not t.has_positional_array:
+            assert fuse(t, t) == t
+
+    @given(normal_types())
+    def test_double_fusion_is_fixpoint(self, t):
+        """fuse(t, t) may simplify arrays once, but is then a fixpoint."""
+        once = fuse(t, t)
+        assert fuse(once, once) == once
+
+    @given(normal_types(), normal_types())
+    def test_fused_size_bounded_by_inputs(self, t1, t2):
+        """Fusion never blows the type up: |fuse| <= |t1| + |t2| + 1."""
+        assert fuse(t1, t2).size <= t1.size + t2.size + 1
+
+
+class TestCollapseProperties:
+    @given(json_values())
+    def test_collapse_of_inferred_array_admits_elements(self, value):
+        if isinstance(value, list):
+            body = collapse(infer_type(value))
+            assert all(matches(v, body) for v in value)
+
+    @given(normal_types())
+    def test_simplify_widens(self, t):
+        assert is_subtype(t, simplify(t))
+
+    @given(json_values())
+    def test_simplified_schema_still_admits_value(self, value):
+        assert matches(value, simplify(infer_type(value)))
+
+
+class TestAbsorption:
+    """The law fuse_multiset relies on: self-fusion saturates."""
+
+    @given(normal_types())
+    def test_self_absorption(self, t):
+        s = fuse(t, t)
+        assert fuse(s, t) == s
+        assert fuse(t, s) == s
+
+    @given(st.lists(normal_types(), max_size=6))
+    def test_fuse_multiset_equals_sequential(self, types):
+        """Deduplicated fusion is exact, not an approximation."""
+        assert fuse_multiset(types) == fuse_all(types)
+
+    @given(normal_types(), st.integers(min_value=1, max_value=5))
+    def test_duplicate_count_beyond_two_is_irrelevant(self, t, n):
+        assert fuse_all([t] * (n + 1)) == fuse_all([t, t])
+
+
+class TestFuseAllProperties:
+    @given(json_values(), json_values(), json_values())
+    def test_any_order_same_schema(self, a, b, c):
+        types = [infer_type(v) for v in (a, b, c)]
+        forward = fuse_all(types)
+        backward = fuse_all(types[::-1])
+        rotated = fuse_all(types[1:] + types[:1])
+        assert forward == backward == rotated
+
+    @given(json_values(), json_values())
+    def test_schema_admits_every_input(self, a, b):
+        schema = fuse_all([infer_type(a), infer_type(b)])
+        assert matches(a, schema) and matches(b, schema)

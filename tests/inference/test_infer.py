@@ -1,0 +1,134 @@
+"""Unit tests for value typing — the Map phase (repro.inference.infer)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import InvalidValueError
+from repro.core.normal_form import is_normal
+from repro.core.semantics import matches
+from repro.core.type_parser import parse_type as p
+from repro.core.types import (
+    ArrayType,
+    BOOL,
+    NULL,
+    NUM,
+    RecordType,
+    STR,
+    StarArrayType,
+    UnionType,
+)
+from repro.inference.infer import infer_type
+from tests.conftest import json_values
+
+
+class TestAtomRules:
+    """The terminal rules of Fig. 4."""
+
+    def test_null(self):
+        assert infer_type(None) == NULL
+
+    def test_booleans(self):
+        assert infer_type(True) == BOOL
+        assert infer_type(False) == BOOL
+
+    def test_numbers(self):
+        assert infer_type(0) == NUM
+        assert infer_type(-3) == NUM
+        assert infer_type(2.5) == NUM
+
+    def test_bool_is_not_num(self):
+        """bool subclasses int in Python; the rule order must shield it."""
+        assert infer_type(True) == BOOL != NUM
+
+    def test_strings(self):
+        assert infer_type("") == STR
+        assert infer_type("abc") == STR
+
+
+class TestRecordRule:
+    def test_empty_record(self):
+        assert infer_type({}) == p("{}")
+
+    def test_fields_all_mandatory(self):
+        t = infer_type({"a": 1, "b": "x"})
+        assert all(not f.optional for f in t.fields)
+
+    def test_nested(self):
+        assert infer_type({"a": {"b": None}}) == p("{a: {b: Null}}")
+
+    def test_key_order_irrelevant(self):
+        assert infer_type({"a": 1, "b": 2}) == infer_type({"b": 2, "a": 1})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(InvalidValueError):
+            infer_type({1: "x"})
+
+
+class TestArrayRule:
+    def test_empty_array(self):
+        assert infer_type([]) == ArrayType(())
+
+    def test_elements_in_order(self):
+        assert infer_type([1, "x", None]) == p("[Num, Str, Null]")
+
+    def test_mixed_content(self):
+        """The Section 2 example: two strings then a record."""
+        value = ["abc", "cde", {"E": "fr", "F": 12}]
+        assert infer_type(value) == p("[Str, Str, {E: Str, F: Num}]")
+
+    def test_repeated_types_not_collapsed(self):
+        """Initial inference is isomorphic: no star types yet (Section 5.1)."""
+        t = infer_type([1, 2, 3])
+        assert t == p("[Num, Num, Num]")
+        assert not isinstance(t, StarArrayType)
+
+
+class TestInvalidInputs:
+    @pytest.mark.parametrize("value", [(1, 2), {1, 2}, b"x", object()])
+    def test_non_json_rejected(self, value):
+        with pytest.raises(InvalidValueError):
+            infer_type(value)
+
+
+class TestFigure1StyleRecord:
+    def test_realistic_record(self):
+        value = {
+            "name": "ada",
+            "age": 36,
+            "verified": True,
+            "tags": ["x", "y"],
+            "address": {"city": "london", "zip": None},
+        }
+        expected = p(
+            "{address: {city: Str, zip: Null}, age: Num, name: Str,"
+            " tags: [Str, Str], verified: Bool}"
+        )
+        assert infer_type(value) == expected
+
+
+class TestSoundnessLemma:
+    """Lemma 5.1: V |- T implies V in [[T]]."""
+
+    @given(json_values())
+    def test_inferred_type_admits_value(self, value):
+        assert matches(value, infer_type(value))
+
+    @given(json_values())
+    def test_inferred_type_is_normal(self, value):
+        assert is_normal(infer_type(value))
+
+    @given(json_values())
+    def test_no_unions_optionals_or_stars_inferred(self, value):
+        """Section 5.1: the Map phase never uses the full expressivity."""
+        def check(t):
+            assert not isinstance(t, (UnionType, StarArrayType))
+            if isinstance(t, RecordType):
+                assert all(not f.optional for f in t.fields)
+            for child in t.children():
+                check(child)
+
+        check(infer_type(value))
+
+    @given(json_values())
+    def test_deterministic(self, value):
+        assert infer_type(value) == infer_type(value)

@@ -1,0 +1,164 @@
+"""Tests for parametric (equivalence-based) fusion (repro.inference.parametric)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.printer import print_type
+from repro.core.semantics import matches
+from repro.core.subtyping import is_subtype
+from repro.core.type_parser import parse_type as p
+from repro.core.types import EMPTY, RecordType
+from repro.datasets import generate_list
+from repro.inference import infer_schema, infer_type
+from repro.inference.parametric import (
+    ParametricFuser,
+    fuse_labelled,
+    infer_schema_labelled,
+    label_equivalence,
+)
+from tests.conftest import json_records, json_values, normal_types
+
+L = ParametricFuser(label_equivalence)
+K = ParametricFuser(None)
+
+
+class TestKindEquivalenceIsThePaper:
+    """With no equivalence parameter the fuser is the EDBT algorithm."""
+
+    @given(json_values(), json_values())
+    def test_k_fuse_equals_paper_fuse(self, v1, v2):
+        from repro.inference.fusion import fuse
+
+        t1, t2 = infer_type(v1), infer_type(v2)
+        assert K.fuse(t1, t2) == fuse(t1, t2)
+
+    @given(st.lists(json_records, max_size=8))
+    def test_k_schema_equals_paper_schema(self, records):
+        assert K.infer_schema(records) == infer_schema(records)
+
+
+class TestLabelEquivalence:
+    def test_different_key_sets_stay_separate(self):
+        schema = infer_schema_labelled([{"a": 1}, {"b": "x"}])
+        assert print_type(schema) == "{a: Num} + {b: Str}"
+
+    def test_same_key_sets_merge(self):
+        schema = infer_schema_labelled([{"a": 1}, {"a": "x"}])
+        assert print_type(schema) == "{a: (Num + Str)}"
+
+    def test_no_spurious_optionality_at_top_level(self):
+        """The precision win: L-fusion never invents optional fields for
+        records that were merged (their key sets coincide)."""
+        schema = infer_schema_labelled([
+            {"a": 1, "b": 2}, {"a": "x", "b": None}, {"c": True},
+        ])
+        for member in schema.addends():
+            assert isinstance(member, RecordType)
+            assert all(not f.optional for f in member.fields)
+
+    def test_nested_records_also_split(self):
+        schema = infer_schema_labelled([
+            {"outer": {"a": 1}}, {"outer": {"b": 2}},
+        ])
+        inner = schema.field("outer").type
+        assert len(inner.addends()) == 2
+
+    def test_twitter_shapes_stay_separate(self):
+        values = generate_list("twitter", 300)
+        schema = infer_schema_labelled(values)
+        key_sets = {m.keys() for m in schema.addends()}
+        assert len(key_sets) == 5  # delete + four tweet flavours
+
+    def test_l_schema_is_larger_but_below_k(self):
+        values = generate_list("twitter", 300)
+        l_schema = infer_schema_labelled(values)
+        k_schema = infer_schema(values)
+        assert l_schema.size > k_schema.size
+
+    def test_l_schema_refines_k_schema(self):
+        """Every value of the L-schema is a value of the K-schema."""
+        values = generate_list("twitter", 120)
+        l_schema = infer_schema_labelled(values)
+        k_schema = infer_schema(values)
+        assert is_subtype(l_schema, k_schema)
+
+    def test_empty_collection(self):
+        assert infer_schema_labelled([]) == EMPTY
+
+    def test_arrays_still_fuse_by_kind(self):
+        schema = infer_schema_labelled([{"xs": [1]}, {"xs": ["a"]}])
+        assert print_type(schema) == "{xs: [(Num + Str)*]}"
+
+
+class TestAlgebraicProperties:
+    """Commutativity/associativity carry over to L-fusion."""
+
+    @given(json_values(), json_values())
+    def test_commutative(self, v1, v2):
+        t1, t2 = infer_type(v1), infer_type(v2)
+        assert fuse_labelled(t1, t2) == fuse_labelled(t2, t1)
+
+    @given(json_values(), json_values(), json_values())
+    def test_associative(self, v1, v2, v3):
+        t1, t2, t3 = (infer_type(v) for v in (v1, v2, v3))
+        assert fuse_labelled(fuse_labelled(t1, t2), t3) \
+            == fuse_labelled(t1, fuse_labelled(t2, t3))
+
+    @given(normal_types(), normal_types())
+    def test_commutative_on_arbitrary_normal_types(self, t1, t2):
+        assert fuse_labelled(t1, t2) == fuse_labelled(t2, t1)
+
+    @given(normal_types(), normal_types(), normal_types())
+    def test_associative_on_arbitrary_normal_types(self, t1, t2, t3):
+        assert fuse_labelled(fuse_labelled(t1, t2), t3) \
+            == fuse_labelled(t1, fuse_labelled(t2, t3))
+
+    @given(normal_types())
+    def test_empty_is_neutral(self, t):
+        assert fuse_labelled(t, EMPTY) == t
+        assert fuse_labelled(EMPTY, t) == t
+
+
+class TestCorrectness:
+    @given(json_values(), json_values())
+    def test_membership_preserved(self, v1, v2):
+        schema = fuse_labelled(infer_type(v1), infer_type(v2))
+        assert matches(v1, schema)
+        assert matches(v2, schema)
+
+    @given(st.lists(json_records, max_size=6))
+    def test_schema_admits_every_record(self, records):
+        schema = infer_schema_labelled(records)
+        assert all(matches(r, schema) for r in records)
+
+    @given(st.lists(json_records, max_size=6))
+    def test_l_schema_below_k_schema(self, records):
+        assert is_subtype(
+            infer_schema_labelled(records), infer_schema(records)
+        )
+
+
+class TestPrecisionGain:
+    def test_l_fusion_improves_record_precision(self):
+        """The headline trade: keeping shapes separate restores the field
+        correlations K-fusion throws away."""
+        from random import Random
+
+        from repro.core.generator import generate_value
+
+        values = [{"kind": "a", "payload": 1} if i % 2 else
+                  {"kind": "b", "note": "x", "extra": True}
+                  for i in range(40)]
+        distinct = list(dict.fromkeys(infer_type(v) for v in values))
+
+        def sampled_precision(schema):
+            hits = 0
+            for seed in range(100):
+                sample = generate_value(schema, Random(seed))
+                hits += any(matches(sample, t) for t in distinct)
+            return hits / 100
+
+        k_precision = sampled_precision(infer_schema(values))
+        l_precision = sampled_precision(infer_schema_labelled(values))
+        assert l_precision == 1.0
+        assert k_precision < l_precision

@@ -1,0 +1,78 @@
+"""Unit tests for NDJSON streaming I/O (repro.jsonio.ndjson)."""
+
+import pytest
+
+from repro.jsonio.errors import JsonError
+from repro.jsonio.ndjson import (
+    count_records,
+    file_size_bytes,
+    iter_lines,
+    read_ndjson,
+    write_ndjson,
+)
+
+RECORDS = [{"a": 1}, {"a": "x", "b": [True, None]}, {}]
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        count = write_ndjson(path, RECORDS)
+        assert count == 3
+        assert list(read_ndjson(path)) == RECORDS
+
+    def test_one_record_per_line(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        write_ndjson(path, RECORDS)
+        assert len(path.read_text().strip().split("\n")) == 3
+
+    def test_empty_collection(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        assert write_ndjson(path, []) == 0
+        assert list(read_ndjson(path)) == []
+
+    def test_reader_is_lazy(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        write_ndjson(path, RECORDS)
+        reader = read_ndjson(path)
+        assert next(reader) == RECORDS[0]
+
+
+class TestBlankLinesAndErrors:
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.ndjson"
+        path.write_text('{"a":1}\n\n   \n{"a":2}\n')
+        assert list(read_ndjson(path)) == [{"a": 1}, {"a": 2}]
+        assert count_records(path) == 2
+
+    def test_invalid_line_raises_with_record_number(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"a":1}\nnot json\n')
+        with pytest.raises(JsonError, match="record 2"):
+            list(read_ndjson(path))
+
+    def test_skip_invalid_drops_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"a":1}\nnot json\n{"a":2}\n')
+        assert list(read_ndjson(path, skip_invalid=True)) == [
+            {"a": 1}, {"a": 2},
+        ]
+
+    def test_duplicate_key_also_caught(self, tmp_path):
+        path = tmp_path / "dup.ndjson"
+        path.write_text('{"a":1,"a":2}\n')
+        with pytest.raises(JsonError):
+            list(read_ndjson(path))
+        assert list(read_ndjson(path, skip_invalid=True)) == []
+
+
+class TestHelpers:
+    def test_iter_lines_strips(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("  a  \n\nb\n")
+        assert list(iter_lines(path)) == ["a", "b"]
+
+    def test_file_size(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_bytes(b"12345")
+        assert file_size_bytes(path) == 5

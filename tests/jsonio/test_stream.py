@@ -1,0 +1,92 @@
+"""Unit tests for element-wise JSON streaming (repro.jsonio.stream)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.jsonio.errors import DuplicateKeyError, JsonSyntaxError
+from repro.jsonio.stream import iter_json_array, iter_json_values
+from repro.jsonio.writer import dumps
+from tests.conftest import json_values
+
+
+def write(tmp_path, text):
+    path = tmp_path / "data.json"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestIterJsonArray:
+    def test_elements_in_order(self, tmp_path):
+        path = write(tmp_path, '[1, "x", {"a": null}, [2]]')
+        assert list(iter_json_array(path)) == [1, "x", {"a": None}, [2]]
+
+    def test_empty_array(self, tmp_path):
+        assert list(iter_json_array(write(tmp_path, "[]"))) == []
+
+    def test_whitespace_and_newlines(self, tmp_path):
+        path = write(tmp_path, "[\n  {\"a\": 1},\n  {\"a\": 2}\n]\n")
+        assert list(iter_json_array(path)) == [{"a": 1}, {"a": 2}]
+
+    def test_lazy_first_element_before_error(self, tmp_path):
+        """Elements stream out before later malformed content is reached."""
+        path = write(tmp_path, '[{"ok": 1}, {"broken": }]')
+        stream = iter_json_array(path)
+        assert next(stream) == {"ok": 1}
+        with pytest.raises(JsonSyntaxError):
+            next(stream)
+
+    def test_non_array_top_level_rejected(self, tmp_path):
+        with pytest.raises(JsonSyntaxError, match="not an array"):
+            next(iter_json_array(write(tmp_path, '{"a": 1}')))
+
+    def test_trailing_garbage_rejected(self, tmp_path):
+        path = write(tmp_path, "[1] garbage")
+        stream = iter_json_array(path)
+        with pytest.raises(JsonSyntaxError):
+            list(stream)
+
+    def test_missing_comma_rejected(self, tmp_path):
+        with pytest.raises(JsonSyntaxError):
+            list(iter_json_array(write(tmp_path, "[1 2]")))
+
+    def test_duplicate_keys_still_detected(self, tmp_path):
+        path = write(tmp_path, '[{"a": 1, "a": 2}]')
+        with pytest.raises(DuplicateKeyError):
+            list(iter_json_array(path))
+
+    @given(st.lists(json_values(8), max_size=6))
+    def test_round_trip(self, values):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "arr.json"
+            path.write_text(dumps(values), encoding="utf-8")
+            assert list(iter_json_array(path)) == values
+
+
+class TestIterJsonValues:
+    def test_array_streams_elements(self, tmp_path):
+        path = write(tmp_path, "[1, 2, 3]")
+        assert list(iter_json_values(path)) == [1, 2, 3]
+
+    def test_concatenated_documents(self, tmp_path):
+        path = write(tmp_path, '{"a": 1}\n{"b": 2}\n42')
+        assert list(iter_json_values(path)) == [{"a": 1}, {"b": 2}, 42]
+
+    def test_single_document(self, tmp_path):
+        assert list(iter_json_values(write(tmp_path, '{"a": 1}'))) \
+            == [{"a": 1}]
+
+    def test_empty_file(self, tmp_path):
+        assert list(iter_json_values(write(tmp_path, " \n "))) == []
+
+    def test_feeds_schema_inference(self, tmp_path):
+        """The end-to-end reason this exists: infer from an array dump."""
+        from repro.core.printer import print_type
+        from repro.inference import infer_schema
+
+        path = write(tmp_path, '[{"a": 1}, {"a": "x", "b": true}]')
+        schema = infer_schema(iter_json_array(path))
+        assert print_type(schema) == "{a: (Num + Str), b: Bool?}"

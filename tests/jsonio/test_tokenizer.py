@@ -1,0 +1,134 @@
+"""Unit tests for the JSON tokenizer (repro.jsonio.tokenizer)."""
+
+import pytest
+
+from repro.jsonio.errors import JsonSyntaxError
+from repro.jsonio.tokenizer import Token, TokenType, tokenize
+
+
+def toks(text: str) -> list[Token]:
+    return list(tokenize(text))
+
+
+def values(text: str) -> list[object]:
+    return [t.value for t in toks(text)[:-1]]  # drop EOF
+
+
+class TestPunctuation:
+    def test_all_punctuation(self):
+        got = [t.type for t in toks('{}[]:,')]
+        assert got == ["{", "}", "[", "]", ":", ",", "eof"]
+
+    def test_eof_on_empty_input(self):
+        assert [t.type for t in toks("")] == ["eof"]
+
+    def test_whitespace_skipped(self):
+        assert [t.type for t in toks(" \t\r\n { \n } ")] == ["{", "}", "eof"]
+
+
+class TestKeywords:
+    def test_true_false_null(self):
+        assert values("true false null") == [True, False, None]
+
+    def test_invalid_literal(self):
+        with pytest.raises(JsonSyntaxError, match="tru"):
+            toks("tru")
+
+    def test_case_sensitive(self):
+        with pytest.raises(JsonSyntaxError):
+            toks("True")
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text,expected", [
+        ("0", 0), ("7", 7), ("-3", -3), ("123456789", 123456789),
+        ("0.5", 0.5), ("-0.25", -0.25), ("1e3", 1000.0), ("1E3", 1000.0),
+        ("2.5e-2", 0.025), ("1e+2", 100.0), ("-0", 0),
+    ])
+    def test_valid_numbers(self, text, expected):
+        got = values(text)
+        assert got == [expected]
+
+    def test_integers_stay_int(self):
+        assert isinstance(values("42")[0], int)
+
+    def test_decimals_become_float(self):
+        assert isinstance(values("42.0")[0], float)
+        assert isinstance(values("1e2")[0], float)
+
+    @pytest.mark.parametrize("text", [
+        "01", "00", "1.", ".5", "-", "1e", "1e+", "--1", "+1",
+    ])
+    def test_invalid_numbers(self, text):
+        with pytest.raises(JsonSyntaxError):
+            toks(text)
+
+
+class TestStrings:
+    def test_plain(self):
+        assert values('"abc"') == ["abc"]
+
+    def test_empty(self):
+        assert values('""') == [""]
+
+    @pytest.mark.parametrize("text,expected", [
+        (r'"\""', '"'), (r'"\\"', "\\"), (r'"\/"', "/"),
+        (r'"\b"', "\b"), (r'"\f"', "\f"), (r'"\n"', "\n"),
+        (r'"\r"', "\r"), (r'"\t"', "\t"),
+    ])
+    def test_simple_escapes(self, text, expected):
+        assert values(text) == [expected]
+
+    def test_unicode_escape(self):
+        assert values('"\\u00e9"') == ["é"]
+
+    def test_surrogate_pair(self):
+        assert values('"\\ud83d\\ude00"') == ["😀"]
+
+    def test_unpaired_high_surrogate(self):
+        with pytest.raises(JsonSyntaxError, match="surrogate"):
+            toks(r'"\ud83d"')
+
+    def test_unpaired_low_surrogate(self):
+        with pytest.raises(JsonSyntaxError, match="surrogate"):
+            toks(r'"\ude00"')
+
+    def test_high_surrogate_followed_by_non_escape(self):
+        with pytest.raises(JsonSyntaxError, match="surrogate"):
+            toks(r'"\ud83dxy"')
+
+    def test_invalid_escape(self):
+        with pytest.raises(JsonSyntaxError, match="escape"):
+            toks(r'"\q"')
+
+    def test_truncated_unicode_escape(self):
+        with pytest.raises(JsonSyntaxError):
+            toks(r'"\u00g9"')
+
+    def test_unterminated(self):
+        with pytest.raises(JsonSyntaxError, match="unterminated"):
+            toks('"abc')
+
+    def test_raw_control_character_rejected(self):
+        with pytest.raises(JsonSyntaxError, match="control"):
+            toks('"a\nb"')
+
+    def test_non_ascii_passthrough(self):
+        assert values('"héllo 世界"') == ["héllo 世界"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = toks('{\n  "a": 1\n}')
+        string_token = next(t for t in tokens if t.type == TokenType.STRING)
+        assert (string_token.line, string_token.column) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(JsonSyntaxError) as exc_info:
+            toks('{\n  @')
+        assert exc_info.value.line == 2
+        assert exc_info.value.column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(JsonSyntaxError, match="unexpected"):
+            toks("#")

@@ -1,0 +1,68 @@
+"""Unit tests for the JSON serializer (repro.jsonio.writer)."""
+
+import json as stdlib_json
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import InvalidValueError
+from repro.jsonio.parser import loads
+from repro.jsonio.writer import dumps
+from tests.conftest import json_values
+
+
+class TestAtoms:
+    @pytest.mark.parametrize("value,expected", [
+        (None, "null"), (True, "true"), (False, "false"),
+        (0, "0"), (-3, "-3"), (2.5, "2.5"), ("x", '"x"'), ("", '""'),
+    ])
+    def test_atoms(self, value, expected):
+        assert dumps(value) == expected
+
+
+class TestStrings:
+    def test_escapes(self):
+        assert dumps('a"b\\c') == '"a\\"b\\\\c"'
+        assert dumps("a\nb\tc") == '"a\\nb\\tc"'
+
+    def test_control_characters_escaped(self):
+        assert dumps("\x01") == '"\\u0001"'
+
+    def test_unicode_passthrough(self):
+        assert dumps("héllo") == '"héllo"'
+
+
+class TestContainers:
+    def test_object(self):
+        assert dumps({"a": 1, "b": [True, None]}) == '{"a":1,"b":[true,null]}'
+
+    def test_empty_containers(self):
+        assert dumps({}) == "{}"
+        assert dumps([]) == "[]"
+
+    def test_insertion_order_preserved(self):
+        assert dumps({"b": 1, "a": 2}) == '{"b":1,"a":2}'
+
+
+class TestErrors:
+    @pytest.mark.parametrize("value", [
+        float("nan"), float("inf"), {1: "x"}, {"a": object()}, (1, 2),
+    ])
+    def test_invalid_values_rejected(self, value):
+        with pytest.raises(InvalidValueError):
+            dumps(value)
+
+
+class TestRoundTrip:
+    @given(json_values())
+    def test_loads_dumps_round_trip(self, value):
+        assert loads(dumps(value)) == value
+
+    @given(json_values())
+    def test_agrees_with_stdlib_parser(self, value):
+        """Our writer emits standard JSON the stdlib can read back."""
+        assert stdlib_json.loads(dumps(value)) == value
+
+    @given(json_values())
+    def test_our_parser_reads_stdlib_output(self, value):
+        assert loads(stdlib_json.dumps(value)) == value

@@ -1,0 +1,176 @@
+"""Tests for the Spark-style baseline (repro.baselines.spark_like).
+
+Covers the baseline's own semantics and, crucially, the *comparison* the
+paper draws in Section 6.1: where Spark's coercion collapses structure to
+``string``, the paper's union types keep it.
+"""
+
+import pytest
+from hypothesis import given
+
+from repro.analysis.paths import iter_schema_paths
+from repro.baselines.spark_like import (
+    BIGINT_T,
+    BOOLEAN_T,
+    DOUBLE_T,
+    NULL_T,
+    STRING_T,
+    SparkArray,
+    SparkStruct,
+    count_coercions,
+    infer_spark_schema,
+    infer_spark_type,
+    merge_spark_types,
+    spark_schema_paths,
+    to_ddl,
+)
+from repro.core.errors import InvalidValueError
+from repro.datasets import generate_list
+from repro.inference import infer_schema
+from tests.conftest import json_values
+
+
+class TestSparkTyping:
+    @pytest.mark.parametrize("value,ddl", [
+        (None, "null"), (True, "boolean"), (3, "bigint"), (2.5, "double"),
+        ("x", "string"),
+    ])
+    def test_atoms(self, value, ddl):
+        assert to_ddl(infer_spark_type(value)) == ddl
+
+    def test_struct_fields_sorted(self):
+        t = infer_spark_type({"b": 1, "a": "x"})
+        assert to_ddl(t) == "struct<a:string,b:bigint>"
+
+    def test_homogeneous_array(self):
+        assert to_ddl(infer_spark_type([1, 2, 3])) == "array<bigint>"
+
+    def test_empty_array(self):
+        assert to_ddl(infer_spark_type([])) == "array<null>"
+
+    def test_mixed_content_array_coerces_to_string(self):
+        """The paper's Section 6.1 example, baseline side: Spark collapses
+        the mixed array to array<string>."""
+        value = [1, "deux", {"E": "fr"}]
+        assert to_ddl(infer_spark_type(value)) == "array<string>"
+
+    def test_paper_unions_keep_the_same_array_precise(self):
+        """...whereas the paper's approach keeps a precise union."""
+        from repro.core.printer import print_type
+        from repro.inference.fusion import collapse
+        from repro.inference.infer import infer_type
+
+        body = collapse(infer_type([1, "deux", {"E": "fr"}]))
+        assert print_type(body) == "Num + Str + {E: Str}"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(InvalidValueError):
+            infer_spark_type(object())
+        with pytest.raises(InvalidValueError):
+            infer_spark_type({1: "x"})
+
+
+class TestMerging:
+    def test_null_absorbs(self):
+        assert merge_spark_types(NULL_T, BIGINT_T) == BIGINT_T
+        assert merge_spark_types(STRING_T, NULL_T) == STRING_T
+
+    def test_numeric_widening(self):
+        assert merge_spark_types(BIGINT_T, DOUBLE_T) == DOUBLE_T
+
+    def test_incompatible_atoms_coerce(self):
+        assert merge_spark_types(BIGINT_T, BOOLEAN_T) == STRING_T
+
+    def test_struct_fields_merged(self):
+        t1 = infer_spark_type({"a": 1})
+        t2 = infer_spark_type({"b": "x"})
+        assert to_ddl(merge_spark_types(t1, t2)) == \
+            "struct<a:bigint,b:string>"
+
+    def test_struct_vs_atom_coerces(self):
+        t = merge_spark_types(infer_spark_type({"a": 1}), BIGINT_T)
+        assert t == STRING_T
+
+    def test_array_elements_merge(self):
+        t = merge_spark_types(
+            infer_spark_type([1]), infer_spark_type([2.5])
+        )
+        assert to_ddl(t) == "array<double>"
+
+    def test_merge_is_commutative_on_examples(self):
+        pairs = [
+            (infer_spark_type({"a": 1}), infer_spark_type({"b": [1]})),
+            (BIGINT_T, DOUBLE_T),
+            (infer_spark_type([1]), infer_spark_type(["x"])),
+        ]
+        for t1, t2 in pairs:
+            assert merge_spark_types(t1, t2) == merge_spark_types(t2, t1)
+
+    @given(json_values(), json_values())
+    def test_merge_total_on_inferred_types(self, v1, v2):
+        merge_spark_types(infer_spark_type(v1), infer_spark_type(v2))
+
+
+class TestEndToEnd:
+    def test_schema_of_collection(self):
+        schema = infer_spark_schema([{"a": 1}, {"a": 2.5, "b": "x"}])
+        assert to_ddl(schema) == "struct<a:double,b:string>"
+
+    def test_empty_collection(self):
+        assert infer_spark_schema([]) == NULL_T
+
+    def test_num_str_conflict_coerces(self):
+        """word_count-style conflicts: baseline says string, we say union."""
+        values = [{"wc": 100}, {"wc": "100"}]
+        baseline = infer_spark_schema(values)
+        assert baseline.field("wc") == STRING_T
+        ours = infer_schema(values)
+        assert str(ours.field("wc").type) == "Num + Str"
+
+
+class TestCoercionCounting:
+    def test_clean_data_has_no_coercions(self):
+        assert count_coercions([{"a": 1}, {"a": 2}]) == 0
+
+    def test_each_conflict_counted(self):
+        assert count_coercions([{"a": 1}, {"a": "x"}]) == 1
+
+    def test_mixed_array_within_one_record_counted(self):
+        assert count_coercions([{"a": [1, "x"]}]) == 1
+
+    def test_numeric_widening_not_a_coercion(self):
+        assert count_coercions([{"a": 1}, {"a": 2.5}]) == 0
+
+
+class TestInformationComparison:
+    """The quantitative form of the paper's Section 6.1 contrast."""
+
+    def test_union_schema_keeps_at_least_baseline_paths(self):
+        for name in ["twitter", "nytimes"]:
+            values = generate_list(name, 150)
+            ours = {p for p, _ in iter_schema_paths(infer_schema(values))}
+            theirs = set(spark_schema_paths(infer_spark_schema(values)))
+            # Our schema exposes every path the baseline does...
+            assert theirs - {"$"} <= ours | _array_only_paths(theirs)
+
+    def test_baseline_loses_paths_on_conflicting_data(self):
+        values = [
+            {"meta": {"kind": "a", "extra": 1}},
+            {"meta": "plain string"},  # struct vs string -> coerced
+        ]
+        ours = {p for p, _ in iter_schema_paths(infer_schema(values))}
+        theirs = set(spark_schema_paths(infer_spark_schema(values)))
+        assert "$.meta.kind" in ours
+        assert "$.meta.kind" not in theirs
+
+    def test_baseline_coerces_on_real_datasets(self):
+        """The synthetic NYTimes data has the documented Num/Str conflicts,
+        so the baseline must coerce at least once; ours never loses paths."""
+        values = generate_list("nytimes", 200)
+        assert count_coercions(values) > 0
+
+
+def _array_only_paths(paths):
+    # The baseline reports "$.x[*]" even for always-empty arrays, which
+    # our schema renders as a path-less "[]" positional type; tolerate.
+    return {p for p in paths if p.endswith("[*]")}

@@ -1,0 +1,187 @@
+"""End-to-end tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import write_dataset
+from repro.jsonio.parser import loads
+from repro.jsonio.ndjson import write_ndjson
+
+
+@pytest.fixture()
+def sample_file(tmp_path):
+    path = tmp_path / "sample.ndjson"
+    write_ndjson(path, [
+        {"a": 1, "b": {"c": "x"}},
+        {"a": "y", "b": {"c": "z", "d": True}},
+    ])
+    return str(path)
+
+
+class TestInfer:
+    def test_prints_schema(self, sample_file, capsys):
+        assert main(["infer", sample_file]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == "{a: (Num + Str), b: {c: Str, d: Bool?}}"
+
+    def test_pretty(self, sample_file, capsys):
+        assert main(["infer", sample_file, "--pretty"]) == 0
+        out = capsys.readouterr().out
+        assert "\n" in out.strip()
+
+    def test_json_schema_output(self, sample_file, capsys):
+        assert main(["infer", sample_file, "--json-schema"]) == 0
+        doc = loads(capsys.readouterr().out.strip())
+        assert doc["type"] == "object"
+        assert sorted(doc["required"]) == ["a", "b"]
+
+    def test_skip_invalid(self, tmp_path, capsys):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"a": 1}\nnot json\n')
+        assert main(["infer", str(path), "--skip-invalid"]) == 0
+        assert capsys.readouterr().out.strip() == "{a: Num}"
+
+    def test_parallel_matches_sequential(self, sample_file, capsys):
+        assert main(["infer", sample_file]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["infer", sample_file, "--parallel", "3"]) == 0
+        assert capsys.readouterr().out == sequential
+
+
+class TestStats:
+    def test_stats_table(self, sample_file, capsys):
+        assert main(["stats", sample_file]) == 0
+        out = capsys.readouterr().out
+        assert "# types" in out
+        assert "records: 2" in out
+        assert "map phase" in out
+
+
+class TestGenerate:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out_path = tmp_path / "g.ndjson"
+        assert main(["generate", "github", "5", str(out_path)]) == 0
+        assert "wrote 5" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_generated_file_inferrable(self, tmp_path, capsys):
+        out_path = tmp_path / "t.ndjson"
+        main(["generate", "twitter", "10", str(out_path)])
+        capsys.readouterr()
+        assert main(["infer", str(out_path)]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_seed_changes_output(self, tmp_path, capsys):
+        a, b = tmp_path / "a.ndjson", tmp_path / "b.ndjson"
+        main(["generate", "nytimes", "3", str(a), "--seed", "1"])
+        main(["generate", "nytimes", "3", str(b), "--seed", "2"])
+        assert a.read_text() != b.read_text()
+
+
+class TestPaths:
+    def test_lists_paths_with_optionality(self, sample_file, capsys):
+        assert main(["paths", sample_file]) == 0
+        out = capsys.readouterr().out
+        assert "mandatory  $.a" in out
+        assert "optional   $.b.d" in out
+
+
+class TestCheckPath:
+    def test_mandatory_path(self, sample_file, capsys):
+        assert main(["check-path", sample_file, "b.c"]) == 0
+        out = capsys.readouterr().out
+        assert "in every record" in out
+        assert "Str" in out
+
+    def test_optional_path(self, sample_file, capsys):
+        assert main(["check-path", sample_file, "b.d"]) == 0
+        assert "optional" in capsys.readouterr().out
+
+    def test_absent_path_exits_nonzero(self, sample_file, capsys):
+        assert main(["check-path", sample_file, "zzz"]) == 1
+        assert "not present" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_identical_files(self, sample_file, capsys):
+        assert main(["diff", sample_file, sample_file]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_reports_changes(self, tmp_path, capsys):
+        old = tmp_path / "old.ndjson"
+        new = tmp_path / "new.ndjson"
+        write_ndjson(old, [{"a": 1, "b": "x"}])
+        write_ndjson(new, [{"a": "s", "c": True}])
+        assert main(["diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "[type-changed] $.a" in out
+        assert "[removed] $.b" in out
+        assert "[added] $.c" in out
+
+
+class TestProject:
+    def test_prunes_records(self, sample_file, capsys):
+        assert main(["project", sample_file, "b.c"]) == 0
+        lines = capsys.readouterr().out.strip().split("\n")
+        assert loads(lines[0]) == {"b": {"c": "x"}}
+        assert loads(lines[1]) == {"b": {"c": "z"}}
+
+    def test_unknown_path_fails(self, sample_file, capsys):
+        assert main(["project", sample_file, "nope"]) == 1
+        assert "nope" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_conforming_file(self, sample_file, capsys):
+        schema = "{a: Num + Str, b: {c: Str, d: Bool?}}"
+        assert main(["validate", sample_file, "--schema", schema]) == 0
+        assert "all 2 records conform" in capsys.readouterr().out
+
+    def test_violations_reported_with_paths(self, sample_file, capsys):
+        assert main(["validate", sample_file, "--schema", "{a: Num}"]) == 1
+        out = capsys.readouterr().out
+        assert "record 1" in out
+        assert "$.b" in out
+        assert "2/2 records violate" in out
+
+    def test_schema_file_variant(self, sample_file, tmp_path, capsys):
+        schema_path = tmp_path / "schema.txt"
+        schema_path.write_text("{a: Num + Str, b: {c: Str, d: Bool?}}")
+        code = main(["validate", sample_file, "--schema-file", str(schema_path)])
+        assert code == 0
+
+    def test_max_reports_limits_output(self, tmp_path, capsys):
+        path = tmp_path / "many.ndjson"
+        write_ndjson(path, [{"x": i} for i in range(10)])
+        assert main(["validate", str(path), "--schema", "{y: Num}",
+                     "--max-reports", "2"]) == 1
+        out = capsys.readouterr().out
+        assert out.count("record ") == 2
+        assert "10/10 records violate" in out
+
+    def test_schema_required(self, sample_file):
+        with pytest.raises(SystemExit):
+            main(["validate", sample_file])
+
+
+class TestReport:
+    def test_markdown_report(self, sample_file, capsys):
+        assert main(["report", sample_file, "--name", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Schema audit: demo")
+        assert "## Fused schema" in out
+        assert "## Paths" in out
+
+    def test_default_name_is_filename(self, sample_file, capsys):
+        assert main(["report", sample_file]) == 0
+        assert sample_file in capsys.readouterr().out.split("\n")[0]
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_arguments_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["infer"])

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable.  Each runs in a subprocess exactly as a user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_has_module_docstring_with_run_line(script):
+    source = script.read_text()
+    assert source.lstrip().startswith('"""'), f"{script.name} lacks a docstring"
+    assert f"examples/{script.name}" in source, (
+        f"{script.name}'s docstring should show how to run it"
+    )

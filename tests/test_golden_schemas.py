@@ -1,0 +1,50 @@
+"""Golden-schema regression tests.
+
+For each dataset, the fused schema of the first 60 records is pinned to a
+checked-in text file (``tests/golden/<name>_60.schema.txt``).  Any change
+to value typing, fusion, canonical ordering, the printer, or the
+generators shows up here as a readable schema diff rather than a silent
+semantic drift.
+
+If a change is *intentional*, regenerate the files::
+
+    python -c "
+    from pathlib import Path
+    from repro.datasets import DATASET_NAMES, generate_list
+    from repro.inference import infer_schema
+    from repro.core.printer import print_type
+    for name in sorted(DATASET_NAMES):
+        schema = infer_schema(generate_list(name, 60))
+        Path(f'tests/golden/{name}_60.schema.txt').write_text(
+            print_type(schema) + '\\n')
+    "
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.printer import print_type
+from repro.core.type_parser import parse_type
+from repro.datasets import DATASET_NAMES, generate_list
+from repro.inference import infer_schema
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+N = 60
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_NAMES))
+def test_fused_schema_matches_golden(name):
+    expected = (GOLDEN_DIR / f"{name}_60.schema.txt").read_text().strip()
+    actual = print_type(infer_schema(generate_list(name, N)))
+    assert actual == expected, (
+        f"fused {name} schema drifted from the golden file; if the change "
+        f"is intentional, regenerate (see module docstring)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_NAMES))
+def test_golden_files_are_valid_type_syntax(name):
+    text = (GOLDEN_DIR / f"{name}_60.schema.txt").read_text().strip()
+    parsed = parse_type(text)
+    assert print_type(parsed) == text

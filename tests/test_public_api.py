@@ -1,0 +1,62 @@
+"""Meta-tests on the public API surface.
+
+Guards the documentation contract: every name exported via ``__all__``
+exists and is importable, every public module has a docstring, and the
+top-level convenience re-exports stay in sync with their home modules.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+MODULES = _all_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name!r}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_functions_and_classes_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if callable(obj) or isinstance(obj, type):
+            assert getattr(obj, "__doc__", None), (
+                f"{module_name}.{name} lacks a docstring"
+            )
+
+
+def test_top_level_reexports_match_home_modules():
+    from repro import core, engine, inference
+
+    assert repro.fuse is inference.fuse
+    assert repro.infer_type is inference.infer_type
+    assert repro.matches is core.matches
+    assert repro.Context is engine.Context
+
+
+def test_version_is_declared():
+    assert repro.__version__
