@@ -1,0 +1,193 @@
+"""Streaming-kernel benchmark — quad-pass vs. kernel vs. kernel+processes.
+
+Compares three ways of running ``run_inference`` over the adversarial
+``mixed`` dataset (~91% distinct types, the worst case for dedup-based
+pipelines):
+
+* ``quadpass-thread`` — the legacy path (``kernel=False``): cache the typed
+  RDD, then count / distinct / fold as separate engine jobs.
+* ``kernel-thread``   — the streaming partition kernel on the thread pool:
+  one pass per partition through a :class:`PartitionAccumulator`.
+* ``kernel-process``  — the same kernel on the process pool
+  (``backend="process"``), shipping raw partitions to worker processes.
+
+Each variant runs in a *fresh subprocess* so no variant inherits the
+previous one's heap (a forked worker pool copy-on-writes whatever garbage
+the parent accumulated, which can easily swamp the effect being measured).
+The results — including a schema digest used to assert all three variants
+produce bit-identical ``InferenceRun`` outputs — are written to
+``BENCH_kernel.json`` at the repository root.
+
+Run standalone for the full-size measurement::
+
+    python benchmarks/bench_kernel_streaming.py --n 100000
+
+or through the harness (scales with ``REPRO_SCALE``)::
+
+    REPRO_SCALE=100000 pytest benchmarks/bench_kernel_streaming.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_kernel.json"
+
+VARIANTS = ("quadpass-thread", "kernel-thread", "kernel-process")
+
+_PRINTED = False
+
+
+def run_variant(variant: str, n: int, partitions: int) -> dict:
+    """One timed ``run_inference`` call; meant to run in a fresh process."""
+    from repro.core.printer import print_type
+    from repro.datasets import mixed
+    from repro.engine import Context
+    from repro.inference.pipeline import run_inference
+
+    backend = "process" if variant == "kernel-process" else "thread"
+    kernel = variant != "quadpass-thread"
+
+    values = mixed.generate_list(n)
+    with Context(parallelism=partitions, backend=backend) as ctx:
+        start = time.perf_counter()
+        run = run_inference(
+            values, context=ctx, num_partitions=partitions, kernel=kernel
+        )
+        seconds = time.perf_counter() - start
+
+    digest = hashlib.sha256(print_type(run.schema).encode()).hexdigest()
+    return {
+        "variant": variant,
+        "backend": backend,
+        "kernel": kernel,
+        "seconds": round(seconds, 4),
+        "map_seconds": round(run.map_seconds, 4),
+        "reduce_seconds": round(run.reduce_seconds, 4),
+        "record_count": run.record_count,
+        "distinct_type_count": run.distinct_type_count,
+        "schema_sha256": digest,
+    }
+
+
+def _run_in_subprocess(variant: str, n: int, partitions: int) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [
+            sys.executable, os.fspath(Path(__file__).resolve()),
+            "--variant", variant, "--n", str(n),
+            "--partitions", str(partitions),
+        ],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def run_benchmark(
+    n: int, partitions: int = 4, out_path: Path | str | None = DEFAULT_OUT
+) -> dict:
+    """Run all variants (each in a clean subprocess) and collect a report."""
+    rows = [_run_in_subprocess(v, n, partitions) for v in VARIANTS]
+    base = rows[0]["seconds"]
+    for row in rows:
+        row["speedup_vs_quadpass"] = round(base / row["seconds"], 3)
+    identical = (
+        len({r["schema_sha256"] for r in rows}) == 1
+        and len({r["record_count"] for r in rows}) == 1
+        and len({r["distinct_type_count"] for r in rows}) == 1
+    )
+    report = {
+        "benchmark": "kernel_streaming",
+        "dataset": "mixed",
+        "n": n,
+        "partitions": partitions,
+        "parallelism": partitions,
+        "cpu_count": os.cpu_count(),
+        "results_identical": identical,
+        "variants": rows,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def print_report(report: dict) -> None:
+    from repro.analysis.tables import render_table
+
+    rows = [
+        [
+            r["variant"],
+            f"{r['seconds']:.2f}s",
+            f"{r['map_seconds']:.2f}s",
+            f"{r['reduce_seconds']:.2f}s",
+            f"{r['speedup_vs_quadpass']:.2f}x",
+        ]
+        for r in report["variants"]
+    ]
+    print()
+    print(render_table(
+        ["variant", "wall", "map", "reduce", "speedup"],
+        rows,
+        title=(
+            f"Streaming kernel — mixed x{report['n']:,}, "
+            f"{report['partitions']} partitions"
+        ),
+    ))
+    print(f"results identical across variants: {report['results_identical']}")
+
+
+def test_bench_kernel_streaming(benchmark):
+    from conftest import max_scale
+
+    global _PRINTED
+    n = max_scale()
+    report = run_benchmark(n, partitions=4)
+    if not _PRINTED:
+        _PRINTED = True
+        print_report(report)
+    assert report["results_identical"]
+    if n >= 100_000:
+        by_name = {r["variant"]: r for r in report["variants"]}
+        assert by_name["kernel-process"]["speedup_vs_quadpass"] >= 1.5
+    # Give pytest-benchmark a stable in-process number: one partition's
+    # worth of streaming accumulation at a fixed small size.
+    from repro.datasets import mixed
+    from repro.inference.kernel import accumulate_partition
+
+    values = mixed.generate_list(min(n, 2000))
+    benchmark.pedantic(
+        lambda: accumulate_partition(values), rounds=3, iterations=1
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=100_000)
+    parser.add_argument("--partitions", type=int, default=4)
+    parser.add_argument("--out", default=os.fspath(DEFAULT_OUT))
+    parser.add_argument(
+        "--variant", choices=VARIANTS, default=None,
+        help="internal: run one variant in-process and print its JSON row",
+    )
+    args = parser.parse_args(argv)
+    if args.variant is not None:
+        print(json.dumps(run_variant(args.variant, args.n, args.partitions)))
+        return 0
+    report = run_benchmark(args.n, args.partitions, out_path=args.out)
+    print_report(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

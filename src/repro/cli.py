@@ -65,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", type=int, metavar="N", default=None,
         help="run typing+fusion on the engine with N-way parallelism",
     )
+    p_infer.add_argument(
+        "--backend", choices=["thread", "process"], default="thread",
+        help="engine worker pool for --parallel: threads share memory, "
+             "processes give CPU-bound work true parallelism (default: "
+             "thread)",
+    )
 
     p_stats = sub.add_parser(
         "stats", help="succinctness statistics (Tables 2-5 columns)"
@@ -140,7 +146,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     if args.parallel:
         from repro.engine import Context
 
-        with Context(parallelism=args.parallel) as ctx:
+        with Context(parallelism=args.parallel, backend=args.backend) as ctx:
             schema = infer_schema(records, context=ctx,
                                   num_partitions=args.parallel * 2)
     else:

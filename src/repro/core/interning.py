@@ -43,6 +43,11 @@ class TypeInterner:
     def __init__(self) -> None:
         self._pool: dict[Type, Type] = {}
         self._field_pool: dict[Field, Field] = {}
+        # (name, id(canonical type), optional) -> canonical Field; lets
+        # :meth:`field` skip Field construction and structural hashing on
+        # repeats.  Sound because the pool keeps canonical types alive, so
+        # the id cannot be recycled.
+        self._field_cache: dict[tuple[str, int, bool], Field] = {}
         self.hits = 0
         self.misses = 0
 
@@ -67,6 +72,25 @@ class TypeInterner:
             return found
         self._field_pool[field] = field
         return field
+
+    def field(self, name: str, type: Type, optional: bool = False) -> Field:
+        """Canonical :class:`Field` for ``(name, type, optional)``.
+
+        ``type`` must already be canonical (interned); callers building
+        types bottom-up — like the streaming kernel — use this so that
+        record types are constructed from pooled fields and the record
+        pool lookup compares field tuples by pointer equality.
+        """
+        key = (name, id(type), optional)
+        found = self._field_cache.get(key)
+        if found is not None:
+            return found
+        field = Field(name, type, optional)
+        canonical = self._field_pool.get(field)
+        if canonical is None:
+            self._field_pool[field] = canonical = field
+        self._field_cache[key] = canonical
+        return canonical
 
     def intern(self, t: Type) -> Type:
         """Return the canonical instance of ``t``, pooling every subtree."""

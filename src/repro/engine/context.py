@@ -53,8 +53,15 @@ class _ParallelizedRDD(RDD[T]):
 class Context:
     """Driver-side entry point: creates source RDDs and owns the scheduler."""
 
-    def __init__(self, parallelism: int | None = None) -> None:
-        self.scheduler = Scheduler(parallelism)
+    def __init__(
+        self, parallelism: int | None = None, backend: str = "thread"
+    ) -> None:
+        self.scheduler = Scheduler(parallelism, backend=backend)
+
+    @property
+    def backend(self) -> str:
+        """Execution backend of the scheduler (``"thread"`` or ``"process"``)."""
+        return self.scheduler.backend
 
     @property
     def default_parallelism(self) -> int:

@@ -43,6 +43,7 @@ class RDD(Generic[T]):
         self.context = context
         self._num_partitions = num_partitions
         self._cache: list[list[T]] | None = None
+        self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # partition computation
@@ -63,9 +64,18 @@ class RDD(Generic[T]):
 
     def cache(self) -> "RDD[T]":
         """Materialise all partitions now and serve future computations
-        from memory — the moral equivalent of Spark's ``persist()``."""
+        from memory — the moral equivalent of Spark's ``persist()``.
+
+        Thread-safe: concurrent callers materialise the partitions once
+        (double-checked lock; without it two threads can both observe an
+        unset cache and compute every partition twice).
+        """
         if self._cache is None:
-            self._cache = self._run_per_partition(self.compute_partition)
+            with self._cache_lock:
+                if self._cache is None:
+                    self._cache = self._run_per_partition(
+                        self.compute_partition
+                    )
         return self
 
     def unpersist(self) -> "RDD[T]":

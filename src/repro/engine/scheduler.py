@@ -1,39 +1,76 @@
 """Task scheduler for the local engine.
 
-Runs one task per partition on a thread pool (threads rather than processes:
-fusion is allocation-bound, partitions share read-only inputs, and results
-are plain Python objects — the same trade-off PySpark's local mode makes).
-A ``parallelism`` of 1 degrades to inline execution, which is handy both for
-debugging and as the sequential baseline in the ablation benchmarks.
+Runs one task per partition on a worker pool.  Two backends:
+
+* ``backend="thread"`` (default) — a thread pool.  Cheap to start, shares
+  read-only inputs by reference, but CPU-bound work is GIL-serialised —
+  the same trade-off PySpark's local mode makes.
+* ``backend="process"`` — a process pool, giving CPU-bound partition work
+  (typing + fusion) true parallelism.  Tasks and items must be picklable;
+  a task that is not (e.g. the closures the RDD lineage builds) falls back
+  to the thread pool transparently, so a process-backed context still runs
+  every workload.  The streaming inference kernel ships a module-level
+  function plus raw partition data precisely so it can ride this backend,
+  and its per-partition results are tiny summaries that are cheap to send
+  back.
+
+A ``parallelism`` of 1 degrades to inline execution, which is handy both
+for debugging and as the sequential baseline in the ablation benchmarks.
 """
 
 from __future__ import annotations
 
+import gc
 import os
+import pickle
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["Scheduler"]
+__all__ = ["Scheduler", "BACKENDS"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Supported execution backends.
+BACKENDS = ("thread", "process")
 
 
 def _default_parallelism() -> int:
     return max(2, os.cpu_count() or 2)
 
 
+def _process_worker_init() -> None:
+    """Run once in each worker process, right after it starts.
+
+    Disables the cyclic garbage collector in the worker: partition tasks
+    build immutable, acyclic data (type trees, summaries) that reference
+    counting reclaims fully, while a cycle collection in a forked child
+    would traverse — and, via copy-on-write, duplicate — the entire
+    inherited parent heap.  Measurably faster on large inputs and safe for
+    the engine's workloads.
+    """
+    gc.disable()
+
+
 class Scheduler:
     """Executes per-partition tasks, preserving partition order of results."""
 
-    def __init__(self, parallelism: int | None = None) -> None:
+    def __init__(
+        self, parallelism: int | None = None, backend: str = "thread"
+    ) -> None:
         if parallelism is None:
             parallelism = _default_parallelism()
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.parallelism = parallelism
+        self.backend = backend
         self._pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -42,6 +79,23 @@ class Scheduler:
                 thread_name_prefix="repro-engine",
             )
         return self._pool
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self.parallelism,
+                initializer=_process_worker_init,
+            )
+        return self._process_pool
+
+    @staticmethod
+    def _shippable(task: Callable) -> bool:
+        """Whether ``task`` can be sent to a worker process."""
+        try:
+            pickle.dumps(task)
+            return True
+        except Exception:
+            return False
 
     def run(self, task: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``task`` to every item (one task per partition), in parallel.
@@ -56,14 +110,20 @@ class Scheduler:
         on_worker = threading.current_thread().name.startswith("repro-engine")
         if self.parallelism == 1 or len(items) <= 1 or on_worker:
             return [task(item) for item in items]
-        pool = self._ensure_pool()
-        return list(pool.map(task, items))
+        if self.backend == "process" and self._shippable(task):
+            pool = self._ensure_process_pool()
+            return list(pool.map(task, items))
+        thread_pool = self._ensure_pool()
+        return list(thread_pool.map(task, items))
 
     def shutdown(self) -> None:
-        """Release the worker pool.  The scheduler can be reused afterwards."""
+        """Release the worker pools.  The scheduler can be reused afterwards."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
 
     def __enter__(self) -> "Scheduler":
         return self

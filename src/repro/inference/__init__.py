@@ -4,6 +4,9 @@
 * :mod:`repro.inference.fusion` — type fusion, the Reduce phase (Figs. 5-6).
 * :mod:`repro.inference.pipeline` — end-to-end, incremental and
   partition-isolated pipelines.
+* :mod:`repro.inference.kernel` — the single-pass streaming kernel the
+  pipelines run on: per-partition interning accumulator with memoized
+  fusion, merged at the driver.
 * :mod:`repro.inference.counting` — the statistics enrichment sketched as
   future work in Section 7.
 * :mod:`repro.inference.parametric` — equivalence-parameterised fusion
@@ -25,6 +28,13 @@ from repro.inference.fusion import (
     simplify,
 )
 from repro.inference.infer import infer_type
+from repro.inference.kernel import (
+    FusionMemo,
+    PartitionAccumulator,
+    PartitionSummary,
+    accumulate_partition,
+    merge_summaries,
+)
 from repro.inference.parametric import (
     ParametricFuser,
     fuse_labelled,
@@ -47,6 +57,8 @@ __all__ = [
     "infer_schema", "run_inference", "InferenceRun",
     "SchemaInferencer", "infer_partitioned", "PartitionReport",
     "PartitionedRun",
+    "PartitionAccumulator", "PartitionSummary", "FusionMemo",
+    "accumulate_partition", "merge_summaries",
     "StatisticsCollector", "FieldPresence", "ArrayLengthStats",
     "presence_report",
     "ParametricFuser", "label_equivalence", "fuse_labelled",

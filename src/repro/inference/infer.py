@@ -38,8 +38,20 @@ def infer_type(value: Any) -> Type:
 
     Raises :class:`InvalidValueError` for objects outside the JSON data
     model (the rules of Fig. 4 are deterministic and exhaustive over valid
-    values, so nothing else can fail).
+    values, so nothing else can fail) — including values nested too deeply
+    to type within Python's recursion limit, which would otherwise surface
+    as an opaque ``RecursionError`` from the middle of the descent.
     """
+    try:
+        return _infer(value)
+    except RecursionError:
+        raise InvalidValueError(
+            "value is nested too deeply to type (exceeds the recursion "
+            "limit); flatten the value or raise sys.setrecursionlimit"
+        ) from None
+
+
+def _infer(value: Any) -> Type:
     if value is None:
         return NULL
     # bool must precede the number test: bool is a subclass of int in Python.
@@ -54,10 +66,10 @@ def infer_type(value: Any) -> Type:
         for key, sub in value.items():
             if not isinstance(key, str):
                 raise InvalidValueError(f"non-string record key: {key!r}")
-            fields.append(Field(key, infer_type(sub)))
+            fields.append(Field(key, _infer(sub)))
         # Key uniqueness (the premise of the record rule) is guaranteed by
         # dict; the JSON text parser rejects duplicate keys before this point.
         return RecordType(fields)
     if isinstance(value, list):
-        return ArrayType(infer_type(v) for v in value)
+        return ArrayType(_infer(v) for v in value)
     raise InvalidValueError(f"not a JSON value: {type(value).__name__}")

@@ -17,6 +17,14 @@ Plus :func:`infer_partitioned`, the partition-isolated strategy of
 Section 6.2 (Table 8): each partition is processed independently, yielding
 a per-partition report and a tiny partial schema; the partials are fused at
 the end.
+
+By default every pipeline runs on the single-pass streaming kernel
+(:mod:`repro.inference.kernel`): each partition is consumed value by value
+through an interning accumulator with memoized fusion, and only tiny
+partial summaries travel to the driver.  The original
+materialise-then-multi-pass implementation is kept, byte for byte, behind
+``kernel=False`` — it is the reference the equivalence tests and the
+``bench_kernel_streaming`` benchmark compare against.
 """
 
 from __future__ import annotations
@@ -26,9 +34,14 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from repro.core.types import EMPTY, Type
-from repro.engine.context import Context
+from repro.engine.context import Context, split_evenly
 from repro.inference.fusion import fuse, fuse_all, fuse_multiset
 from repro.inference.infer import infer_type
+from repro.inference.kernel import (
+    PartitionAccumulator,
+    accumulate_partition,
+    merge_summaries,
+)
 
 __all__ = [
     "infer_schema",
@@ -49,14 +62,20 @@ def infer_schema(values: Iterable[Any], context: Context | None = None,
     >>> print_type(infer_schema([{"a": 1}, {"a": "x", "b": True}]))
     '{a: (Num + Str), b: Bool?}'
 
-    With a ``context``, typing and fusion run as a distributed map +
-    tree-reduce; without one, in-line in the calling thread.  An empty
-    collection yields the empty type.
+    With a ``context``, each partition is streamed through the kernel's
+    accumulator in parallel (a single pass) and the partial schemas are
+    fused at the driver; without one, in-line in the calling thread via the
+    naive fold — deliberately kept as the executable *reference semantics*
+    the kernel is property-tested against.  An empty collection yields the
+    empty type.
     """
     if context is None:
         return fuse_all(infer_type(v) for v in values)
-    rdd = context.parallelize(values, num_partitions).map(infer_type)
-    return rdd.fold(EMPTY, fuse)
+    parts = split_evenly(list(values),
+                         num_partitions or context.default_parallelism)
+    summaries = context.scheduler.run(accumulate_partition, parts)
+    schema, _, _ = merge_summaries(summaries)
+    return schema
 
 
 @dataclass
@@ -86,21 +105,78 @@ def _distinct(types: Sequence[Type]) -> list[Type]:
     return out
 
 
+def _run_inference_streaming(
+    values: Iterable[Any],
+    context: Context | None,
+    num_partitions: int | None,
+) -> InferenceRun:
+    """Single-pass streaming inference (see :mod:`repro.inference.kernel`).
+
+    Typing, interning, distinct counting and memoized fusion happen in one
+    traversal per partition, so ``map_seconds`` covers the whole streaming
+    pass and ``reduce_seconds`` only the (tiny) driver-side merge of the
+    partial summaries.
+    """
+    if context is None:
+        start = time.perf_counter()
+        acc = PartitionAccumulator()
+        acc.add_many(values)
+        map_seconds = time.perf_counter() - start
+        return InferenceRun(
+            schema=acc.schema,
+            record_count=acc.record_count,
+            distinct_type_count=acc.distinct_type_count,
+            map_seconds=map_seconds,
+            reduce_seconds=0.0,
+        )
+
+    parts = split_evenly(list(values),
+                         num_partitions or context.default_parallelism)
+    start = time.perf_counter()
+    # One task per partition over the *raw* values.  Shipped as a plain
+    # module-level function so the process backend can serialize it.
+    summaries = context.scheduler.run(accumulate_partition, parts)
+    map_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    schema, record_count, distinct_count = merge_summaries(summaries)
+    reduce_seconds = time.perf_counter() - start
+    return InferenceRun(
+        schema=schema,
+        record_count=record_count,
+        distinct_type_count=distinct_count,
+        map_seconds=map_seconds,
+        reduce_seconds=reduce_seconds,
+    )
+
+
 def run_inference(
     values: Iterable[Any],
     context: Context | None = None,
     num_partitions: int | None = None,
     dedupe: bool = True,
+    kernel: bool = True,
 ) -> InferenceRun:
-    """Instrumented two-phase inference.
+    """Instrumented inference.
 
-    ``dedupe=True`` fuses over the deduplicated inferred types — the
-    paper's Map phase "yields a set of distinct types to be fused"
-    (Section 2).  :func:`repro.inference.fusion.fuse_multiset` makes this
-    an *exact* optimisation (same schema as fusing the raw sequence), so
-    the flag only trades time, never results; it is kept as an ablation
-    knob for the benchmarks.
+    ``kernel=True`` (the default) runs the single-pass streaming kernel:
+    one traversal per partition doing typing, interning, distinct counting
+    and memoized incremental fusion, with only tiny partial summaries
+    merged at the driver.  ``kernel=False`` runs the original
+    materialise-then-multi-pass implementation; both produce identical
+    results (schema, record count, distinct count), which the test suite
+    checks property-based — the flag trades only time.
+
+    ``dedupe`` applies to the legacy path only: it fuses over the
+    deduplicated inferred types — the paper's Map phase "yields a set of
+    distinct types to be fused" (Section 2).
+    :func:`repro.inference.fusion.fuse_multiset` makes this an *exact*
+    optimisation (same schema as fusing the raw sequence), so the flag
+    only trades time, never results; it is kept as an ablation knob for
+    the benchmarks.
     """
+    if kernel:
+        return _run_inference_streaming(values, context, num_partitions)
     if context is None:
         start = time.perf_counter()
         types = [infer_type(v) for v in values]
@@ -151,6 +227,12 @@ class SchemaInferencer:
     produced — that equality *is* the associativity theorem, and the test
     suite checks it property-based.
 
+    Internally backed by the streaming kernel's
+    :class:`repro.inference.kernel.PartitionAccumulator`, so a long-lived
+    inferencer gets interning and memoized fusion: folding a stream of
+    homogeneous records costs one dict lookup each after the schema
+    stabilises.
+
     >>> inf = SchemaInferencer()
     >>> inf.add({"a": 1})
     >>> inf.add({"b": "x"})
@@ -160,39 +242,35 @@ class SchemaInferencer:
     """
 
     def __init__(self) -> None:
-        self._schema: Type = EMPTY
-        self._count = 0
+        self._acc = PartitionAccumulator()
 
     @property
     def schema(self) -> Type:
         """The schema of everything added so far (empty type if nothing)."""
-        return self._schema
+        return self._acc.schema
 
     @property
     def record_count(self) -> int:
         """How many records have been folded in."""
-        return self._count
+        return self._acc.record_count
 
     def add(self, value: Any) -> None:
         """Fuse one more JSON value into the schema."""
-        self._schema = fuse(self._schema, infer_type(value))
-        self._count += 1
+        self._acc.add(value)
 
     def add_type(self, t: Type, records: int = 1) -> None:
         """Fuse a pre-computed type (e.g. a partial schema) into the schema."""
-        self._schema = fuse(self._schema, t)
-        self._count += records
+        self._acc.add_type(t, records)
 
     def add_many(self, values: Iterable[Any]) -> None:
         """Fuse a batch of values."""
-        for value in values:
-            self.add(value)
+        self._acc.add_many(values)
 
     def merge(self, other: "SchemaInferencer") -> "SchemaInferencer":
         """Combine two inferencers into a new one (neither input changes)."""
         merged = SchemaInferencer()
-        merged._schema = fuse(self._schema, other._schema)
-        merged._count = self._count + other._count
+        merged._acc.add_type(self.schema, self.record_count)
+        merged._acc.add_type(other.schema, other.record_count)
         return merged
 
     def __or__(self, other: "SchemaInferencer") -> "SchemaInferencer":
@@ -225,19 +303,21 @@ class PartitionedRun:
 
 
 def infer_partitioned(partitions: Iterable[Iterable[Any]],
-                      dedupe: bool = True) -> PartitionedRun:
+                      dedupe: bool = True,
+                      kernel: bool = True) -> PartitionedRun:
     """Process each partition in isolation, then fuse the partial schemas.
 
     This is the manual strategy of Section 6.2: no shuffle, no
     synchronisation during partition processing, and a final fusion of the
     per-partition schemas that "is a fast operation as each schema to fuse
     has a very small size" — the benchmarks confirm by reporting
-    ``final_fuse_seconds`` separately.
+    ``final_fuse_seconds`` separately.  Each partition streams through the
+    kernel accumulator unless ``kernel=False`` selects the legacy path.
     """
     reports: list[PartitionReport] = []
     for index, partition in enumerate(partitions):
         start = time.perf_counter()
-        run = run_inference(list(partition), dedupe=dedupe)
+        run = run_inference(list(partition), dedupe=dedupe, kernel=kernel)
         elapsed = time.perf_counter() - start
         reports.append(PartitionReport(
             index=index,

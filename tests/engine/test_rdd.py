@@ -266,6 +266,30 @@ class TestCaching:
         rdd.unpersist().collect()
         assert calls == [1, 1]
 
+    def test_concurrent_cache_materialises_once(self, ctx):
+        """Regression: two threads racing into cache() used to both see an
+        unset cache and each compute every partition.  The lock must make
+        the materialisation happen exactly once."""
+        import threading
+
+        calls = []
+        rdd = ctx.parallelize(range(12), 3).map(
+            lambda x: calls.append(x) or x
+        )
+        barrier = threading.Barrier(4)
+
+        def hammer():
+            barrier.wait()
+            rdd.cache()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(calls) == list(range(12))  # each element computed once
+        assert rdd.collect() == list(range(12))
+
 
 class TestSaveNdjson:
     def test_one_part_file_per_partition(self, ctx, tmp_path):

@@ -1,11 +1,25 @@
 """Unit tests for the task scheduler (repro.engine.scheduler)."""
 
+import os
 import threading
 import time
 
 import pytest
 
-from repro.engine.scheduler import Scheduler
+from repro.engine.scheduler import BACKENDS, Scheduler
+
+
+def _square(x):
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+def _worker_pid(_):
+    return os.getpid()
+
+
+def _reciprocal(x):
+    return 1 // x
 
 
 class TestBasics:
@@ -56,6 +70,55 @@ class TestParallelExecution:
                 lambda _: threading.current_thread().name, list(range(8))
             )
         assert any(n.startswith("repro-engine") for n in names)
+
+
+class TestProcessBackend:
+    def test_backends_constant(self):
+        assert BACKENDS == ("thread", "process")
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Scheduler(parallelism=2, backend="greenlet")
+
+    def test_default_backend_is_thread(self):
+        assert Scheduler(parallelism=2).backend == "thread"
+
+    def test_results_in_input_order(self):
+        with Scheduler(parallelism=2, backend="process") as sched:
+            assert sched.run(_square, list(range(10))) == [
+                x * x for x in range(10)
+            ]
+
+    def test_runs_in_worker_processes(self):
+        with Scheduler(parallelism=2, backend="process") as sched:
+            pids = sched.run(_worker_pid, list(range(4)))
+        assert all(pid != os.getpid() for pid in pids)
+
+    def test_unpicklable_task_falls_back_to_threads(self):
+        """Closures (the RDD lineage) cannot ship to a process; the
+        scheduler must run them on the thread pool instead of failing."""
+        offset = 7
+        with Scheduler(parallelism=2, backend="process") as sched:
+            got = sched.run(lambda x: x + offset, [1, 2, 3, 4])
+            pids = sched.run(lambda _: os.getpid(), [0, 1, 2, 3])
+        assert got == [8, 9, 10, 11]
+        assert all(pid == os.getpid() for pid in pids)
+
+    def test_single_item_runs_inline(self):
+        with Scheduler(parallelism=4, backend="process") as sched:
+            assert sched.run(_worker_pid, [0]) == [os.getpid()]
+
+    def test_exceptions_propagate(self):
+        with Scheduler(parallelism=2, backend="process") as sched:
+            with pytest.raises(ZeroDivisionError):
+                sched.run(_reciprocal, [1, 0, 3])
+
+    def test_reusable_after_shutdown(self):
+        sched = Scheduler(parallelism=2, backend="process")
+        assert sched.run(_square, [1, 2]) == [1, 4]
+        sched.shutdown()
+        assert sched.run(_square, [3, 4]) == [9, 16]
+        sched.shutdown()
 
 
 class TestReentrancy:

@@ -89,6 +89,28 @@ class TestInvalidInputs:
         with pytest.raises(InvalidValueError):
             infer_type(value)
 
+    @pytest.mark.parametrize("wrap", [
+        lambda inner: [inner],
+        lambda inner: {"k": inner},
+    ])
+    def test_deep_nesting_raises_invalid_value(self, wrap):
+        """Regression: a value nested beyond the recursion limit used to
+        escape as a bare RecursionError from mid-descent; it must surface
+        as a clear InvalidValueError instead."""
+        import sys
+
+        value = None
+        for _ in range(sys.getrecursionlimit() * 2):
+            value = wrap(value)
+        with pytest.raises(InvalidValueError, match="nested too deeply"):
+            infer_type(value)
+
+    def test_reasonable_nesting_still_types(self):
+        value = None
+        for _ in range(50):
+            value = [value]
+        infer_type(value)  # must not raise
+
 
 class TestFigure1StyleRecord:
     def test_realistic_record(self):

@@ -1,0 +1,199 @@
+"""Tests for the streaming partition kernel (repro.inference.kernel).
+
+The kernel's contract is *exactness*: for any input, its schema, record
+count and distinct-type count must equal (plain ``==``) the naive
+``fuse_all(infer_type(v) for v in values)`` path.  The property tests here
+fuzz that contract on arbitrary JSON, and the backend tests check that the
+thread and process pools agree with the local path bit for bit.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidValueError
+from repro.core.interning import TypeInterner
+from repro.core.types import EMPTY
+from repro.datasets import generate_list
+from repro.datasets.base import DATASET_NAMES
+from repro.engine import Context
+from repro.inference.fusion import fuse, fuse_all
+from repro.inference.infer import infer_type
+from repro.inference.kernel import (
+    FusionMemo,
+    PartitionAccumulator,
+    accumulate_partition,
+    merge_summaries,
+)
+from repro.inference.pipeline import run_inference
+from tests.conftest import json_values, normal_types
+
+json_value_lists = st.lists(json_values(12), max_size=25)
+
+
+def naive(values):
+    """The reference pipeline: materialise, fuse, count, dedupe."""
+    types = [infer_type(v) for v in values]
+    return fuse_all(types), len(types), len(set(types))
+
+
+class TestAccumulatorMatchesNaive:
+    @given(json_value_lists)
+    def test_schema_count_distinct(self, values):
+        acc = PartitionAccumulator()
+        acc.add_many(values)
+        schema, count, distinct = naive(values)
+        assert acc.schema == schema
+        assert acc.record_count == count
+        assert acc.distinct_type_count == distinct
+
+    @given(json_value_lists, st.integers(min_value=1, max_value=4))
+    def test_partitioned_merge_matches_naive(self, values, num_partitions):
+        """Splitting arbitrarily and merging summaries changes nothing —
+        the practical face of associativity (Theorem 5.5)."""
+        parts = [values[i::num_partitions] for i in range(num_partitions)]
+        summaries = [accumulate_partition(p) for p in parts]
+        schema, count, distinct = merge_summaries(summaries)
+        want_schema, want_count, want_distinct = naive(values)
+        assert schema == want_schema
+        assert count == want_count
+        assert distinct == want_distinct
+
+    def test_empty_accumulator(self):
+        acc = PartitionAccumulator()
+        assert acc.schema == EMPTY
+        assert acc.record_count == 0
+        assert acc.distinct_type_count == 0
+        summary = acc.summary()
+        assert summary.schema == EMPTY
+        assert summary.distinct_types == ()
+
+    def test_add_type_fuses_without_distinct(self):
+        acc = PartitionAccumulator()
+        acc.add({"a": 1})
+        other = PartitionAccumulator()
+        other.add({"b": "x"})
+        acc.add_type(other.schema, records=other.record_count)
+        assert acc.record_count == 2
+        assert acc.distinct_type_count == 1  # only the directly-seen value
+        assert acc.schema == fuse(infer_type({"a": 1}), infer_type({"b": "x"}))
+
+    def test_distinct_types_first_seen_order(self):
+        acc = PartitionAccumulator()
+        acc.add_many([1, "a", 1, None, "b"])
+        assert acc.distinct_types() == (
+            infer_type(1), infer_type("a"), infer_type(None),
+        )
+
+
+class TestFusionMemo:
+    @given(normal_types(), normal_types())
+    def test_matches_reference_fuse(self, a, b):
+        interner = TypeInterner()
+        memo = FusionMemo(interner)
+        assert memo.fuse(interner.intern(a), interner.intern(b)) == fuse(a, b)
+
+    def test_repeat_fusions_hit_the_cache(self):
+        # Alternating shapes: the running schema stabilises after one of
+        # each, then every further record repeats the same (schema, type)
+        # pair.  (Fully homogeneous data never reaches the memo at all —
+        # the `a is b` identity fast path answers first.)
+        acc = PartitionAccumulator()
+        acc.add_many(
+            {"a": 1} if i % 2 else {"b": "x"} for i in range(50)
+        )
+        assert acc.memo.hit_rate > 0.5
+        assert len(acc.memo) >= 1
+
+    def test_positional_arrays_not_identity_fused(self):
+        """fuse is not idempotent on positional arrays ([Num, Num] with
+        itself gives [Num*]); the pointer fast path must not swallow it."""
+        interner = TypeInterner()
+        memo = FusionMemo(interner)
+        arr = interner.intern(infer_type([1, 2]))
+        assert memo.fuse(arr, arr) == fuse(arr, arr) != arr
+
+
+class TestBackendsAgree:
+    @pytest.fixture(scope="class")
+    def process_ctx(self):
+        with Context(parallelism=2, backend="process") as ctx:
+            yield ctx
+
+    @pytest.fixture(scope="class")
+    def thread_ctx(self):
+        with Context(parallelism=2, backend="thread") as ctx:
+            yield ctx
+
+    @settings(max_examples=15)
+    @given(values=json_value_lists)
+    def test_thread_process_local_identical(
+        self, values, thread_ctx, process_ctx
+    ):
+        local = run_inference(values)
+        threaded = run_inference(values, context=thread_ctx, num_partitions=2)
+        processed = run_inference(values, context=process_ctx,
+                                  num_partitions=2)
+        for run in (threaded, processed):
+            assert run.schema == local.schema
+            assert run.record_count == local.record_count
+            assert run.distinct_type_count == local.distinct_type_count
+
+
+class TestKernelMatchesLegacyOnDatasets:
+    """Acceptance: bit-identical InferenceRun results on all four
+    synthetic datasets, kernel vs. the legacy quad-pass path."""
+
+    @pytest.mark.parametrize("name", sorted(DATASET_NAMES))
+    def test_bit_identical(self, name):
+        values = generate_list(name, 120)
+        with Context(parallelism=2) as ctx:
+            legacy = run_inference(values, context=ctx, num_partitions=2,
+                                   kernel=False)
+            streaming = run_inference(values, context=ctx, num_partitions=2,
+                                      kernel=True)
+        assert streaming.schema == legacy.schema
+        assert streaming.record_count == legacy.record_count == 120
+        assert streaming.distinct_type_count == legacy.distinct_type_count
+
+
+class TestInvalidValues:
+    def test_non_json_value(self):
+        acc = PartitionAccumulator()
+        with pytest.raises(InvalidValueError, match="not a JSON value"):
+            acc.add({1, 2})
+
+    def test_non_string_key(self):
+        acc = PartitionAccumulator()
+        with pytest.raises(InvalidValueError, match="non-string record key"):
+            acc.add({1: "x"})
+
+    def test_failed_add_leaves_counts_untouched(self):
+        acc = PartitionAccumulator()
+        acc.add({"a": 1})
+        with pytest.raises(InvalidValueError):
+            acc.add(object())
+        assert acc.record_count == 1
+        assert acc.distinct_type_count == 1
+
+    def test_deep_nesting_raises_invalid_value(self):
+        value = None
+        for _ in range(sys.getrecursionlimit() * 2):
+            value = [value]
+        acc = PartitionAccumulator()
+        with pytest.raises(InvalidValueError, match="nested too deeply"):
+            acc.add(value)
+
+    def test_subclasses_of_builtins(self):
+        import collections
+
+        class MyList(list):
+            pass
+
+        acc = PartitionAccumulator()
+        acc.add(collections.OrderedDict(a=MyList([True, 1])))
+        assert acc.schema == infer_type({"a": [True, 1]})
