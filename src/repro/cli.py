@@ -32,7 +32,11 @@ from repro.core.printer import pretty_print, print_type
 from repro.core.type_parser import parse_type
 from repro.core.validation import validate
 from repro.datasets.base import DATASET_NAMES, write_dataset
-from repro.inference.pipeline import infer_schema, run_inference
+from repro.inference.pipeline import (
+    infer_ndjson_file,
+    infer_schema,
+    run_inference,
+)
 from repro.jsonio.ndjson import read_ndjson
 from repro.jsonio.writer import dumps
 
@@ -62,6 +66,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="silently drop lines that fail to parse",
     )
     p_infer.add_argument(
+        "--permissive", action="store_true",
+        help="quarantine malformed lines instead of failing, and report "
+             "the skip count on stderr",
+    )
+    p_infer.add_argument(
+        "--bad-records", metavar="PATH", default=None,
+        help="with --permissive: spill quarantined lines to this NDJSON "
+             "sidecar (line number, error, raw text)",
+    )
+    p_infer.add_argument(
+        "--max-error-rate", type=float, metavar="RATE", default=None,
+        help="abort (exit 1) if more than this fraction of records is "
+             "malformed, e.g. 0.01 for 1%%",
+    )
+    p_infer.add_argument(
         "--parallel", type=int, metavar="N", default=None,
         help="run typing+fusion on the engine with N-way parallelism",
     )
@@ -70,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine worker pool for --parallel: threads share memory, "
              "processes give CPU-bound work true parallelism (default: "
              "thread)",
+    )
+    p_infer.add_argument(
+        "--max-retries", type=int, metavar="N", default=3,
+        help="retries per partition task for transient failures "
+             "(default: 3)",
+    )
+    p_infer.add_argument(
+        "--task-timeout", type=float, metavar="SECONDS", default=None,
+        help="abandon and retry a partition task exceeding this wall-clock "
+             "budget (default: unlimited)",
     )
 
     p_stats = sub.add_parser(
@@ -142,21 +171,40 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    records = read_ndjson(args.file, skip_invalid=args.skip_invalid)
-    if args.parallel:
-        from repro.engine import Context
+    from repro.engine import Context, RetryPolicy
+    from repro.jsonio.errors import ErrorRateExceeded
 
-        with Context(parallelism=args.parallel, backend=args.backend) as ctx:
-            schema = infer_schema(records, context=ctx,
-                                  num_partitions=args.parallel * 2)
-    else:
-        schema = infer_schema(records)
+    policy = RetryPolicy(
+        max_retries=args.max_retries, task_timeout_s=args.task_timeout
+    )
+    permissive = args.permissive or args.skip_invalid
+    kwargs = dict(
+        permissive=permissive,
+        bad_records_path=args.bad_records,
+        max_error_rate=args.max_error_rate,
+    )
+    try:
+        if args.parallel:
+            with Context(parallelism=args.parallel, backend=args.backend,
+                         retry_policy=policy) as ctx:
+                run = infer_ndjson_file(
+                    args.file, context=ctx,
+                    num_partitions=args.parallel * 2, **kwargs,
+                )
+        else:
+            run = infer_ndjson_file(args.file, **kwargs)
+    except ErrorRateExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    schema = run.schema
     if args.json_schema:
         print(dumps(to_json_schema(schema, title=args.file)))
     elif args.pretty:
         print(pretty_print(schema))
     else:
         print(print_type(schema))
+    if args.permissive and run.skipped_count:
+        print(run.skip_summary(), file=sys.stderr)
     return 0
 
 

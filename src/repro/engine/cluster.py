@@ -28,6 +28,7 @@ __all__ = [
     "NodeSpec",
     "Block",
     "ClusterSimulator",
+    "NodeFailure",
     "SimulationResult",
     "place_on_single_node",
     "place_round_robin",
@@ -60,14 +61,41 @@ class Block:
     replicas: tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class NodeFailure:
+    """A node crashing at ``at_s`` seconds into the run.
+
+    Tasks running on (or scheduled after ``at_s`` on) the failed node are
+    lost and must be rescheduled on surviving nodes — onto surviving
+    *replicas* of their block under strict locality, which is exactly why
+    the paper's partition-isolated strategy wants replication.
+    """
+
+    node: str
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("failure time must be >= 0")
+
+
 @dataclass
 class SimulationResult:
-    """Outcome of a simulated run."""
+    """Outcome of a simulated run.
+
+    ``rescheduled_tasks`` / ``lost_work_s`` / ``failed_nodes`` quantify
+    the failure impact: how many block executions were re-run elsewhere,
+    how much finished-or-partial compute time the crashes destroyed, and
+    which nodes died.  ``busy_s`` counts useful (surviving) work only.
+    """
 
     makespan_s: float
     busy_s: dict[str, float]
     tasks_per_node: dict[str, int]
     total_slots: int
+    rescheduled_tasks: int = 0
+    lost_work_s: float = 0.0
+    failed_nodes: tuple[str, ...] = ()
 
     @property
     def nodes_used(self) -> int:
@@ -157,12 +185,29 @@ class ClusterSimulator:
             duration += block.size_mb / self.network_mb_per_s
         return duration
 
-    def run(self, blocks: Sequence[Block]) -> SimulationResult:
-        """Schedule one task per block; return the resulting timeline."""
+    def run(
+        self,
+        blocks: Sequence[Block],
+        failures: Sequence[NodeFailure] = (),
+    ) -> SimulationResult:
+        """Schedule one task per block; return the resulting timeline.
+
+        With ``failures``, the run is re-played against node crashes: a
+        crash at time ``t`` destroys every task on that node still running
+        (or queued) at ``t``, and the affected blocks are rescheduled from
+        ``t`` onward on surviving nodes — surviving *replicas* under
+        strict locality (raising ``ValueError`` if a block has none).
+        Rescheduled tasks can themselves be killed by later failures.
+        The returned result carries the makespan impact: compare against
+        a failure-free ``run(blocks)`` of the same placement.
+        """
         for block in blocks:
             unknown = set(block.replicas) - set(self._by_name)
             if unknown:
                 raise ValueError(f"replicas on unknown nodes: {sorted(unknown)}")
+        for failure in failures:
+            if failure.node not in self._by_name:
+                raise ValueError(f"failure on unknown node {failure.node!r}")
 
         # Longest-processing-time-first is the standard greedy heuristic.
         ordered = sorted(blocks, key=lambda b: -b.size_mb)
@@ -172,41 +217,83 @@ class ClusterSimulator:
             for slot in range(spec.cores):
                 slot_free[(spec.name, slot)] = 0.0
 
-        busy = {spec.name: 0.0 for spec in self.nodes}
-        tasks = {spec.name: 0 for spec in self.nodes}
-        makespan = 0.0
+        # (block, node, slot_key, start, finish) for every surviving task.
+        assignments: list[tuple[Block, str, tuple[str, int], float, float]] = []
 
-        for block in ordered:
+        def assign(block: Block, not_before: float, dead: set[str]) -> None:
+            """Greedy earliest-finish placement honouring locality and
+            excluding dead nodes; records the assignment."""
             if self.strict_locality:
-                allowed = set(block.replicas)
+                allowed = set(block.replicas) - dead
             else:
-                allowed = set(self._by_name)
+                allowed = set(self._by_name) - dead
             best_key: tuple[str, int] | None = None
+            best_start = 0.0
             best_finish = float("inf")
             for (node, slot), free_at in slot_free.items():
                 if node not in allowed:
                     continue
-                finish = free_at + self.task_duration_s(block, node)
+                start = max(free_at, not_before)
+                finish = start + self.task_duration_s(block, node)
                 if finish < best_finish:
+                    best_start = start
                     best_finish = finish
                     best_key = (node, slot)
             if best_key is None:
+                where = "surviving replica" if dead else "eligible node"
                 raise ValueError(
-                    f"block {block.block_id} has no eligible node "
+                    f"block {block.block_id} has no {where} "
                     f"(replicas {block.replicas})"
                 )
-            node, _slot = best_key
-            duration = self.task_duration_s(block, node)
             slot_free[best_key] = best_finish
-            busy[node] += duration
+            assignments.append(
+                (block, best_key[0], best_key, best_start, best_finish)
+            )
+
+        dead: set[str] = set()
+        for block in ordered:
+            assign(block, 0.0, dead)
+
+        # Re-play the timeline against each crash, in chronological order.
+        rescheduled = 0
+        lost_work = 0.0
+        for failure in sorted(failures, key=lambda f: (f.at_s, f.node)):
+            if failure.node in dead:
+                continue
+            dead.add(failure.node)
+            victims = [a for a in assignments
+                       if a[1] == failure.node and a[4] > failure.at_s]
+            assignments = [a for a in assignments if a not in victims]
+            for key in list(slot_free):
+                if key[0] == failure.node:
+                    del slot_free[key]
+            # Work already sunk into the killed tasks is lost for good.
+            lost_work += sum(
+                max(0.0, failure.at_s - start)
+                for (_b, _n, _k, start, _f) in victims
+            )
+            for block, _node, _key, _start, _finish in sorted(
+                victims, key=lambda a: -a[0].size_mb
+            ):
+                assign(block, failure.at_s, dead)
+                rescheduled += 1
+
+        busy = {spec.name: 0.0 for spec in self.nodes}
+        tasks = {spec.name: 0 for spec in self.nodes}
+        makespan = 0.0
+        for _block, node, _key, start, finish in assignments:
+            busy[node] += finish - start
             tasks[node] += 1
-            makespan = max(makespan, best_finish)
+            makespan = max(makespan, finish)
 
         return SimulationResult(
             makespan_s=makespan,
             busy_s=busy,
             tasks_per_node=tasks,
             total_slots=sum(spec.cores for spec in self.nodes),
+            rescheduled_tasks=rescheduled,
+            lost_work_s=lost_work,
+            failed_nodes=tuple(sorted(dead)),
         )
 
 

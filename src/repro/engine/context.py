@@ -13,8 +13,11 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Iterable, Sequence, TypeVar
 
+from repro.engine.accumulators import CounterAccumulator
+from repro.engine.faults import FaultPlan
 from repro.engine.rdd import RDD
-from repro.engine.scheduler import Scheduler
+from repro.engine.scheduler import RetryPolicy, Scheduler
+from repro.jsonio.errors import JsonError
 from repro.jsonio.ndjson import iter_lines
 from repro.jsonio.parser import loads
 
@@ -51,17 +54,38 @@ class _ParallelizedRDD(RDD[T]):
 
 
 class Context:
-    """Driver-side entry point: creates source RDDs and owns the scheduler."""
+    """Driver-side entry point: creates source RDDs and owns the scheduler.
+
+    ``retry_policy`` configures the scheduler's fault tolerance (retries,
+    backoff, per-task timeouts, pool-rebuild budget); ``fault_plan``
+    threads a deterministic fault injector through every dispatch — the
+    default is no injection.  See :mod:`repro.engine.scheduler` and
+    :mod:`repro.engine.faults`.
+    """
 
     def __init__(
-        self, parallelism: int | None = None, backend: str = "thread"
+        self,
+        parallelism: int | None = None,
+        backend: str = "thread",
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
-        self.scheduler = Scheduler(parallelism, backend=backend)
+        self.scheduler = Scheduler(
+            parallelism,
+            backend=backend,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+        )
 
     @property
     def backend(self) -> str:
         """Execution backend of the scheduler (``"thread"`` or ``"process"``)."""
         return self.scheduler.backend
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The scheduler's retry policy."""
+        return self.scheduler.retry_policy
 
     @property
     def default_parallelism(self) -> int:
@@ -92,14 +116,29 @@ class Context:
         return self.parallelize(iter_lines(path), num_partitions)
 
     def ndjson_file(
-        self, path: str | Path, num_partitions: int | None = None
+        self,
+        path: str | Path,
+        num_partitions: int | None = None,
+        permissive: bool = False,
+        skipped: CounterAccumulator | None = None,
     ) -> RDD[Any]:
         """One parsed JSON record per line of ``path``.
 
         Parsing happens inside the partitions (i.e. in parallel), not at
-        RDD-creation time.
+        RDD-creation time.  With ``permissive=True`` malformed lines are
+        dropped instead of failing the job; pass a ``skipped``
+        accumulator to count them.  (Accumulator updates require the
+        thread backend to be visible driver-side; the file pipeline
+        :func:`repro.inference.pipeline.infer_ndjson_file` carries
+        quarantine counts through partition summaries instead and works
+        on every backend.)
         """
-        return self.text_file(path, num_partitions).map(loads)
+        lines = self.text_file(path, num_partitions)
+        if not permissive:
+            return lines.map(loads)
+        return lines.map_quarantined(
+            loads, skipped=skipped, errors=(JsonError,)
+        )
 
     def stop(self) -> None:
         """Shut the scheduler down; the context may be reused afterwards."""

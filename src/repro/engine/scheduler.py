@@ -1,4 +1,4 @@
-"""Task scheduler for the local engine.
+"""Fault-tolerant task scheduler for the local engine.
 
 Runs one task per partition on a worker pool.  Two backends:
 
@@ -14,8 +14,40 @@ Runs one task per partition on a worker pool.  Two backends:
   and its per-partition results are tiny summaries that are cheap to send
   back.
 
-A ``parallelism`` of 1 degrades to inline execution, which is handy both
-for debugging and as the sequential baseline in the ablation benchmarks.
+On top of dispatch, :meth:`Scheduler.run` provides the fault tolerance a
+massive-input job needs (malformed data aside — that is the ingestion
+layer's quarantine):
+
+* **Retries with exponential backoff.**  Errors are classified: transient
+  ones (:exc:`~repro.engine.faults.TransientError`, a broken process pool,
+  a task timeout) are retried up to :attr:`RetryPolicy.max_retries` times
+  with deterministic exponential backoff + jitter.  Any other exception is
+  presumed a deterministic user error: it gets exactly *one* retry (the
+  cheap way to prove determinism), then propagates.
+* **Worker-crash recovery.**  A crashed process-pool worker breaks the
+  whole pool; the scheduler rebuilds the pool and transparently
+  re-dispatches every partition that was in flight.  After
+  :attr:`RetryPolicy.max_pool_rebuilds` rebuilds it stops trusting the
+  process backend and falls back to the thread pool for the remainder of
+  the job — last resort, but the job finishes.
+* **Per-task timeouts.**  With :attr:`RetryPolicy.task_timeout_s` set, a
+  task that exceeds its budget is abandoned and retried.  (An abandoned
+  *thread* task cannot be interrupted and may still run to completion in
+  the background — tasks must therefore be pure, which every engine
+  workload is.)
+* **Deterministic fault injection.**  A
+  :class:`~repro.engine.faults.FaultPlan` threaded through the scheduler
+  fires planned incidents per ``(partition, attempt)``, so all of the
+  above is exercised in CI without flakiness.
+
+Because tasks may execute more than once, they must be **idempotent and
+side-effect free** — which partition typing, fusion and parsing all are;
+the safety of recomputation is exactly the associativity/commutativity
+property (paper Section 5) that already licenses out-of-order reduction.
+
+A ``parallelism`` of 1 degrades to inline execution (with the same retry
+classification), which is handy both for debugging and as the sequential
+baseline in the ablation benchmarks.
 """
 
 from __future__ import annotations
@@ -23,17 +55,130 @@ from __future__ import annotations
 import gc
 import os
 import pickle
+import random
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+import warnings
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
+from weakref import WeakKeyDictionary
 
-__all__ = ["Scheduler", "BACKENDS"]
+from repro.engine.faults import FaultInjected, FaultPlan, TransientError
+
+__all__ = [
+    "Scheduler",
+    "SchedulerStats",
+    "RetryPolicy",
+    "TaskTimeoutError",
+    "BACKENDS",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Supported execution backends.
 BACKENDS = ("thread", "process")
+
+
+class TaskTimeoutError(TransientError):
+    """A task exceeded :attr:`RetryPolicy.task_timeout_s` and was abandoned.
+
+    Transient by classification: slowness is often load- or
+    injection-induced, so the task is worth retrying; if every attempt
+    times out the error propagates once the retry budget is spent.
+    """
+
+    def __init__(self, partition: int, attempt: int, timeout_s: float) -> None:
+        super().__init__(
+            f"task for partition {partition} (attempt {attempt}) exceeded "
+            f"{timeout_s:g}s timeout"
+        )
+        self.partition = partition
+        self.attempt = attempt
+        self.timeout_s = timeout_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the scheduler retries failing tasks.
+
+    * transient errors (:exc:`~repro.engine.faults.TransientError`,
+      a broken process pool, a task timeout) are retried up to
+      ``max_retries`` times per task, sleeping
+      ``min(max_delay_s, base_delay_s * 2**(attempt-1))`` plus a
+      deterministic jitter fraction between attempts;
+    * any other exception is treated as a deterministic user error and
+      gets exactly one retry — if it fails again, it propagates;
+    * ``task_timeout_s`` (``None`` = unlimited) bounds each attempt's
+      wall-clock; a timed-out task counts as a transient failure;
+    * after ``max_pool_rebuilds`` process-pool crashes the scheduler
+      abandons the process backend for the rest of the job and finishes
+      on threads.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.01
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    task_timeout_s: float | None = None
+    max_pool_rebuilds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive (or None)")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is transient (retry) vs deterministic (fail)."""
+        return isinstance(exc, (TransientError, BrokenProcessPool))
+
+    def backoff_s(self, partition: int, attempt: int) -> float:
+        """Sleep before re-running ``partition`` at ``attempt`` (>= 1).
+
+        Exponential in the attempt number, capped at ``max_delay_s``, with
+        a jitter term drawn from an RNG seeded by ``(partition, attempt)``
+        — deterministic for reproducibility, yet de-synchronised across
+        partitions so retries do not stampede in lockstep.
+        """
+        base = min(self.max_delay_s,
+                   self.base_delay_s * (2 ** max(0, attempt - 1)))
+        if not self.jitter:
+            return base
+        rng = random.Random(f"backoff:{partition}:{attempt}")
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass
+class SchedulerStats:
+    """Counters of the recovery machinery, for observability and tests."""
+
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    thread_fallbacks: int = 0
+    faults_injected: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.retries = 0
+        self.timeouts = 0
+        self.pool_rebuilds = 0
+        self.thread_fallbacks = 0
+        self.faults_injected = 0
 
 
 def _default_parallelism() -> int:
@@ -53,11 +198,47 @@ def _process_worker_init() -> None:
     gc.disable()
 
 
+class _Dispatch:
+    """One task attempt, bundled with its fault-injection coordinates.
+
+    A module-level class (not a closure) so the process backend can pickle
+    it; ``plan`` is ``None`` for the common uninjected dispatch, keeping
+    the wrapper overhead to one attribute test.
+    """
+
+    __slots__ = ("task", "item", "partition", "attempt", "plan", "allow_kill")
+
+    def __init__(self, task, item, partition, attempt, plan, allow_kill):
+        self.task = task
+        self.item = item
+        self.partition = partition
+        self.attempt = attempt
+        self.plan = plan
+        self.allow_kill = allow_kill
+
+    def __call__(self):
+        if self.plan is not None:
+            self.plan.apply(self.partition, self.attempt, self.allow_kill)
+        return self.task(self.item)
+
+    def __getstate__(self):
+        return (self.task, self.item, self.partition, self.attempt,
+                self.plan, self.allow_kill)
+
+    def __setstate__(self, state):
+        (self.task, self.item, self.partition, self.attempt,
+         self.plan, self.allow_kill) = state
+
+
 class Scheduler:
     """Executes per-partition tasks, preserving partition order of results."""
 
     def __init__(
-        self, parallelism: int | None = None, backend: str = "thread"
+        self,
+        parallelism: int | None = None,
+        backend: str = "thread",
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if parallelism is None:
             parallelism = _default_parallelism()
@@ -69,8 +250,21 @@ class Scheduler:
             )
         self.parallelism = parallelism
         self.backend = backend
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fault_plan = fault_plan if fault_plan else None
+        self.stats = SchedulerStats()
         self._pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessPoolExecutor | None = None
+        # Re-entrancy guard: per-thread nesting depth of `run` (set while a
+        # task body executes, on whichever thread executes it).
+        self._local = threading.local()
+        # Shippability verdicts, cached per task object.  Keyed weakly so
+        # the cache never pins user functions; unhashable/unweakrefable
+        # tasks simply skip the cache.
+        self._shippable_cache: WeakKeyDictionary = WeakKeyDictionary()
+
+    # ------------------------------------------------------------------
+    # pools
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -88,33 +282,279 @@ class Scheduler:
             )
         return self._process_pool
 
-    @staticmethod
-    def _shippable(task: Callable) -> bool:
-        """Whether ``task`` can be sent to a worker process."""
+    def _rebuild_process_pool(self) -> None:
+        """Discard a broken process pool so the next round gets a fresh one."""
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=False)
+            self._process_pool = None
+        self.stats.pool_rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # shippability
+
+    def _shippable(self, task: Callable) -> bool:
+        """Whether ``task`` can be sent to a worker process.
+
+        The pickling probe is not free for large closures, so the verdict
+        is cached per task object (weakly — the scheduler must not keep
+        user functions alive).  Stable module-level functions such as the
+        inference kernel's entry point hit the cache on every job.
+        """
+        try:
+            return self._shippable_cache[task]
+        except (KeyError, TypeError):
+            pass
         try:
             pickle.dumps(task)
+            verdict = True
+        except Exception:
+            verdict = False
+        try:
+            self._shippable_cache[task] = verdict
+        except TypeError:
+            pass  # unhashable or not weak-referenceable: just re-probe
+        return verdict
+
+    @staticmethod
+    def _first_item_shippable(items: Sequence) -> bool:
+        """Probe whether partition *data* can cross a process boundary.
+
+        A picklable task over unpicklable items would die mid-dispatch
+        with an opaque pool error; probing one representative item up
+        front lets the scheduler fall back to threads with a clear
+        warning instead.
+        """
+        if not items:
+            return True
+        try:
+            pickle.dumps(items[0])
             return True
         except Exception:
             return False
+
+    # ------------------------------------------------------------------
+    # execution
 
     def run(self, task: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``task`` to every item (one task per partition), in parallel.
 
         Results come back in input order.  Exceptions raised by any task
-        propagate to the caller, mirroring a failed Spark job.
+        propagate to the caller after the retry policy is exhausted,
+        mirroring a failed Spark job; transient failures, worker crashes
+        and timeouts are recovered per :class:`RetryPolicy`.
 
-        Re-entrant calls (a task scheduling sub-tasks, as the shuffle does)
-        run inline on the calling worker thread: handing them back to the
+        Re-entrant calls (a task scheduling sub-tasks, as the shuffle
+        does) run inline on the calling worker: handing them back to the
         pool could deadlock once every worker is waiting on a sub-task.
+        The guard is an explicit per-thread depth flag — it recognises
+        nested execution on any backend, not just threads with a
+        particular name.
         """
-        on_worker = threading.current_thread().name.startswith("repro-engine")
-        if self.parallelism == 1 or len(items) <= 1 or on_worker:
-            return [task(item) for item in items]
-        if self.backend == "process" and self._shippable(task):
-            pool = self._ensure_process_pool()
-            return list(pool.map(task, items))
-        thread_pool = self._ensure_pool()
-        return list(thread_pool.map(task, items))
+        if self._depth() > 0 or self.parallelism == 1 or len(items) <= 1:
+            return self._run_inline(task, items)
+        use_process = self.backend == "process" and self._shippable(task)
+        if use_process and not self._first_item_shippable(items):
+            warnings.warn(
+                "partition items are not picklable; running the job on the "
+                "thread pool instead of the process backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            use_process = False
+        return self._run_with_recovery(task, items, use_process)
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    def _enter_task(self, call: Callable[[], R]) -> R:
+        """Execute one dispatch with the re-entrancy depth flag raised."""
+        self._local.depth = self._depth() + 1
+        try:
+            return call()
+        finally:
+            self._local.depth -= 1
+
+    def _run_inline(self, task: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Sequential execution with the same retry classification.
+
+        Used for ``parallelism=1``, single-item jobs and re-entrant calls.
+        Worker kills are injected as transient failures here (there is no
+        separate process to kill).
+        """
+        results = []
+        for index, item in enumerate(items):
+            attempt = 0
+            deterministic_retry_used = False
+            while True:
+                call = _Dispatch(task, item, index, attempt,
+                                 self.fault_plan, allow_kill=False)
+                try:
+                    results.append(self._enter_task(call))
+                    break
+                except Exception as exc:
+                    attempt, deterministic_retry_used = self._next_attempt(
+                        exc, index, attempt, deterministic_retry_used
+                    )
+                    time.sleep(self.retry_policy.backoff_s(index, attempt))
+        return results
+
+    def _next_attempt(
+        self,
+        exc: BaseException,
+        partition: int,
+        attempt: int,
+        deterministic_retry_used: bool,
+    ) -> tuple[int, bool]:
+        """Decide the fate of a failed attempt: retry (returning the next
+        attempt number) or re-raise ``exc``."""
+        if isinstance(exc, FaultInjected):
+            self.stats.faults_injected += 1
+        if self.retry_policy.is_retryable(exc):
+            if attempt < self.retry_policy.max_retries:
+                self.stats.retries += 1
+                return attempt + 1, deterministic_retry_used
+            raise exc
+        # Deterministic user error: one retry proves determinism, then
+        # fail fast — no point burning the full transient budget.
+        if not deterministic_retry_used and self.retry_policy.max_retries > 0:
+            self.stats.retries += 1
+            return attempt + 1, True
+        raise exc
+
+    def _run_with_recovery(
+        self, task: Callable[[T], R], items: Sequence[T], use_process: bool
+    ) -> list[R]:
+        """The retrying dispatch loop shared by both pool backends.
+
+        Proceeds in rounds: submit every pending ``(partition, attempt)``,
+        harvest results, classify failures, back off, repeat.  A broken
+        process pool fails the whole round; the pool is rebuilt and the
+        unfinished partitions are re-dispatched.
+        """
+        policy = self.retry_policy
+        results: dict[int, R] = {}
+        pending: list[tuple[int, int]] = [(i, 0) for i in range(len(items))]
+        deterministic_retry_used: set[int] = set()
+
+        while pending:
+            futures = self._submit_round(task, items, pending, use_process)
+            next_pending: list[tuple[int, int]] = []
+            max_backoff = 0.0
+            pool_broken = False
+            fatal: BaseException | None = None
+
+            timeout = policy.task_timeout_s
+            deadline = (time.monotonic() + timeout
+                        if timeout is not None else None)
+            for (index, attempt), future in futures.items():
+                exc = self._harvest(future, index, attempt, deadline)
+                if exc is None:
+                    results[index] = future.result()
+                    continue
+                if isinstance(exc, BrokenProcessPool):
+                    pool_broken = True
+                if isinstance(exc, TaskTimeoutError):
+                    self.stats.timeouts += 1
+                try:
+                    next_attempt, det_used = self._next_attempt(
+                        exc, index, attempt,
+                        index in deterministic_retry_used,
+                    )
+                except BaseException as final_exc:
+                    if fatal is None:
+                        fatal = final_exc
+                    continue
+                if det_used:
+                    deterministic_retry_used.add(index)
+                next_pending.append((index, next_attempt))
+                max_backoff = max(
+                    max_backoff, policy.backoff_s(index, next_attempt)
+                )
+
+            if fatal is not None:
+                for future in futures.values():
+                    future.cancel()
+                raise fatal
+            if pool_broken and use_process:
+                self._rebuild_process_pool()
+                if self.stats.pool_rebuilds > policy.max_pool_rebuilds:
+                    # Last resort: the process backend keeps dying; finish
+                    # the job on threads.
+                    warnings.warn(
+                        "process pool crashed more than "
+                        f"{policy.max_pool_rebuilds} times; falling back to "
+                        "the thread backend for the remaining partitions",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    self.stats.thread_fallbacks += 1
+                    use_process = False
+            pending = next_pending
+            if pending and max_backoff > 0:
+                time.sleep(max_backoff)
+
+        return [results[i] for i in range(len(items))]
+
+    def _submit_round(
+        self,
+        task: Callable[[T], R],
+        items: Sequence[T],
+        pending: Sequence[tuple[int, int]],
+        use_process: bool,
+    ) -> dict[tuple[int, int], Future]:
+        """Submit one attempt per pending partition to the active pool."""
+        futures: dict[tuple[int, int], Future] = {}
+        if use_process:
+            pool: ProcessPoolExecutor | ThreadPoolExecutor = (
+                self._ensure_process_pool()
+            )
+        else:
+            pool = self._ensure_pool()
+        for index, attempt in pending:
+            call = _Dispatch(task, items[index], index, attempt,
+                             self.fault_plan, allow_kill=use_process)
+            try:
+                if use_process:
+                    futures[(index, attempt)] = pool.submit(call)
+                else:
+                    futures[(index, attempt)] = pool.submit(
+                        self._enter_task, call
+                    )
+            except BrokenProcessPool as exc:
+                # A worker died while this round was still being submitted;
+                # surface it as a pre-failed future so the harvest loop
+                # rebuilds the pool and re-dispatches as usual.
+                failed: Future = Future()
+                failed.set_exception(exc)
+                futures[(index, attempt)] = failed
+        return futures
+
+    def _harvest(
+        self,
+        future: Future,
+        index: int,
+        attempt: int,
+        deadline: float | None,
+    ) -> BaseException | None:
+        """Wait for one future; return its exception (or None on success).
+
+        A future that misses the shared round deadline is cancelled and
+        reported as :exc:`TaskTimeoutError`; if it was already running on
+        a thread worker it cannot be interrupted and is simply abandoned
+        (tasks are pure, so the duplicate execution is harmless).
+        """
+        try:
+            if deadline is None:
+                future.result()
+            else:
+                future.result(timeout=max(0.0, deadline - time.monotonic()))
+            return None
+        except FutureTimeoutError:
+            future.cancel()
+            timeout_s = self.retry_policy.task_timeout_s or 0.0
+            return TaskTimeoutError(index, attempt, timeout_s)
+        except BaseException as exc:
+            return exc
 
     def shutdown(self) -> None:
         """Release the worker pools.  The scheduler can be reused afterwards."""

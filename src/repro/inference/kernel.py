@@ -34,7 +34,7 @@ check on arbitrary JSON values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.core.errors import InvalidValueError
@@ -59,13 +59,19 @@ from repro.inference.fusion import (
     fuse,
     lfuse,
 )
+from repro.jsonio.errors import JsonError
+from repro.jsonio.ndjson import BadRecord
+from repro.jsonio.parser import loads
 
 __all__ = [
     "FusionMemo",
+    "MergedSummary",
     "PartitionAccumulator",
     "PartitionSummary",
+    "accumulate_ndjson_partition",
     "accumulate_partition",
     "merge_summaries",
+    "merge_summaries_full",
 ]
 
 
@@ -197,11 +203,19 @@ class PartitionSummary:
     schema: Type
     record_count: int
     distinct_types: tuple[Type, ...]
+    #: Records quarantined during a permissive NDJSON partition pass
+    #: (empty for already-parsed inputs).
+    skipped: tuple[BadRecord, ...] = field(default=())
 
     @property
     def distinct_type_count(self) -> int:
         """Distinct top-level types within this partition."""
         return len(self.distinct_types)
+
+    @property
+    def skipped_count(self) -> int:
+        """Number of quarantined records in this partition."""
+        return len(self.skipped)
 
 
 class PartitionAccumulator:
@@ -357,22 +371,92 @@ def accumulate_partition(values: Iterable[Any]) -> PartitionSummary:
     return acc.summary()
 
 
-def merge_summaries(
+def accumulate_ndjson_partition(
+    numbered_lines: Iterable[tuple[int, str]],
+    source: str | None = None,
+    permissive: bool = False,
+) -> PartitionSummary:
+    """Parse and stream one partition of raw NDJSON lines in a single pass.
+
+    ``numbered_lines`` pairs each record's text with its absolute file
+    line number, so parsing *inside the partition* (in parallel, possibly
+    in another process) still produces errors and quarantine entries that
+    point at the right line of the right file.
+
+    In strict mode (default) the first malformed line raises, failing the
+    task; in permissive mode it is quarantined into the summary's
+    ``skipped`` tuple and the pass continues.  Like
+    :func:`accumulate_partition`, this is a module-level function over
+    picklable data by design: it rides the scheduler's process backend.
+    """
+    acc = PartitionAccumulator()
+    skipped: list[BadRecord] = []
+    for line_number, line in numbered_lines:
+        try:
+            value = loads(line, source=source, first_line=line_number)
+        except JsonError as exc:
+            if not permissive:
+                raise
+            skipped.append(
+                BadRecord(source or "<memory>", line_number, str(exc), line)
+            )
+            continue
+        acc.add(value)
+    summary = acc.summary()
+    return PartitionSummary(
+        schema=summary.schema,
+        record_count=summary.record_count,
+        distinct_types=summary.distinct_types,
+        skipped=tuple(skipped),
+    )
+
+
+@dataclass(frozen=True)
+class MergedSummary:
+    """The driver-side combination of every partition summary."""
+
+    schema: Type
+    record_count: int
+    distinct_type_count: int
+    skipped: tuple[BadRecord, ...]
+
+    @property
+    def skipped_count(self) -> int:
+        """Total quarantined records across partitions."""
+        return len(self.skipped)
+
+
+def merge_summaries_full(
     summaries: Iterable[PartitionSummary],
-) -> tuple[Type, int, int]:
+) -> MergedSummary:
     """Driver-side merge of per-partition summaries, in partition order.
 
-    Returns ``(schema, record_count, distinct_type_count)``.  The schema
-    fold is safe in any grouping by associativity (Theorem 5.5); the
-    distinct count deduplicates *across* partitions structurally, since
-    canonical objects from different interners (or processes) are distinct
-    objects but compare equal.
+    The schema fold is safe in any grouping by associativity (Theorem
+    5.5); the distinct count deduplicates *across* partitions
+    structurally, since canonical objects from different interners (or
+    processes) are distinct objects but compare equal.  Quarantined
+    records are concatenated in partition order (i.e. file order).
     """
     schema: Type = EMPTY
     count = 0
     distinct: set[Type] = set()
+    skipped: list[BadRecord] = []
     for summary in summaries:
         schema = fuse(schema, summary.schema)
         count += summary.record_count
         distinct.update(summary.distinct_types)
-    return schema, count, len(distinct)
+        skipped.extend(summary.skipped)
+    return MergedSummary(schema, count, len(distinct), tuple(skipped))
+
+
+def merge_summaries(
+    summaries: Iterable[PartitionSummary],
+) -> tuple[Type, int, int]:
+    """Backward-compatible merge returning only
+    ``(schema, record_count, distinct_type_count)``.
+
+    See :func:`merge_summaries_full` for the variant that also carries
+    the quarantine information.
+    """
+    merged = merge_summaries_full(summaries)
+    return merged.schema, merged.record_count, merged.distinct_type_count

@@ -31,20 +31,32 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
 from typing import Any, Iterable, Sequence
 
 from repro.core.types import EMPTY, Type
+from repro.engine.accumulators import MapAccumulator
 from repro.engine.context import Context, split_evenly
 from repro.inference.fusion import fuse, fuse_all, fuse_multiset
 from repro.inference.infer import infer_type
 from repro.inference.kernel import (
     PartitionAccumulator,
+    accumulate_ndjson_partition,
     accumulate_partition,
     merge_summaries,
+    merge_summaries_full,
+)
+from repro.jsonio.errors import ErrorRateExceeded
+from repro.jsonio.ndjson import (
+    BadRecord,
+    iter_numbered_lines,
+    write_bad_records,
 )
 
 __all__ = [
     "infer_schema",
+    "infer_ndjson_file",
     "run_inference",
     "InferenceRun",
     "SchemaInferencer",
@@ -80,18 +92,43 @@ def infer_schema(values: Iterable[Any], context: Context | None = None,
 
 @dataclass
 class InferenceRun:
-    """Everything a Tables 2-6 row needs, from one pass over the data."""
+    """Everything a Tables 2-6 row needs, from one pass over the data.
+
+    For permissive NDJSON runs the quarantine outcome rides along:
+    ``skipped_count`` / ``bad_records`` say how many lines were dropped
+    and exactly where, and ``skipped_per_partition`` attributes them to
+    the partition that skipped them.
+    """
 
     schema: Type
     record_count: int
     distinct_type_count: int
     map_seconds: float
     reduce_seconds: float
+    skipped_count: int = 0
+    bad_records: tuple[BadRecord, ...] = ()
+    skipped_per_partition: dict[int, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
         """Map plus Reduce wall-clock."""
         return self.map_seconds + self.reduce_seconds
+
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of input records that were quarantined (0..1)."""
+        total = self.record_count + self.skipped_count
+        return self.skipped_count / total if total else 0.0
+
+    def skip_summary(self) -> str:
+        """Human-readable quarantine line for the run summary.
+
+        >>> InferenceRun(EMPTY, 992, 1, 0.0, 0.0, skipped_count=8).skip_summary()
+        '8 records skipped (0.8%)'
+        """
+        return (
+            f"{self.skipped_count} records skipped ({self.skip_rate:.1%})"
+        )
 
 
 def _distinct(types: Sequence[Type]) -> list[Type]:
@@ -215,6 +252,83 @@ def run_inference(
         distinct_type_count=distinct_count,
         map_seconds=map_seconds,
         reduce_seconds=reduce_seconds,
+    )
+
+
+def infer_ndjson_file(
+    path: str | Path,
+    context: Context | None = None,
+    num_partitions: int | None = None,
+    permissive: bool = False,
+    bad_records_path: str | Path | None = None,
+    max_error_rate: float | None = None,
+) -> InferenceRun:
+    """Instrumented schema inference straight from an NDJSON file.
+
+    Lines are read with their absolute file line numbers and *parsed
+    inside the partitions* (in parallel under a ``context``, on either
+    backend), so one pass covers parsing, typing, interning and fusion.
+
+    Dirty-data handling:
+
+    * strict mode (default) — the first malformed line fails the job with
+      a :class:`~repro.jsonio.errors.JsonSyntaxError` carrying the source
+      path and absolute line number;
+    * ``permissive=True`` — malformed lines are quarantined instead:
+      counted per partition (see ``InferenceRun.skipped_per_partition``),
+      optionally spilled to the ``bad_records_path`` NDJSON sidecar, and
+      reported via ``InferenceRun.skip_summary()``;
+    * ``max_error_rate`` — even in permissive mode, abort with
+      :class:`~repro.jsonio.errors.ErrorRateExceeded` when the quarantined
+      fraction exceeds this threshold, so silent garbage cannot
+      masquerade as success.  The sidecar (if requested) is still written
+      before the abort, for post-mortems.
+    """
+    source = str(path)
+    numbered = list(iter_numbered_lines(path))
+    task = partial(
+        accumulate_ndjson_partition, source=source, permissive=permissive
+    )
+
+    start = time.perf_counter()
+    if context is None:
+        summaries = [task(numbered)] if numbered else []
+    else:
+        parts = split_evenly(
+            numbered, num_partitions or context.default_parallelism
+        )
+        summaries = context.scheduler.run(task, parts)
+    map_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    merged = merge_summaries_full(summaries)
+    # Attribute quarantined rows to their partitions through the engine's
+    # accumulator machinery (summaries carry the counts across process
+    # boundaries; the accumulator merges them driver-side).
+    per_partition = MapAccumulator()
+    for index, summary in enumerate(summaries):
+        if summary.skipped_count:
+            per_partition.add_count(index, summary.skipped_count)
+    reduce_seconds = time.perf_counter() - start
+
+    if bad_records_path is not None and merged.skipped:
+        write_bad_records(bad_records_path, merged.skipped)
+    if max_error_rate is not None:
+        total = merged.record_count + merged.skipped_count
+        if total and merged.skipped_count / total > max_error_rate:
+            raise ErrorRateExceeded(
+                merged.skipped_count, total, max_error_rate
+            )
+
+    return InferenceRun(
+        schema=merged.schema,
+        record_count=merged.record_count,
+        distinct_type_count=merged.distinct_type_count,
+        map_seconds=map_seconds,
+        reduce_seconds=reduce_seconds,
+        skipped_count=merged.skipped_count,
+        bad_records=merged.skipped,
+        skipped_per_partition=per_partition.value,
     )
 
 

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-__all__ = ["JsonError", "JsonSyntaxError", "DuplicateKeyError"]
+__all__ = [
+    "JsonError",
+    "JsonSyntaxError",
+    "DuplicateKeyError",
+    "ErrorRateExceeded",
+]
 
 
 class JsonError(Exception):
@@ -12,14 +17,37 @@ class JsonError(Exception):
 class JsonSyntaxError(JsonError):
     """Malformed JSON text.
 
-    Carries 1-based ``line`` and ``column`` of the offending character, so
-    that errors inside multi-megabyte NDJSON files are actionable.
+    Carries 1-based ``line`` and ``column`` of the offending character —
+    and, when known, the ``source`` (file path) — so that errors inside
+    multi-megabyte NDJSON files are actionable.  For NDJSON, ``line`` is
+    the *absolute* line of the file once the reader relocates the error,
+    not the line within one record's text.
     """
 
-    def __init__(self, message: str, line: int, column: int) -> None:
-        super().__init__(f"{message} (line {line}, column {column})")
+    def __init__(
+        self,
+        message: str,
+        line: int,
+        column: int,
+        source: str | None = None,
+    ) -> None:
+        where = f"line {line}, column {column}"
+        if source is not None:
+            where = f"{source}, {where}"
+        super().__init__(f"{message} ({where})")
+        self.message = message
         self.line = line
         self.column = column
+        self.source = source
+
+    def relocate(self, source: str | None, line: int) -> "JsonSyntaxError":
+        """A copy of this error re-anchored to an absolute file position.
+
+        Used by the NDJSON readers: the parser reports positions within
+        one record's text; the reader knows which file line the record
+        started on and rewrites the error accordingly.
+        """
+        return JsonSyntaxError(self.message, line, self.column, source)
 
 
 class DuplicateKeyError(JsonSyntaxError):
@@ -31,6 +59,38 @@ class DuplicateKeyError(JsonSyntaxError):
     the document.
     """
 
-    def __init__(self, key: str, line: int, column: int) -> None:
-        super().__init__(f"duplicate object key {key!r}", line, column)
+    def __init__(
+        self,
+        key: str,
+        line: int,
+        column: int,
+        source: str | None = None,
+    ) -> None:
+        super().__init__(
+            f"duplicate object key {key!r}", line, column, source
+        )
         self.key = key
+
+    def relocate(self, source: str | None, line: int) -> "DuplicateKeyError":
+        """See :meth:`JsonSyntaxError.relocate`."""
+        return DuplicateKeyError(self.key, line, self.column, source)
+
+
+class ErrorRateExceeded(JsonError):
+    """Too many malformed records for a permissive run to be trusted.
+
+    Raised when the fraction of quarantined records exceeds the job's
+    ``max_error_rate`` threshold — the guard that keeps silent garbage
+    from masquerading as a successful inference.
+    """
+
+    def __init__(self, skipped: int, total: int, max_error_rate: float) -> None:
+        rate = skipped / total if total else 0.0
+        super().__init__(
+            f"{skipped} of {total} records malformed ({rate:.2%}), above "
+            f"the max_error_rate threshold of {max_error_rate:.2%}"
+        )
+        self.skipped = skipped
+        self.total = total
+        self.rate = rate
+        self.max_error_rate = max_error_rate

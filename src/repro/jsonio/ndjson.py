@@ -2,44 +2,124 @@
 
 The paper's datasets are collections of JSON records, one per line; this
 module reads and writes that format without materialising the whole file.
+
+Real-world feeds at the paper's scale (GitHub event streams, Twitter
+firehose dumps) routinely contain malformed lines, so the readers support
+three dispositions for a bad record:
+
+* **strict** (default) — raise :class:`~repro.jsonio.errors.JsonError`,
+  with the *absolute* file line number and the source path in the message;
+* **skip** (``skip_invalid=True``) — silently drop the line;
+* **quarantine** (:func:`read_ndjson_quarantined`) — drop the line but
+  record a :class:`BadRecord` (path, absolute line number, error text, raw
+  text) for reporting, and optionally spill the collection to an NDJSON
+  sidecar via :func:`write_bad_records`.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Iterator, TextIO
+from typing import Any, Iterable, Iterator, MutableSequence
 
-from repro.jsonio.errors import JsonError
+from repro.jsonio.errors import JsonError, JsonSyntaxError
 from repro.jsonio.parser import loads
 from repro.jsonio.writer import dumps
 
-__all__ = ["read_ndjson", "write_ndjson", "iter_lines", "count_records"]
+__all__ = [
+    "BadRecord",
+    "count_records",
+    "iter_lines",
+    "iter_numbered_lines",
+    "read_ndjson",
+    "read_ndjson_quarantined",
+    "write_bad_records",
+    "write_ndjson",
+]
+
+
+@dataclass(frozen=True)
+class BadRecord:
+    """One quarantined NDJSON line: where it was, why it failed, what it was.
+
+    ``line_number`` is the absolute, 1-based physical line of the source
+    file (blank lines included in the count), so the record can be located
+    with any text editor or ``sed -n``.
+    """
+
+    path: str
+    line_number: int
+    error: str
+    text: str
+
+    def to_json(self) -> dict[str, Any]:
+        """The sidecar representation (one NDJSON record per bad line)."""
+        return {
+            "path": self.path,
+            "line": self.line_number,
+            "error": self.error,
+            "text": self.text,
+        }
+
+
+def iter_numbered_lines(path: str | Path) -> Iterator[tuple[int, str]]:
+    """Yield ``(absolute_line_number, stripped_line)`` for non-blank lines.
+
+    Line numbers are 1-based and count *physical* lines, blank ones
+    included — they answer "which line of the file is this record on",
+    which is what error messages and quarantine sidecars need.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if stripped:
+                yield line_number, stripped
 
 
 def iter_lines(path: str | Path) -> Iterator[str]:
     """Yield non-blank lines of ``path`` (each should be one JSON record)."""
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            stripped = line.strip()
-            if stripped:
-                yield stripped
+    for _line_number, line in iter_numbered_lines(path):
+        yield line
 
 
 def read_ndjson(path: str | Path, skip_invalid: bool = False) -> Iterator[Any]:
     """Stream the JSON records of an NDJSON file.
 
     With ``skip_invalid=True``, unparseable lines are silently dropped —
-    useful for raw crawls; the default propagates the parse error with its
-    line context prepended.
+    useful for raw crawls; the default propagates the parse error carrying
+    the source path and the absolute file line number.
     """
-    for line_number, line in enumerate(iter_lines(path), start=1):
+    source = str(path)
+    for line_number, line in iter_numbered_lines(path):
         try:
-            yield loads(line)
+            yield loads(line, source=source, first_line=line_number)
         except JsonError as exc:
             if skip_invalid:
                 continue
-            raise JsonError(f"record {line_number}: {exc}") from exc
+            if isinstance(exc, JsonSyntaxError):
+                raise  # already carries the absolute position and path
+            raise JsonError(f"{source}, line {line_number}: {exc}") from exc
+
+
+def read_ndjson_quarantined(
+    path: str | Path, quarantine: MutableSequence[BadRecord]
+) -> Iterator[Any]:
+    """Stream an NDJSON file, diverting malformed lines into ``quarantine``.
+
+    Parse errors never propagate: each bad line becomes a
+    :class:`BadRecord` appended to the caller's collection, and iteration
+    continues with the next line.  The caller decides what "too many"
+    means (see the pipelines' ``max_error_rate``).
+    """
+    source = str(path)
+    for line_number, line in iter_numbered_lines(path):
+        try:
+            yield loads(line, source=source, first_line=line_number)
+        except JsonError as exc:
+            quarantine.append(
+                BadRecord(source, line_number, str(exc), line)
+            )
 
 
 def write_ndjson(path: str | Path, values: Iterable[Any]) -> int:
@@ -51,6 +131,18 @@ def write_ndjson(path: str | Path, values: Iterable[Any]) -> int:
             handle.write("\n")
             count += 1
     return count
+
+
+def write_bad_records(
+    path: str | Path, records: Iterable[BadRecord]
+) -> int:
+    """Spill quarantined records to an NDJSON sidecar; returns the count.
+
+    Each output line is ``{"path":…, "line":…, "error":…, "text":…}``,
+    so the sidecar is itself machine-readable NDJSON — it can be grepped,
+    diffed, or re-ingested once the upstream producer is fixed.
+    """
+    return write_ndjson(path, (bad.to_json() for bad in records))
 
 
 def count_records(path: str | Path) -> int:

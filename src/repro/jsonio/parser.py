@@ -97,8 +97,15 @@ def _parse_array(stream: _TokenStream) -> list[Any]:
         return arr
 
 
-def loads(text: str) -> Any:
+def loads(
+    text: str, source: str | None = None, first_line: int = 1
+) -> Any:
     """Parse a JSON document from a string.
+
+    ``source`` and ``first_line`` anchor error positions in the document's
+    origin: when parsing one record of an NDJSON file, pass the file path
+    and the record's absolute (1-based) line number, and any error will
+    report the position *in the file* instead of within the record's text.
 
     >>> loads('{"a": [1, true, null]}')
     {'a': [1, True, None]}
@@ -106,8 +113,17 @@ def loads(text: str) -> Any:
     Traceback (most recent call last):
         ...
     repro.jsonio.errors.DuplicateKeyError: duplicate object key 'a' (line 1, column 10)
+    >>> loads('nope', source='feed.ndjson', first_line=3)
+    Traceback (most recent call last):
+        ...
+    repro.jsonio.errors.JsonSyntaxError: invalid literal 'nope' (feed.ndjson, line 3, column 1)
     """
-    stream = _TokenStream(tokenize(text))
-    value = _parse_value(stream)
-    stream.expect(TokenType.EOF)
-    return value
+    try:
+        stream = _TokenStream(tokenize(text))
+        value = _parse_value(stream)
+        stream.expect(TokenType.EOF)
+        return value
+    except JsonSyntaxError as exc:
+        if source is None and first_line == 1:
+            raise
+        raise exc.relocate(source, first_line + exc.line - 1) from None

@@ -10,6 +10,7 @@ import pytest
 from repro.engine.cluster import (
     Block,
     ClusterSimulator,
+    NodeFailure,
     NodeSpec,
     default_cluster,
     place_on_single_node,
@@ -177,3 +178,63 @@ class TestValidation:
         sim = ClusterSimulator(nodes(2), strict_locality=True)
         with pytest.raises(ValueError):
             sim.run([Block(0, 1.0, ())])
+
+
+class TestNodeFailures:
+    def test_no_failures_matches_plain_run(self):
+        sim = ClusterSimulator(nodes(3))
+        blocks = place_round_robin([10.0] * 30, nodes(3), replication=2)
+        plain = sim.run(blocks)
+        replayed = sim.run(blocks, failures=())
+        assert replayed.makespan_s == plain.makespan_s
+        assert replayed.rescheduled_tasks == 0
+        assert replayed.lost_work_s == 0.0
+
+    def test_failure_reschedules_on_replicas_and_costs_makespan(self):
+        sim = ClusterSimulator(nodes(3))
+        blocks = place_round_robin([100.0] * 90, nodes(3), replication=2)
+        baseline = sim.run(blocks)
+        crashed = sim.run(
+            blocks, failures=[NodeFailure("node0", baseline.makespan_s * 0.6)]
+        )
+        assert crashed.rescheduled_tasks > 0
+        assert crashed.lost_work_s > 0.0
+        assert crashed.failed_nodes == ("node0",)
+        assert crashed.makespan_s > baseline.makespan_s
+        assert crashed.tasks_per_node["node0"] < baseline.tasks_per_node["node0"]
+        # Every block still executed exactly once in the surviving timeline.
+        assert sum(crashed.tasks_per_node.values()) == len(blocks)
+
+    def test_failure_after_completion_changes_nothing(self):
+        sim = ClusterSimulator(nodes(3))
+        blocks = place_round_robin([10.0] * 30, nodes(3), replication=2)
+        baseline = sim.run(blocks)
+        late = sim.run(
+            blocks, failures=[NodeFailure("node1", baseline.makespan_s + 1)]
+        )
+        assert late.makespan_s == baseline.makespan_s
+        assert late.rescheduled_tasks == 0
+
+    def test_unreplicated_block_cannot_survive_strict_locality(self):
+        sim = ClusterSimulator(nodes(3), strict_locality=True)
+        blocks = place_on_single_node([50.0] * 10, nodes(3))
+        with pytest.raises(ValueError, match="surviving replica"):
+            sim.run(blocks, failures=[NodeFailure("node0", 0.5)])
+
+    def test_relaxed_locality_survives_without_replicas(self):
+        sim = ClusterSimulator(nodes(3), strict_locality=False)
+        blocks = place_on_single_node([50.0] * 10, nodes(3))
+        result = sim.run(blocks, failures=[NodeFailure("node0", 0.5)])
+        assert sum(result.tasks_per_node.values()) == len(blocks)
+        assert result.tasks_per_node["node0"] == 0 or \
+            result.rescheduled_tasks > 0
+
+    def test_unknown_failure_node_rejected(self):
+        sim = ClusterSimulator(nodes(2))
+        with pytest.raises(ValueError, match="unknown node"):
+            sim.run([Block(0, 1.0, ("node0",))],
+                    failures=[NodeFailure("nodeX", 1.0)])
+
+    def test_negative_failure_time_rejected(self):
+        with pytest.raises(ValueError):
+            NodeFailure("node0", -1.0)

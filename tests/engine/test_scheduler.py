@@ -146,3 +146,61 @@ class TestErrorsAndShutdown:
         sched.shutdown()
         assert sched.run(lambda x: x, [3, 4]) == [3, 4]
         sched.shutdown()
+
+
+class _Unpicklable:
+    """An item that refuses to cross a process boundary."""
+
+    def __reduce__(self):
+        raise TypeError("not picklable, by design")
+
+
+def _type_name(x):
+    """Module-level (hence picklable) task for the item-probe test."""
+    return type(x).__name__
+
+
+class TestShippabilityProbes:
+    def test_unpicklable_items_fall_back_with_warning(self):
+        """A picklable task over unpicklable items must not die mid-dispatch
+        with an opaque pool error: the scheduler probes one item up front
+        and runs on threads instead."""
+        items = [_Unpicklable() for _ in range(4)]
+        with Scheduler(parallelism=2, backend="process") as sched:
+            with pytest.warns(RuntimeWarning, match="not picklable"):
+                got = sched.run(_type_name, items)
+        assert got == ["_Unpicklable"] * 4
+
+    def test_shippable_verdict_cached_per_task(self):
+        with Scheduler(parallelism=2, backend="process") as sched:
+            assert sched.run(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+            assert sched._shippable_cache.get(_square) is True
+            assert sched.run(_square, [5, 6, 7, 8]) == [25, 36, 49, 64]
+
+    def test_unshippable_verdict_cached_too(self):
+        offset = 1
+        task = lambda x: x + offset  # noqa: E731 - closure, not shippable
+        with Scheduler(parallelism=2, backend="process") as sched:
+            assert sched.run(task, [1, 2, 3, 4]) == [2, 3, 4, 5]
+            assert sched._shippable_cache.get(task) is False
+
+
+class TestExplicitReentrancyGuard:
+    def test_nested_run_inline_on_process_backend(self):
+        """The guard is a context-local depth flag, not a thread-name
+        heuristic: nesting is detected whatever backend dispatched the
+        outer task (here the closure falls back to the thread pool of a
+        process-backed scheduler, whose workers the old name check would
+        still catch — but the depth flag is what actually fires)."""
+        with Scheduler(parallelism=2, backend="process") as sched:
+            def outer(i):
+                assert sched._depth() == 1
+                return sum(sched.run(lambda x: x + i, [1, 2, 3]))
+
+            got = sched.run(outer, list(range(6)))
+        assert got == [6 + 3 * i for i in range(6)]
+
+    def test_depth_resets_after_run(self):
+        with Scheduler(parallelism=2) as sched:
+            sched.run(lambda x: x, [1, 2, 3])
+            assert sched._depth() == 0

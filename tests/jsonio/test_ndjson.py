@@ -2,12 +2,16 @@
 
 import pytest
 
-from repro.jsonio.errors import JsonError
+from repro.jsonio.errors import JsonError, JsonSyntaxError
 from repro.jsonio.ndjson import (
+    BadRecord,
     count_records,
     file_size_bytes,
     iter_lines,
+    iter_numbered_lines,
     read_ndjson,
+    read_ndjson_quarantined,
+    write_bad_records,
     write_ndjson,
 )
 
@@ -45,11 +49,29 @@ class TestBlankLinesAndErrors:
         assert list(read_ndjson(path)) == [{"a": 1}, {"a": 2}]
         assert count_records(path) == 2
 
-    def test_invalid_line_raises_with_record_number(self, tmp_path):
+    def test_invalid_line_raises_with_file_line_and_path(self, tmp_path):
         path = tmp_path / "bad.ndjson"
         path.write_text('{"a":1}\nnot json\n')
-        with pytest.raises(JsonError, match="record 2"):
+        with pytest.raises(JsonError, match=r"bad\.ndjson, line 2"):
             list(read_ndjson(path))
+
+    def test_syntax_error_on_line_3_reports_absolute_line(self, tmp_path):
+        """Regression: the error must carry the absolute file line number
+        (not the line within the record) and the source path."""
+        path = tmp_path / "multi.ndjson"
+        path.write_text('{"a":1}\n{"b":2}\n{"c":\n{"d":4}\n')
+        with pytest.raises(JsonSyntaxError) as excinfo:
+            list(read_ndjson(path))
+        assert excinfo.value.line == 3
+        assert str(path) in str(excinfo.value)
+        assert "line 3" in str(excinfo.value)
+
+    def test_error_line_counts_blank_lines(self, tmp_path):
+        path = tmp_path / "gaps.ndjson"
+        path.write_text('{"a":1}\n\n\n\nnot json\n')
+        with pytest.raises(JsonSyntaxError) as excinfo:
+            list(read_ndjson(path))
+        assert excinfo.value.line == 5
 
     def test_skip_invalid_drops_bad_lines(self, tmp_path):
         path = tmp_path / "bad.ndjson"
@@ -76,3 +98,37 @@ class TestHelpers:
         path = tmp_path / "x.txt"
         path.write_bytes(b"12345")
         assert file_size_bytes(path) == 5
+
+
+class TestNumberedLines:
+    def test_absolute_numbers_skip_blanks(self, tmp_path):
+        path = tmp_path / "x.ndjson"
+        path.write_text('{"a":1}\n\n  \n{"a":2}\n')
+        assert list(iter_numbered_lines(path)) == [
+            (1, '{"a":1}'), (4, '{"a":2}'),
+        ]
+
+
+class TestQuarantine:
+    def test_bad_lines_quarantined_with_positions(self, tmp_path):
+        path = tmp_path / "dirty.ndjson"
+        path.write_text('{"a":1}\nnot json\n{"a":2}\n{"k":1,"k":2}\n')
+        bad: list[BadRecord] = []
+        good = list(read_ndjson_quarantined(path, bad))
+        assert good == [{"a": 1}, {"a": 2}]
+        assert [b.line_number for b in bad] == [2, 4]
+        assert bad[0].text == "not json"
+        assert "duplicate object key" in bad[1].error
+        assert all(b.path == str(path) for b in bad)
+
+    def test_sidecar_round_trip(self, tmp_path):
+        path = tmp_path / "dirty.ndjson"
+        path.write_text('{"a":1}\n[1,\n')
+        bad: list[BadRecord] = []
+        list(read_ndjson_quarantined(path, bad))
+        sidecar = tmp_path / "bad.ndjson"
+        assert write_bad_records(sidecar, bad) == 1
+        rows = list(read_ndjson(sidecar))
+        assert rows[0]["line"] == 2
+        assert rows[0]["text"] == "[1,"
+        assert "error" in rows[0] and rows[0]["path"] == str(path)

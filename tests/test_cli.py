@@ -48,6 +48,57 @@ class TestInfer:
         assert capsys.readouterr().out == sequential
 
 
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.ndjson"
+    path.write_text('{"a": 1}\nnot json\n{"a": 2}\n{"a": 3,\n{"a": 4}\n')
+    return str(path)
+
+
+class TestInferPermissive:
+    def test_strict_mode_fails_on_first_bad_line(self, dirty_file):
+        from repro.jsonio.errors import JsonSyntaxError
+
+        with pytest.raises(JsonSyntaxError, match="line 2"):
+            main(["infer", dirty_file])
+
+    def test_permissive_reports_skip_summary(self, dirty_file, capsys):
+        assert main(["infer", dirty_file, "--permissive"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "{a: Num}"
+        assert "2 records skipped (40.0%)" in captured.err
+
+    def test_bad_records_sidecar(self, dirty_file, tmp_path, capsys):
+        sidecar = tmp_path / "quarantine.ndjson"
+        assert main(["infer", dirty_file, "--permissive",
+                     "--bad-records", str(sidecar)]) == 0
+        capsys.readouterr()
+        rows = [loads(line) for line in sidecar.read_text().splitlines()]
+        assert [r["line"] for r in rows] == [2, 4]
+        assert rows[0]["text"] == "not json"
+
+    def test_max_error_rate_aborts_with_exit_1(self, dirty_file, capsys):
+        assert main(["infer", dirty_file, "--permissive",
+                     "--max-error-rate", "0.1"]) == 1
+        captured = capsys.readouterr()
+        assert "above the max_error_rate threshold" in captured.err
+
+    def test_max_error_rate_tolerant_threshold_passes(self, dirty_file,
+                                                      capsys):
+        assert main(["infer", dirty_file, "--permissive",
+                     "--max-error-rate", "0.5"]) == 0
+        assert capsys.readouterr().out.strip() == "{a: Num}"
+
+    def test_permissive_parallel_matches_inline(self, dirty_file, capsys):
+        assert main(["infer", dirty_file, "--permissive"]) == 0
+        inline = capsys.readouterr()
+        assert main(["infer", dirty_file, "--permissive",
+                     "--parallel", "2", "--max-retries", "2"]) == 0
+        parallel = capsys.readouterr()
+        assert parallel.out == inline.out
+        assert "2 records skipped" in parallel.err
+
+
 class TestStats:
     def test_stats_table(self, sample_file, capsys):
         assert main(["stats", sample_file]) == 0
