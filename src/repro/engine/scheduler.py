@@ -31,10 +31,20 @@ layer's quarantine):
   process backend and falls back to the thread pool for the remainder of
   the job — last resort, but the job finishes.
 * **Per-task timeouts.**  With :attr:`RetryPolicy.task_timeout_s` set, a
-  task that exceeds its budget is abandoned and retried.  (An abandoned
-  *thread* task cannot be interrupted and may still run to completion in
-  the background — tasks must therefore be pure, which every engine
-  workload is.)
+  task that exceeds its budget is abandoned and retried.  The clock for
+  each task starts when a worker actually begins executing it — time
+  spent queued behind other partitions never counts against the budget.
+  An abandoned task cannot be interrupted and may still run to
+  completion in the background — tasks must therefore be pure, which
+  every engine workload is.  An abandoned task also keeps occupying its
+  worker until it finishes; when genuinely hung tasks wedge *every*
+  thread-pool worker this way, the scheduler walks away from that pool
+  and starts a fresh one so queued retries keep moving (a hung
+  *process* worker, by contrast, holds its slot until the pool crashes
+  or is shut down — pair ``task_timeout_s`` with a small
+  ``max_retries`` for hang-prone process-backend workloads).  Nested
+  (re-entrant) jobs run inline on the calling worker and therefore
+  cannot enforce a timeout at all.
 * **Deterministic fault injection.**  A
   :class:`~repro.engine.faults.FaultPlan` threaded through the scheduler
   fires planned incidents per ``(partition, attempt)``, so all of the
@@ -47,7 +57,10 @@ property (paper Section 5) that already licenses out-of-order reduction.
 
 A ``parallelism`` of 1 degrades to inline execution (with the same retry
 classification), which is handy both for debugging and as the sequential
-baseline in the ablation benchmarks.
+baseline in the ablation benchmarks.  When ``task_timeout_s`` is set,
+sequential and single-item jobs run on the thread pool instead, so the
+driver has a worker to abandon on timeout; only nested (re-entrant) jobs
+remain inline and unbounded.
 """
 
 from __future__ import annotations
@@ -63,8 +76,8 @@ from concurrent.futures import (
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
+    wait,
 )
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
@@ -117,10 +130,13 @@ class RetryPolicy:
     * any other exception is treated as a deterministic user error and
       gets exactly one retry — if it fails again, it propagates;
     * ``task_timeout_s`` (``None`` = unlimited) bounds each attempt's
-      wall-clock; a timed-out task counts as a transient failure;
-    * after ``max_pool_rebuilds`` process-pool crashes the scheduler
-      abandons the process backend for the rest of the job and finishes
-      on threads.
+      wall-clock, measured from the moment a worker starts executing it
+      (time queued behind other partitions does not count); a timed-out
+      task counts as a transient failure.  Enforced on pooled execution
+      only — nested (re-entrant) jobs run inline and unbounded;
+    * after ``max_pool_rebuilds`` process-pool crashes *within one job*
+      the scheduler abandons the process backend for the rest of that
+      job and finishes on threads.
     """
 
     max_retries: int = 3
@@ -164,11 +180,17 @@ class RetryPolicy:
 
 @dataclass
 class SchedulerStats:
-    """Counters of the recovery machinery, for observability and tests."""
+    """Counters of the recovery machinery, for observability and tests.
+
+    All counters accumulate over the scheduler's lifetime (across jobs);
+    per-job budgets such as :attr:`RetryPolicy.max_pool_rebuilds` are
+    tracked separately inside each :meth:`Scheduler.run` call.
+    """
 
     retries: int = 0
     timeouts: int = 0
     pool_rebuilds: int = 0
+    thread_pool_replacements: int = 0
     thread_fallbacks: int = 0
     faults_injected: int = 0
 
@@ -177,6 +199,7 @@ class SchedulerStats:
         self.retries = 0
         self.timeouts = 0
         self.pool_rebuilds = 0
+        self.thread_pool_replacements = 0
         self.thread_fallbacks = 0
         self.faults_injected = 0
 
@@ -255,6 +278,11 @@ class Scheduler:
         self.stats = SchedulerStats()
         self._pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessPoolExecutor | None = None
+        # Futures abandoned on timeout that may still be running on a
+        # thread-pool worker ("zombies"): each occupies a worker until
+        # its task finishes, so once they cover the whole pool the pool
+        # is replaced to keep queued retries runnable.
+        self._thread_zombies: list[Future] = []
         # Re-entrancy guard: per-thread nesting depth of `run` (set while a
         # task body executes, on whichever thread executes it).
         self._local = threading.local()
@@ -281,6 +309,32 @@ class Scheduler:
                 initializer=_process_worker_init,
             )
         return self._process_pool
+
+    def _ensure_live_thread_pool(self) -> ThreadPoolExecutor:
+        """The thread pool, replaced first if hung tasks wedge all workers.
+
+        A timed-out thread task cannot be interrupted; it keeps its
+        worker until it finishes.  If such zombies ever occupy every
+        worker, queued retries could never start — so the wedged pool is
+        abandoned (its threads exit as their tasks do) and a fresh one
+        takes over.
+        """
+        self._thread_zombies = [
+            f for f in self._thread_zombies if not f.done()
+        ]
+        if (self._pool is not None
+                and len(self._thread_zombies) >= self.parallelism):
+            warnings.warn(
+                "all thread-pool workers are occupied by timed-out tasks; "
+                "replacing the pool so retries can proceed",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            self._thread_zombies = []
+            self.stats.thread_pool_replacements += 1
+        return self._ensure_pool()
 
     def _rebuild_process_pool(self) -> None:
         """Discard a broken process pool so the next round gets a fresh one."""
@@ -348,10 +402,19 @@ class Scheduler:
         pool could deadlock once every worker is waiting on a sub-task.
         The guard is an explicit per-thread depth flag — it recognises
         nested execution on any backend, not just threads with a
-        particular name.
+        particular name.  Inline execution cannot enforce
+        ``task_timeout_s`` (there is no spare worker to abandon the task
+        to), so non-nested sequential and single-item jobs run on the
+        pool whenever a timeout is configured.
         """
-        if self._depth() > 0 or self.parallelism == 1 or len(items) <= 1:
+        if self._depth() > 0:
             return self._run_inline(task, items)
+        if self.parallelism == 1 or len(items) <= 1:
+            if self.retry_policy.task_timeout_s is None:
+                return self._run_inline(task, items)
+            # Timeout enforcement needs a pool worker the driver can
+            # abandon; the thread pool is enough for a sequential job.
+            return self._run_with_recovery(task, items, use_process=False)
         use_process = self.backend == "process" and self._shippable(task)
         if use_process and not self._first_item_shippable(items):
             warnings.warn(
@@ -377,9 +440,12 @@ class Scheduler:
     def _run_inline(self, task: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Sequential execution with the same retry classification.
 
-        Used for ``parallelism=1``, single-item jobs and re-entrant calls.
-        Worker kills are injected as transient failures here (there is no
-        separate process to kill).
+        Used for re-entrant calls always, and for ``parallelism=1`` /
+        single-item jobs when no task timeout is configured (timeouts
+        need a pool worker to abandon, so :meth:`run` routes those to
+        the thread pool instead).  ``task_timeout_s`` is *not* enforced
+        here.  Worker kills are injected as transient failures (there is
+        no separate process to kill).
         """
         results = []
         for index, item in enumerate(items):
@@ -435,19 +501,23 @@ class Scheduler:
         results: dict[int, R] = {}
         pending: list[tuple[int, int]] = [(i, 0) for i in range(len(items))]
         deterministic_retry_used: set[int] = set()
+        # The rebuild budget is per job: a long-lived scheduler must not
+        # carry one job's crash history into the next (stats.pool_rebuilds
+        # keeps the lifetime total for observability).
+        rebuilds_this_job = 0
 
         while pending:
             futures = self._submit_round(task, items, pending, use_process)
+            outcomes = self._harvest_round(
+                futures, policy.task_timeout_s, use_process
+            )
             next_pending: list[tuple[int, int]] = []
             max_backoff = 0.0
             pool_broken = False
             fatal: BaseException | None = None
 
-            timeout = policy.task_timeout_s
-            deadline = (time.monotonic() + timeout
-                        if timeout is not None else None)
             for (index, attempt), future in futures.items():
-                exc = self._harvest(future, index, attempt, deadline)
+                exc = outcomes[(index, attempt)]
                 if exc is None:
                     results[index] = future.result()
                     continue
@@ -477,7 +547,8 @@ class Scheduler:
                 raise fatal
             if pool_broken and use_process:
                 self._rebuild_process_pool()
-                if self.stats.pool_rebuilds > policy.max_pool_rebuilds:
+                rebuilds_this_job += 1
+                if rebuilds_this_job > policy.max_pool_rebuilds:
                     # Last resort: the process backend keeps dying; finish
                     # the job on threads.
                     warnings.warn(
@@ -509,7 +580,7 @@ class Scheduler:
                 self._ensure_process_pool()
             )
         else:
-            pool = self._ensure_pool()
+            pool = self._ensure_live_thread_pool()
         for index, attempt in pending:
             call = _Dispatch(task, items[index], index, attempt,
                              self.fault_plan, allow_kill=use_process)
@@ -529,38 +600,77 @@ class Scheduler:
                 futures[(index, attempt)] = failed
         return futures
 
-    def _harvest(
+    def _harvest_round(
         self,
-        future: Future,
-        index: int,
-        attempt: int,
-        deadline: float | None,
-    ) -> BaseException | None:
-        """Wait for one future; return its exception (or None on success).
+        futures: dict[tuple[int, int], Future],
+        timeout: float | None,
+        use_process: bool,
+    ) -> dict[tuple[int, int], BaseException | None]:
+        """Collect every future of one round; per key, its exception or None.
 
-        A future that misses the shared round deadline is cancelled and
-        reported as :exc:`TaskTimeoutError`; if it was already running on
-        a thread worker it cannot be interrupted and is simply abandoned
-        (tasks are pure, so the duplicate execution is harmless).
+        With a ``timeout``, each task is timed *individually from the
+        moment the pool starts executing it* (observed via
+        :meth:`Future.running`), so time a task spends queued behind
+        other partitions never counts against its budget.  A task that
+        exceeds the budget is cancelled and reported as
+        :exc:`TaskTimeoutError`; one that is already running cannot be
+        interrupted and is abandoned — it may finish in the background
+        (harmless: tasks are pure) but keeps occupying its worker until
+        it does, see the module notes on hung tasks.
         """
+        outcomes: dict[tuple[int, int], BaseException | None] = {}
+        if timeout is None:
+            for key, future in futures.items():
+                outcomes[key] = self._exception_of(future)
+            return outcomes
+        remaining = dict(futures)
+        started: dict[tuple[int, int], float] = {}
+        # Poll granularity: fine enough that timeout detection lags the
+        # budget by at most ~10%, without busy-waiting.
+        poll_s = max(0.001, min(0.05, timeout / 10.0))
+        while remaining:
+            wait(remaining.values(), timeout=poll_s)
+            now = time.monotonic()
+            for key in list(remaining):
+                future = remaining[key]
+                if future.done():
+                    outcomes[key] = self._exception_of(future)
+                    del remaining[key]
+                elif key not in started:
+                    if future.running():
+                        started[key] = now
+                elif now - started[key] >= timeout:
+                    if not future.cancel() and not use_process:
+                        # Still running on a thread worker: abandoned,
+                        # and holding that worker until it finishes.
+                        self._thread_zombies.append(future)
+                    index, attempt = key
+                    outcomes[key] = TaskTimeoutError(index, attempt, timeout)
+                    del remaining[key]
+        return outcomes
+
+    @staticmethod
+    def _exception_of(future: Future) -> BaseException | None:
+        """Block until ``future`` resolves; its exception, or None."""
         try:
-            if deadline is None:
-                future.result()
-            else:
-                future.result(timeout=max(0.0, deadline - time.monotonic()))
+            future.result()
             return None
-        except FutureTimeoutError:
-            future.cancel()
-            timeout_s = self.retry_policy.task_timeout_s or 0.0
-            return TaskTimeoutError(index, attempt, timeout_s)
         except BaseException as exc:
             return exc
 
     def shutdown(self) -> None:
-        """Release the worker pools.  The scheduler can be reused afterwards."""
+        """Release the worker pools.  The scheduler can be reused afterwards.
+
+        Does not block on abandoned (timed-out) thread tasks — their
+        threads exit on their own when the tasks finish.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._thread_zombies = [
+                f for f in self._thread_zombies if not f.done()
+            ]
+            self._pool.shutdown(wait=not self._thread_zombies)
             self._pool = None
+            self._thread_zombies = []
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=True)
             self._process_pool = None

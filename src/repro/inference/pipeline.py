@@ -285,17 +285,20 @@ def infer_ndjson_file(
       before the abort, for post-mortems.
     """
     source = str(path)
-    numbered = list(iter_numbered_lines(path))
     task = partial(
         accumulate_ndjson_partition, source=source, permissive=permissive
     )
 
     start = time.perf_counter()
     if context is None:
-        summaries = [task(numbered)] if numbered else []
+        # Feed the accumulator straight off the file iterator: the
+        # sequential path never materialises the line list, keeping
+        # memory constant however massive the input.
+        summaries = [task(iter_numbered_lines(path))]
     else:
         parts = split_evenly(
-            numbered, num_partitions or context.default_parallelism
+            list(iter_numbered_lines(path)),
+            num_partitions or context.default_parallelism,
         )
         summaries = context.scheduler.run(task, parts)
     map_seconds = time.perf_counter() - start

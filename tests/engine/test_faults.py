@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 
 import pytest
 
@@ -231,3 +232,81 @@ class TestProcessBackendRecovery:
                        retry_policy=FAST_RETRY) as sched:
             with pytest.raises(ZeroDivisionError):
                 sched.run(_reciprocal, [2, 1, 0, 4])
+
+
+class TestPerTaskTimeoutClock:
+    """Timeouts are measured from task start, not from round submission."""
+
+    def test_queue_time_does_not_count_against_budget(self):
+        # 8 tasks of ~0.15s on 2 workers: with a shared round deadline of
+        # 0.4s the backlog would spuriously time out; with per-task clocks
+        # every task finishes well under budget.
+        def slow(x):
+            time.sleep(0.15)
+            return x
+
+        policy = RetryPolicy(max_retries=1, base_delay_s=0.001,
+                             task_timeout_s=0.4)
+        with Scheduler(parallelism=2, retry_policy=policy) as sched:
+            assert sched.run(slow, list(range(8))) == list(range(8))
+            assert sched.stats.timeouts == 0
+            assert sched.stats.retries == 0
+
+    def test_single_item_job_enforces_timeout(self):
+        # Single-item jobs used to run inline with no timeout enforcement.
+        plan = FaultPlan((Fault(0, 0, kind="delay", delay_s=0.5),))
+        policy = RetryPolicy(max_retries=2, base_delay_s=0.001,
+                             task_timeout_s=0.05)
+        with Scheduler(parallelism=4, retry_policy=policy,
+                       fault_plan=plan) as sched:
+            start = time.monotonic()
+            assert sched.run(_double, [21]) == [42]
+            assert time.monotonic() - start < 0.5
+            assert sched.stats.timeouts >= 1
+
+    def test_parallelism_one_enforces_timeout(self):
+        plan = FaultPlan(tuple(
+            Fault(0, a, kind="delay", delay_s=0.5) for a in range(3)
+        ))
+        policy = RetryPolicy(max_retries=2, base_delay_s=0.001,
+                             task_timeout_s=0.05)
+        with Scheduler(parallelism=1, retry_policy=policy,
+                       fault_plan=plan) as sched:
+            with pytest.raises(TaskTimeoutError):
+                sched.run(_double, [1, 2])
+
+    def test_hung_tasks_do_not_wedge_thread_pool(self):
+        # Partition 0 hangs on its first two attempts; the abandoned
+        # attempts occupy both workers, so the scheduler must replace the
+        # wedged pool for the third attempt to ever start.
+        plan = FaultPlan(tuple(
+            Fault(0, a, kind="delay", delay_s=0.6) for a in range(2)
+        ))
+        policy = RetryPolicy(max_retries=3, base_delay_s=0.001,
+                             task_timeout_s=0.05)
+        with Scheduler(parallelism=2, retry_policy=policy,
+                       fault_plan=plan) as sched:
+            with pytest.warns(RuntimeWarning, match="replacing the pool"):
+                assert sched.run(_double, list(range(6))) == [
+                    x * 2 for x in range(6)
+                ]
+            assert sched.stats.thread_pool_replacements >= 1
+            assert sched.stats.timeouts >= 2
+
+
+class TestPoolRebuildBudgetPerJob:
+    def test_crash_history_not_carried_across_jobs(self):
+        # Each job triggers exactly one pool rebuild.  The budget is
+        # per job, so the second job must *not* fall back to threads even
+        # though the scheduler's lifetime rebuild count exceeds it.
+        plan = FaultPlan((Fault(0, 0, kind="kill"),))
+        policy = RetryPolicy(max_retries=4, base_delay_s=0.001,
+                             max_pool_rebuilds=1)
+        with Scheduler(parallelism=2, backend="process",
+                       retry_policy=policy, fault_plan=plan) as sched:
+            for _ in range(2):
+                assert sched.run(_double, list(range(4))) == [
+                    x * 2 for x in range(4)
+                ]
+            assert sched.stats.pool_rebuilds == 2
+            assert sched.stats.thread_fallbacks == 0

@@ -188,3 +188,39 @@ class TestQuarantine:
         with Context(parallelism=2, retry_policy=FAST_RETRY) as ctx:
             with pytest.raises(JsonSyntaxError, match="line 3"):
                 infer_ndjson_file(path, context=ctx, num_partitions=2)
+
+
+class TestSequentialStreaming:
+    """The context-less file path streams the iterator straight through."""
+
+    def test_empty_file_sequential(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        path.write_text("")
+        run = infer_ndjson_file(path)
+        assert run.record_count == 0
+        assert run.skipped_count == 0
+        assert print_type(run.schema) == "(empty)"
+
+    def test_sequential_path_does_not_materialise_lines(
+        self, tmp_path, monkeypatch
+    ):
+        # Guard against regressing to `list(iter_numbered_lines(...))` in
+        # the sequential path: the pipeline must hand the generator to the
+        # accumulator as-is, never a materialised list.
+        import repro.inference.pipeline as pipeline_mod
+
+        path = tmp_path / "rows.ndjson"
+        path.write_text('{"a": 1}\n{"a": 2}\n')
+        seen = {}
+        original = pipeline_mod.accumulate_ndjson_partition
+
+        def spy(numbered_lines, **kwargs):
+            seen["type"] = type(numbered_lines)
+            return original(numbered_lines, **kwargs)
+
+        monkeypatch.setattr(
+            pipeline_mod, "accumulate_ndjson_partition", spy
+        )
+        run = infer_ndjson_file(path)
+        assert run.record_count == 2
+        assert seen["type"] not in (list, tuple)
