@@ -81,6 +81,18 @@ def build_parser() -> argparse.ArgumentParser:
              "malformed, e.g. 0.01 for 1%%",
     )
     p_infer.add_argument(
+        "--parse-lane", choices=["auto", "fast", "strict"], default="auto",
+        help="map-phase parser: 'fast' types records during parsing and "
+             "falls back to the strict parser only on errors, 'strict' "
+             "always uses the diagnostic parser, 'auto' picks fast "
+             "(default: auto)",
+    )
+    p_infer.add_argument(
+        "--timings", action="store_true",
+        help="print per-phase map timings (parse/type/fuse, records/s) "
+             "on stderr",
+    )
+    p_infer.add_argument(
         "--parallel", type=int, metavar="N", default=None,
         help="run typing+fusion on the engine with N-way parallelism",
     )
@@ -182,6 +194,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         permissive=permissive,
         bad_records_path=args.bad_records,
         max_error_rate=args.max_error_rate,
+        parse_lane=args.parse_lane,
     )
     try:
         if args.parallel:
@@ -205,6 +218,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         print(print_type(schema))
     if args.permissive and run.skipped_count:
         print(run.skip_summary(), file=sys.stderr)
+    if args.timings:
+        detail = (f" ({run.phase_timings.describe()})"
+                  if run.phase_timings is not None else "")
+        print(f"map {run.map_seconds:.3f}s{detail} · "
+              f"reduce {run.reduce_seconds:.3f}s", file=sys.stderr)
     return 0
 
 

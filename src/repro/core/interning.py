@@ -92,6 +92,25 @@ class TypeInterner:
         self._field_cache[key] = canonical
         return canonical
 
+    def intern_node(self, t: Type) -> Type:
+        """Canonicalize one node whose children are *already* canonical.
+
+        The streaming kernel and the fusion memo build types bottom-up
+        from pooled children, so the recursive rebuild of :meth:`intern`
+        is pure overhead for them: one pool lookup decides canonicity of
+        the whole node.  Callers must guarantee every child (field types,
+        array elements, union members, star bodies) came out of this
+        interner — handing over a node with foreign children would pool a
+        type whose subtrees are not shared.
+        """
+        found = self._pool.get(t)
+        if found is not None:
+            self.hits += 1
+            return found
+        self.misses += 1
+        self._pool[t] = t
+        return t
+
     def intern(self, t: Type) -> Type:
         """Return the canonical instance of ``t``, pooling every subtree."""
         # Fast path: the exact node is already canonical.

@@ -185,6 +185,13 @@ class SchedulerStats:
     All counters accumulate over the scheduler's lifetime (across jobs);
     per-job budgets such as :attr:`RetryPolicy.max_pool_rebuilds` are
     tracked separately inside each :meth:`Scheduler.run` call.
+
+    ``jobs`` / ``tasks_completed`` / ``job_time_s`` profile throughput:
+    how many :meth:`Scheduler.run` calls executed (nested jobs included),
+    how many partition tasks they completed, and their summed wall-clock
+    — the scheduler-level counterpart of the kernel's per-partition
+    :class:`~repro.inference.kernel.PhaseTimings`, letting a benchmark
+    split engine overhead from map-phase work.
     """
 
     retries: int = 0
@@ -193,6 +200,9 @@ class SchedulerStats:
     thread_pool_replacements: int = 0
     thread_fallbacks: int = 0
     faults_injected: int = 0
+    jobs: int = 0
+    tasks_completed: int = 0
+    job_time_s: float = 0.0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -202,6 +212,9 @@ class SchedulerStats:
         self.thread_pool_replacements = 0
         self.thread_fallbacks = 0
         self.faults_injected = 0
+        self.jobs = 0
+        self.tasks_completed = 0
+        self.job_time_s = 0.0
 
 
 def _default_parallelism() -> int:
@@ -407,6 +420,17 @@ class Scheduler:
         to), so non-nested sequential and single-item jobs run on the
         pool whenever a timeout is configured.
         """
+        start = time.perf_counter()
+        try:
+            results = self._dispatch(task, items)
+        finally:
+            self.stats.jobs += 1
+            self.stats.job_time_s += time.perf_counter() - start
+        self.stats.tasks_completed += len(results)
+        return results
+
+    def _dispatch(self, task: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Route a job to the inline, thread, or process execution path."""
         if self._depth() > 0:
             return self._run_inline(task, items)
         if self.parallelism == 1 or len(items) <= 1:

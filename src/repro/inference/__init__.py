@@ -7,6 +7,9 @@
 * :mod:`repro.inference.kernel` — the single-pass streaming kernel the
   pipelines run on: per-partition interning accumulator with memoized
   fusion, merged at the driver.
+* :mod:`repro.inference.typestream` — the fast map lane: typing records
+  *during* parsing (token walker and C-accelerated hook variants) with
+  strict-parser fallback for diagnostics.
 * :mod:`repro.inference.counting` — the statistics enrichment sketched as
   future work in Section 7.
 * :mod:`repro.inference.parametric` — equivalence-parameterised fusion
@@ -32,8 +35,12 @@ from repro.inference.kernel import (
     FusionMemo,
     PartitionAccumulator,
     PartitionSummary,
+    PhaseTimings,
+    accumulate_ndjson_partition,
     accumulate_partition,
+    merge_phase_timings,
     merge_summaries,
+    merge_summaries_full,
 )
 from repro.inference.parametric import (
     ParametricFuser,
@@ -41,6 +48,16 @@ from repro.inference.parametric import (
     infer_schema_labelled,
     label_equivalence,
 )
+from repro.inference.typestream import (
+    PARSE_LANES,
+    FastLaneMiss,
+    HookTyper,
+    TokenTyper,
+    c_scanner_available,
+    resolve_lane,
+    type_from_tokens,
+)
+
 from repro.inference.pipeline import (
     InferenceRun,
     PartitionReport,
@@ -58,7 +75,11 @@ __all__ = [
     "SchemaInferencer", "infer_partitioned", "PartitionReport",
     "PartitionedRun",
     "PartitionAccumulator", "PartitionSummary", "FusionMemo",
-    "accumulate_partition", "merge_summaries",
+    "PhaseTimings", "merge_phase_timings",
+    "accumulate_partition", "accumulate_ndjson_partition",
+    "merge_summaries", "merge_summaries_full",
+    "PARSE_LANES", "FastLaneMiss", "TokenTyper", "HookTyper",
+    "c_scanner_available", "resolve_lane", "type_from_tokens",
     "StatisticsCollector", "FieldPresence", "ArrayLengthStats",
     "presence_report",
     "ParametricFuser", "label_equivalence", "fuse_labelled",

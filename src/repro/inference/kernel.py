@@ -34,6 +34,7 @@ check on arbitrary JSON values.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
@@ -54,11 +55,10 @@ from repro.core.types import (
 )
 from repro.inference.fusion import (
     _addends_by_kind,
-    f_match,
-    f_unmatch,
     fuse,
     lfuse,
 )
+from repro.inference.typestream import FastLaneMiss, make_typer, resolve_lane
 from repro.jsonio.errors import JsonError
 from repro.jsonio.ndjson import BadRecord
 from repro.jsonio.parser import loads
@@ -68,8 +68,10 @@ __all__ = [
     "MergedSummary",
     "PartitionAccumulator",
     "PartitionSummary",
+    "PhaseTimings",
     "accumulate_ndjson_partition",
     "accumulate_partition",
+    "merge_phase_timings",
     "merge_summaries",
     "merge_summaries_full",
 ]
@@ -104,6 +106,15 @@ class FusionMemo:
         self._interner = interner
         self._memo: dict[tuple[int, int], Type] = {}
         self._collapse_memo: dict[int, Type] = {}
+        # Result pools, keyed on the children a miss is about to build a
+        # node from: when two *new* operand pairs fuse to a shape fused
+        # before (typically the converged schema itself), the canonical
+        # result is returned without node construction (sort, size, hash)
+        # or an interner round trip.
+        self._record_pool: dict[tuple[Field, ...], Type] = {}
+        self._union_pool: dict[tuple[Type, ...], Type] = {}
+        self._star_pool: dict[Type, Type] = {}
+        self._collapse_pool: dict[tuple[Type, ...], Type] = {}
         self.hits = 0
         self.misses = 0
 
@@ -124,12 +135,26 @@ class FusionMemo:
             self.hits += 1
             return found
         self.misses += 1
-        fused = self._interner.intern(self._fuse(a, b))
+        # _fuse composes canonical children through the result pools, so
+        # its output is already canonical — no interner round trip.
+        fused = self._fuse(a, b)
         self._memo[key] = fused
         return fused
 
     def _fuse(self, a: Type, b: Type) -> Type:
         """Fig. 6 line 1, recursing through the memo."""
+        # Non-union, non-empty operands (by far the common case: a record
+        # schema against a record type) have exactly one addend each, so
+        # the kind indexes below collapse to one comparison.
+        ka, kb = a.kind, b.kind
+        if ka is not None and kb is not None:
+            if ka is kb:
+                return self._lfuse(a, b)
+            return self._union((a, b))
+        if a is EMPTY:
+            return b
+        if b is EMPTY:
+            return a
         by_kind1 = _addends_by_kind(a)
         by_kind2 = _addends_by_kind(b)
         fused = [
@@ -146,25 +171,83 @@ class FusionMemo:
             return EMPTY
         if len(fused) == 1:
             return fused[0]
-        return UnionType(fused)
+        return self._union(tuple(fused))
+
+    def _union(self, members: tuple[Type, ...]) -> Type:
+        """The canonical union of non-union, non-empty members."""
+        found = self._union_pool.get(members)
+        if found is None:
+            found = self._interner.intern_node(UnionType(members))
+            self._union_pool[members] = found
+        return found
 
     def _lfuse(self, t1: Type, t2: Type) -> Type:
         """Fig. 6 lines 2-7 for two non-union addends of equal kind."""
         if isinstance(t1, RecordType) and isinstance(t2, RecordType):
+            # FMatch/FUnmatch inlined (RecordType sorts its fields, so
+            # emission order is free): one walk over t1 resolving against
+            # t2's name index, then t2's leftovers.
             field = self._interner.field
-            fields = [
-                field(f1.name, self.fuse(f1.type, f2.type),
-                      f1.optional or f2.optional)
-                for f1, f2 in f_match(t1, t2)
-            ]
-            fields.extend(f.with_optional(True) for f in f_unmatch(t1, t2))
-            return RecordType(fields)
+            fuse = self.fuse
+            f2_of = t2.field
+            fields = []
+            matched = 0
+            for f1 in t1.fields:
+                f2 = f2_of(f1.name)
+                if f2 is None:
+                    fields.append(f1 if f1.optional
+                                  else f1.with_optional(True))
+                    continue
+                matched += 1
+                ft = fuse(f1.type, f2.type)
+                opt = f1.optional or f2.optional
+                # Reuse the schema's own field node when fusion changed
+                # nothing (the common case once the schema converges).
+                if ft is f1.type and opt == f1.optional:
+                    fields.append(f1)
+                else:
+                    fields.append(field(f1.name, ft, opt))
+            if matched != len(t2.fields):
+                for f2 in t2.fields:
+                    if f2.name not in t1:
+                        fields.append(f2 if f2.optional
+                                      else f2.with_optional(True))
+            shape = tuple(fields)
+            found = self._record_pool.get(shape)
+            if found is None:
+                found = self._interner.intern_node(RecordType(shape))
+                self._record_pool[shape] = found
+            return found
         if isinstance(t1, (ArrayType, StarArrayType)) and isinstance(
             t2, (ArrayType, StarArrayType)
         ):
-            return StarArrayType(
-                self.fuse(self._star_body(t1), self._star_body(t2))
-            )
+            # Fold a positional side's elements straight into the other
+            # side's star body: fuse(B, collapse(es)) equals folding fuse
+            # over {B} ∪ es in any grouping (associativity/commutativity,
+            # Theorem 5.5), and the direct fold skips materialising the
+            # intermediate collapsed union.  Once the schema side has
+            # gone star — after its first array fusion — every further
+            # record costs one memoized fuse per element, nearly all hits.
+            if isinstance(t1, StarArrayType):
+                body = t1.body
+                if isinstance(t2, StarArrayType):
+                    body = self.fuse(body, t2.body)
+                else:
+                    for element in t2.elements:
+                        body = self.fuse(body, element)
+            elif isinstance(t2, StarArrayType):
+                body = t2.body
+                for element in t1.elements:
+                    body = self.fuse(body, element)
+            else:
+                body = self._star_body(t1)
+                for element in t2.elements:
+                    body = self.fuse(body, element)
+            found = self._star_pool.get(body)
+            if found is None:
+                found = self._interner.intern_node(StarArrayType(body))
+                self._star_pool[body] = found
+            return found
         return lfuse(t1, t2)  # identical basic types (line 2), and errors
 
     def _star_body(self, t: Type) -> Type:
@@ -176,10 +259,29 @@ class FusionMemo:
         found = self._collapse_memo.get(key)
         if found is not None:
             return found
-        body: Type = EMPTY
+        # The collapse fold computes the join of the elements, and fuse
+        # is idempotent on types without positional content (the ``a is
+        # b`` fast path above), so repeated non-positional elements
+        # contribute nothing — drop them.  Positional duplicates must
+        # stay: fusing a positional array with itself collapses it.  The
+        # deduplicated signature then keys a pool shared across distinct
+        # arrays ([Num, Str] and [Num, Num, Str] collapse once).
+        seen: set[int] = set()
+        sig = []
         for element in t.elements:
-            body = self.fuse(body, element)
-        body = self._interner.intern(body)
+            i = id(element)
+            if i not in seen:
+                seen.add(i)
+                sig.append(element)
+            elif element._has_positional:
+                sig.append(element)
+        signature = tuple(sig)
+        body = self._collapse_pool.get(signature)
+        if body is None:
+            body = EMPTY
+            for element in signature:
+                body = self.fuse(body, element)
+            self._collapse_pool[signature] = body
         self._collapse_memo[key] = body
         return body
 
@@ -188,6 +290,84 @@ class FusionMemo:
         """Fraction of memoized fuse calls served from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class PhaseTimings:
+    """Wall-clock attribution of one partition's map phase, per stage.
+
+    The map phase of an NDJSON partition decomposes into three measurable
+    stages, accumulated across the partition's records:
+
+    * ``parse_s`` — tokenize + parse.  The tokenizer is a generator the
+      parser drains, so lexing and parsing are interleaved and timed as
+      one stage.  On a fast lane the record is typed *during* parsing
+      (that is the whole point), so ``parse_s`` covers parse + type there
+      and ``type_s`` stays zero.
+    * ``type_s`` — value tree to interned type (strict lane only).
+    * ``fuse_s`` — distinct-type tracking plus the memoized incremental
+      fusion of the record's type into the running schema.
+
+    ``lane`` records which resolved lane produced the numbers (``strict``,
+    ``tokens``, ``hooks``; ``mixed`` after merging heterogeneous
+    partitions), so a benchmark delta can be attributed to the right
+    phase of the right implementation.
+    """
+
+    lane: str = "strict"
+    parse_s: float = 0.0
+    type_s: float = 0.0
+    fuse_s: float = 0.0
+    records: int = 0
+
+    @property
+    def map_s(self) -> float:
+        """Total attributed map time (sum of the per-stage buckets)."""
+        return self.parse_s + self.type_s + self.fuse_s
+
+    @property
+    def records_per_s(self) -> float:
+        """Throughput over the attributed map time (0.0 when untimed)."""
+        total = self.map_s
+        return self.records / total if total else 0.0
+
+    def describe(self) -> str:
+        """One human-readable line for CLI reports.
+
+        >>> PhaseTimings("strict", 1.0, 0.5, 0.5, 10000).describe()
+        '[strict lane] parse 1.000s · type 0.500s · fuse 0.500s · 5,000 records/s'
+        """
+        if self.lane == "strict":
+            stages = (f"parse {self.parse_s:.3f}s · type {self.type_s:.3f}s"
+                      f" · fuse {self.fuse_s:.3f}s")
+        else:
+            stages = (f"parse+type {self.parse_s:.3f}s"
+                      f" · fuse {self.fuse_s:.3f}s")
+        return (f"[{self.lane} lane] {stages}"
+                f" · {self.records_per_s:,.0f} records/s")
+
+
+def merge_phase_timings(
+    timings: Iterable["PhaseTimings | None"],
+) -> "PhaseTimings | None":
+    """Sum per-partition phase timings; ``None`` when none were recorded.
+
+    Stage buckets add across partitions (total CPU-seconds attributed to
+    each stage, regardless of overlap under a parallel backend).  The lane
+    is preserved when every timed partition used the same one and reported
+    as ``"mixed"`` otherwise.
+    """
+    rows = [t for t in timings if t is not None]
+    if not rows:
+        return None
+    lanes = {t.lane for t in rows}
+    return PhaseTimings(
+        lane=lanes.pop() if len(lanes) == 1 else "mixed",
+        parse_s=sum(t.parse_s for t in rows),
+        type_s=sum(t.type_s for t in rows),
+        fuse_s=sum(t.fuse_s for t in rows),
+        records=sum(t.records for t in rows),
+    )
 
 
 @dataclass(frozen=True)
@@ -206,6 +386,9 @@ class PartitionSummary:
     #: Records quarantined during a permissive NDJSON partition pass
     #: (empty for already-parsed inputs).
     skipped: tuple[BadRecord, ...] = field(default=())
+    #: Per-phase map timings (NDJSON partitions only; ``None`` for
+    #: already-parsed inputs, whose parse phase happened elsewhere).
+    timings: PhaseTimings | None = field(default=None)
 
     @property
     def distinct_type_count(self) -> int:
@@ -267,7 +450,24 @@ class PartitionAccumulator:
 
     def add(self, value: Any) -> None:
         """Stream one JSON value: type, intern, count, fuse — one step."""
-        t = self._infer_interned(value)
+        self.observe(self._infer_interned(value))
+
+    def type_value(self, value: Any) -> Type:
+        """Type one JSON value into this accumulator's interned form.
+
+        Does *not* count or fuse it — pair with :meth:`observe`, which
+        together make up :meth:`add`.  Exposed separately so callers can
+        time (or interleave) the typing and fusion stages independently.
+        """
+        return self._infer_interned(value)
+
+    def observe(self, t: Type) -> None:
+        """Count and fuse one *canonical* type from this accumulator.
+
+        ``t`` must be interned here — produced by :meth:`type_value`, the
+        pool helpers, or a fast-lane typer bound to this accumulator —
+        so the distinct test can be a pointer test.
+        """
         self._count += 1
         key = id(t)  # canonical => identity test suffices
         if key not in self._distinct_ids:
@@ -296,6 +496,28 @@ class PartitionAccumulator:
             record_count=self._count,
             distinct_types=tuple(self._distinct),
         )
+
+    def record_type(self, shape: tuple[Field, ...]) -> Type:
+        """The canonical record type for a tuple of canonical fields.
+
+        The construction-pool lookup of :meth:`_infer`, exposed for the
+        fast-lane typers (:mod:`repro.inference.typestream`), which build
+        field tuples straight from JSON text.  ``shape`` keeps document
+        key order; the pool maps it to the canonical (sorted) node.
+        """
+        t = self._record_pool.get(shape)
+        if t is None:
+            t = self.interner.intern_node(RecordType(shape))
+            self._record_pool[shape] = t
+        return t
+
+    def array_type(self, elements: tuple[Type, ...]) -> Type:
+        """The canonical array type for a tuple of canonical elements."""
+        t = self._array_pool.get(elements)
+        if t is None:
+            t = self.interner.intern_node(ArrayType(elements))
+            self._array_pool[elements] = t
+        return t
 
     # ------------------------------------------------------------------
     # interned value typing (Fig. 4 fused with hash-consing)
@@ -335,14 +557,14 @@ class PartitionAccumulator:
             shape = tuple(fields)
             t = self._record_pool.get(shape)
             if t is None:
-                t = self.interner.intern(RecordType(shape))
+                t = self.interner.intern_node(RecordType(shape))
                 self._record_pool[shape] = t
             return t
         if tv is list:
             elements = tuple(self._infer(v) for v in value)
             t = self._array_pool.get(elements)
             if t is None:
-                t = self.interner.intern(ArrayType(elements))
+                t = self.interner.intern_node(ArrayType(elements))
                 self._array_pool[elements] = t
             return t
         # Subclasses of the builtin types (IntEnum, OrderedDict, ...).
@@ -375,6 +597,7 @@ def accumulate_ndjson_partition(
     numbered_lines: Iterable[tuple[int, str]],
     source: str | None = None,
     permissive: bool = False,
+    parse_lane: str = "auto",
 ) -> PartitionSummary:
     """Parse and stream one partition of raw NDJSON lines in a single pass.
 
@@ -383,31 +606,94 @@ def accumulate_ndjson_partition(
     in another process) still produces errors and quarantine entries that
     point at the right line of the right file.
 
+    ``parse_lane`` selects the map-phase implementation (see
+    :func:`repro.inference.typestream.resolve_lane`): on a fast lane each
+    record is typed *during* parsing with no intermediate value tree, and
+    any record the fast lane cannot handle — malformed text, duplicate
+    keys — is re-parsed by the strict :func:`repro.jsonio.parser.loads`
+    lane, so error diagnostics and quarantine entries (absolute file line
+    numbers included) are byte-identical across lanes.
+
     In strict mode (default) the first malformed line raises, failing the
     task; in permissive mode it is quarantined into the summary's
     ``skipped`` tuple and the pass continues.  Like
     :func:`accumulate_partition`, this is a module-level function over
     picklable data by design: it rides the scheduler's process backend.
+    The summary carries per-stage :class:`PhaseTimings` for the partition.
     """
+    lane = resolve_lane(parse_lane)
     acc = PartitionAccumulator()
     skipped: list[BadRecord] = []
-    for line_number, line in numbered_lines:
-        try:
-            value = loads(line, source=source, first_line=line_number)
-        except JsonError as exc:
-            if not permissive:
-                raise
-            skipped.append(
-                BadRecord(source or "<memory>", line_number, str(exc), line)
-            )
-            continue
-        acc.add(value)
+    parse_s = type_s = fuse_s = 0.0
+    perf = time.perf_counter
+
+    if lane == "strict":
+        for line_number, line in numbered_lines:
+            t0 = perf()
+            try:
+                value = loads(line, source=source, first_line=line_number)
+            except JsonError as exc:
+                parse_s += perf() - t0
+                if not permissive:
+                    raise
+                skipped.append(
+                    BadRecord(source or "<memory>", line_number,
+                              str(exc), line)
+                )
+                continue
+            t1 = perf()
+            t = acc.type_value(value)
+            t2 = perf()
+            acc.observe(t)
+            t3 = perf()
+            parse_s += t1 - t0
+            type_s += t2 - t1
+            fuse_s += t3 - t2
+    else:
+        typer = make_typer(lane, acc)
+        type_document = typer.type_document
+        observe = acc.observe
+        for line_number, line in numbered_lines:
+            t0 = perf()
+            try:
+                t = type_document(line)
+            except (FastLaneMiss, JsonError):
+                # Diagnostics lane: re-parse strictly so the error (or
+                # quarantine entry) is byte-identical to a strict run.
+                # Costs a double parse on malformed records only.
+                try:
+                    value = loads(line, source=source,
+                                  first_line=line_number)
+                except JsonError as exc:
+                    parse_s += perf() - t0
+                    if not permissive:
+                        raise
+                    skipped.append(
+                        BadRecord(source or "<memory>", line_number,
+                                  str(exc), line)
+                    )
+                    continue
+                # The lanes disagreed on acceptance: defer to strict.
+                t = acc.type_value(value)
+            t1 = perf()
+            observe(t)
+            t2 = perf()
+            parse_s += t1 - t0
+            fuse_s += t2 - t1
+
     summary = acc.summary()
     return PartitionSummary(
         schema=summary.schema,
         record_count=summary.record_count,
         distinct_types=summary.distinct_types,
         skipped=tuple(skipped),
+        timings=PhaseTimings(
+            lane=lane,
+            parse_s=parse_s,
+            type_s=type_s,
+            fuse_s=fuse_s,
+            records=summary.record_count,
+        ),
     )
 
 
@@ -419,6 +705,8 @@ class MergedSummary:
     record_count: int
     distinct_type_count: int
     skipped: tuple[BadRecord, ...]
+    #: Summed per-phase map timings (``None`` when no partition was timed).
+    timings: PhaseTimings | None = None
 
     @property
     def skipped_count(self) -> int:
@@ -441,12 +729,15 @@ def merge_summaries_full(
     count = 0
     distinct: set[Type] = set()
     skipped: list[BadRecord] = []
+    timings: list[PhaseTimings | None] = []
     for summary in summaries:
         schema = fuse(schema, summary.schema)
         count += summary.record_count
         distinct.update(summary.distinct_types)
         skipped.extend(summary.skipped)
-    return MergedSummary(schema, count, len(distinct), tuple(skipped))
+        timings.append(summary.timings)
+    return MergedSummary(schema, count, len(distinct), tuple(skipped),
+                         merge_phase_timings(timings))
 
 
 def merge_summaries(

@@ -42,11 +42,13 @@ from repro.inference.fusion import fuse, fuse_all, fuse_multiset
 from repro.inference.infer import infer_type
 from repro.inference.kernel import (
     PartitionAccumulator,
+    PhaseTimings,
     accumulate_ndjson_partition,
     accumulate_partition,
     merge_summaries,
     merge_summaries_full,
 )
+from repro.inference.typestream import resolve_lane
 from repro.jsonio.errors import ErrorRateExceeded
 from repro.jsonio.ndjson import (
     BadRecord,
@@ -108,6 +110,11 @@ class InferenceRun:
     skipped_count: int = 0
     bad_records: tuple[BadRecord, ...] = ()
     skipped_per_partition: dict[int, int] = field(default_factory=dict)
+    #: Per-stage attribution of the map phase summed over partitions
+    #: (NDJSON runs only; ``None`` when the input was already parsed).
+    #: Under a parallel backend the stage buckets are CPU-seconds, so
+    #: they can legitimately exceed the wall-clock ``map_seconds``.
+    phase_timings: PhaseTimings | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -262,12 +269,22 @@ def infer_ndjson_file(
     permissive: bool = False,
     bad_records_path: str | Path | None = None,
     max_error_rate: float | None = None,
+    parse_lane: str = "auto",
 ) -> InferenceRun:
     """Instrumented schema inference straight from an NDJSON file.
 
     Lines are read with their absolute file line numbers and *parsed
     inside the partitions* (in parallel under a ``context``, on either
     backend), so one pass covers parsing, typing, interning and fusion.
+
+    ``parse_lane`` picks the map-phase implementation per
+    :func:`repro.inference.typestream.resolve_lane`: ``"auto"`` (default)
+    and ``"fast"`` type each record *during* parsing with no intermediate
+    value tree — C-accelerated via stdlib ``json`` hooks when available —
+    and fall back to the strict parser per record on any error, so
+    results, error diagnostics and quarantine behaviour are identical to
+    ``"strict"`` on every input; only the wall-clock differs.  The run's
+    ``phase_timings`` attribute the map time to parse/type/fuse stages.
 
     Dirty-data handling:
 
@@ -285,8 +302,13 @@ def infer_ndjson_file(
       before the abort, for post-mortems.
     """
     source = str(path)
+    # Resolve once at the driver (raising early on an unknown lane) so
+    # every partition — local or on a worker process — runs the same
+    # implementation and reports a stable lane name in its timings.
+    lane = resolve_lane(parse_lane)
     task = partial(
-        accumulate_ndjson_partition, source=source, permissive=permissive
+        accumulate_ndjson_partition, source=source, permissive=permissive,
+        parse_lane=lane,
     )
 
     start = time.perf_counter()
@@ -332,6 +354,7 @@ def infer_ndjson_file(
         skipped_count=merged.skipped_count,
         bad_records=merged.skipped,
         skipped_per_partition=per_partition.value,
+        phase_timings=merged.timings,
     )
 
 

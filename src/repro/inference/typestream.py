@@ -1,0 +1,360 @@
+"""The map-phase fast lane: type JSON text without materialising values.
+
+The strict pipeline runs three pure-Python stages per record — tokenize,
+parse into Python objects, then type those objects (Fig. 4) — and the
+intermediate value tree exists only to be typed and thrown away.  This
+module removes it, in two flavours selected by :func:`resolve_lane`:
+
+* :class:`TokenTyper` (lane ``"tokens"``) — a recursive-descent walker
+  over :func:`repro.jsonio.tokenizer.tokenize` events that emits types
+  *during* parsing: every atom token maps straight to a basic-type
+  singleton, every object/array closes into an interned
+  ``RecordType``/``ArrayType`` through the accumulator's construction
+  pools.  One pass, no value tree, same grammar and duplicate-key
+  rejection as the strict parser.
+* :class:`HookTyper` (lane ``"hooks"``) — the C-accelerated variant: a
+  single prebuilt :class:`json.JSONDecoder` whose ``object_pairs_hook`` /
+  ``parse_int`` / ``parse_float`` / ``parse_constant`` hooks build
+  interned type nodes directly while the stdlib C scanner does the
+  lexing.  Numbers are never converted (both hooks return the ``Num``
+  singleton unconditionally), objects never become dicts, and only
+  strings are materialised (the C scanner decodes them natively).
+
+Both lanes are *optimistic*: they handle well-formed records at full
+speed and bail out on anything else — a syntax error, a non-standard
+``NaN``/``Infinity`` constant, a duplicate object key.  The bailout
+contract is :exc:`FastLaneMiss` (or any
+:class:`~repro.jsonio.errors.JsonError`): the caller re-parses the
+offending record with the strict :func:`repro.jsonio.parser.loads` lane,
+whose rich ``source``/line/column diagnostics and
+:class:`~repro.jsonio.errors.DuplicateKeyError` semantics are therefore
+byte-identical to a strict-only run.  Malformed records pay a double
+parse; well-formed ones never do.
+
+Equivalence is the hard bar: for every input the fast lanes either
+produce the *same interned type object* the strict lane's
+``infer_type(loads(text))`` would (pointer equality within one
+accumulator), or defer to the strict lane entirely.  The differential
+fuzz tests check both properties on arbitrary JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Iterator
+
+from repro.core.errors import InvalidTypeError
+from repro.core.types import BOOL, NULL, NUM, STR, Type
+from repro.jsonio.errors import DuplicateKeyError, JsonSyntaxError
+from repro.jsonio.tokenizer import Token, TokenType, tokenize
+
+__all__ = [
+    "PARSE_LANES",
+    "FastLaneMiss",
+    "HookTyper",
+    "TokenTyper",
+    "c_scanner_available",
+    "make_typer",
+    "resolve_lane",
+    "type_from_tokens",
+]
+
+#: The public values of the ``parse_lane`` knob.  ``auto`` lets the
+#: library choose (currently: the fastest lane available), ``fast``
+#: requests the no-value-tree lane explicitly, ``strict`` forces the
+#: original tokenize -> parse -> type pipeline.
+PARSE_LANES = ("auto", "fast", "strict")
+
+#: Resolved (internal) lane names; "hooks" and "tokens" may also be passed
+#: to :func:`resolve_lane` directly to pin one implementation (used by the
+#: benchmarks and tests).
+RESOLVED_LANES = ("hooks", "tokens", "strict")
+
+
+class FastLaneMiss(ValueError):
+    """A record the fast lane declines to type.
+
+    Raised (or re-raised) by the typers for any input they cannot handle
+    at full speed: malformed JSON, duplicate object keys, non-standard
+    constants.  The caller must re-parse the record with the strict lane,
+    which either produces the value (and the record is typed from it) or
+    fails with the exact diagnostic a strict-only run would have raised.
+
+    Subclasses :class:`ValueError` so the stdlib decoder hooks can raise
+    it through the C scanner uniformly with ``json.JSONDecodeError``.
+    """
+
+
+def c_scanner_available() -> bool:
+    """Whether the stdlib ``json`` C scanner (``_json``) is importable.
+
+    The hook lane is only worth selecting when the C scanner does the
+    lexing; with the pure-Python fallback scanner the token walker is the
+    better fast lane.
+    """
+    try:
+        from json import scanner
+    except ImportError:  # pragma: no cover - stdlib always has it
+        return False
+    return getattr(scanner, "c_make_scanner", None) is not None
+
+
+def resolve_lane(parse_lane: str) -> str:
+    """Map the public ``parse_lane`` knob to a concrete implementation.
+
+    ``strict`` stays strict.  ``fast`` and ``auto`` both resolve to the
+    C-accelerated ``"hooks"`` lane when the stdlib C scanner is available
+    and to the pure-Python ``"tokens"`` walker otherwise — ``auto`` is the
+    pipelines' default and is kept distinct from ``fast`` so future
+    heuristics (e.g. preferring strict for diagnostics-heavy permissive
+    runs) can change its choice without an API break.  The resolved names
+    ``"hooks"`` and ``"tokens"`` pass through, letting benchmarks pin one
+    implementation.
+
+    >>> resolve_lane("strict")
+    'strict'
+    >>> resolve_lane("auto") in ("hooks", "tokens")
+    True
+    """
+    if parse_lane == "strict":
+        return "strict"
+    if parse_lane in ("auto", "fast"):
+        return "hooks" if c_scanner_available() else "tokens"
+    if parse_lane in ("hooks", "tokens"):
+        return parse_lane
+    raise ValueError(
+        f"unknown parse_lane {parse_lane!r}; expected one of "
+        f"{PARSE_LANES} (or a resolved lane in {RESOLVED_LANES})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lane "tokens": type directly from tokenizer events
+
+#: Atom tokens map straight onto the basic-type singletons (Fig. 4's four
+#: base rules, fused into the lexer's classification).
+_ATOM_TYPES = {
+    TokenType.STRING: STR,
+    TokenType.NUMBER: NUM,
+    TokenType.TRUE: BOOL,
+    TokenType.FALSE: BOOL,
+    TokenType.NULL: NULL,
+}
+
+_intern = sys.intern
+
+
+class TokenTyper:
+    """Types one JSON document per call, straight off the token stream.
+
+    Bound to a :class:`~repro.inference.kernel.PartitionAccumulator`: all
+    emitted nodes go through the accumulator's interner and construction
+    pools, so the result is the *canonical* type object — pointer-equal to
+    what ``interner.intern(infer_type(loads(text)))`` would return.
+
+    Grammar and positions mirror :mod:`repro.jsonio.parser` rule for rule
+    (same tokenizer, same expectation points), including duplicate-key
+    rejection at the offending key token.  Callers treat any raised
+    :class:`~repro.jsonio.errors.JsonError` as a fast-lane miss and
+    re-parse strictly for relocated (source, absolute-line) diagnostics.
+    """
+
+    __slots__ = ("_field", "_record", "_array")
+
+    def __init__(self, acc) -> None:
+        self._field = acc.interner.field
+        self._record = acc.record_type
+        self._array = acc.array_type
+
+    def type_document(self, text: str) -> Type:
+        """The interned type of ``text``; raises ``JsonSyntaxError``."""
+        tokens = tokenize(text)
+        t, token = self._value(next(tokens), tokens)
+        if token.type != TokenType.EOF:
+            raise JsonSyntaxError(
+                f"expected 'eof', found {token.type!r}",
+                token.line, token.column,
+            )
+        return t
+
+    def _value(
+        self, token: Token, tokens: Iterator[Token]
+    ) -> tuple[Type, Token]:
+        """Type one value starting at ``token``; returns the next token."""
+        atom = _ATOM_TYPES.get(token.type)
+        if atom is not None:
+            return atom, next(tokens)
+        if token.type == TokenType.LBRACE:
+            return self._object(tokens)
+        if token.type == TokenType.LBRACKET:
+            return self._array_value(tokens)
+        raise JsonSyntaxError(
+            f"unexpected token {token.type!r}", token.line, token.column
+        )
+
+    def _object(self, tokens: Iterator[Token]) -> tuple[Type, Token]:
+        token = next(tokens)
+        if token.type == TokenType.RBRACE:
+            return self._record(()), next(tokens)
+        fields = []
+        seen: set[str] = set()
+        field = self._field
+        while True:
+            if token.type != TokenType.STRING:
+                raise JsonSyntaxError(
+                    f"expected 'string', found {token.type!r}",
+                    token.line, token.column,
+                )
+            key = _intern(token.value)
+            if key in seen:
+                raise DuplicateKeyError(key, token.line, token.column)
+            seen.add(key)
+            token = next(tokens)
+            if token.type != TokenType.COLON:
+                raise JsonSyntaxError(
+                    f"expected ':', found {token.type!r}",
+                    token.line, token.column,
+                )
+            t, token = self._value(next(tokens), tokens)
+            fields.append(field(key, t))
+            if token.type == TokenType.COMMA:
+                token = next(tokens)
+                continue
+            if token.type != TokenType.RBRACE:
+                raise JsonSyntaxError(
+                    f"expected '}}', found {token.type!r}",
+                    token.line, token.column,
+                )
+            return self._record(tuple(fields)), next(tokens)
+
+    def _array_value(self, tokens: Iterator[Token]) -> tuple[Type, Token]:
+        token = next(tokens)
+        if token.type == TokenType.RBRACKET:
+            return self._array(()), next(tokens)
+        elements = []
+        while True:
+            t, token = self._value(token, tokens)
+            elements.append(t)
+            if token.type == TokenType.COMMA:
+                token = next(tokens)
+                continue
+            if token.type != TokenType.RBRACKET:
+                raise JsonSyntaxError(
+                    f"expected ']', found {token.type!r}",
+                    token.line, token.column,
+                )
+            return self._array(tuple(elements)), next(tokens)
+
+
+# ---------------------------------------------------------------------------
+# Lane "hooks": drive the stdlib C scanner, build types in the hooks
+
+
+def _number_hook(_literal: str) -> Type:
+    """Both number hooks: classify without converting the literal."""
+    return NUM
+
+
+def _constant_hook(literal: str) -> Type:
+    """Reject the stdlib's non-standard NaN/Infinity leniency.
+
+    The strict grammar (RFC 8259) has no such constants; bailing out here
+    hands the record to the strict lane, which raises the same
+    ``invalid literal`` diagnostic it always has.
+    """
+    raise FastLaneMiss(f"non-standard JSON constant {literal!r}")
+
+
+class HookTyper:
+    """C-accelerated typed parsing via stdlib ``json`` decoder hooks.
+
+    One :class:`json.JSONDecoder` is built per typer (``json.loads`` with
+    keyword hooks constructs a fresh decoder *per call* — a hidden cost
+    this class avoids) and reused for every record of the partition.
+
+    What flows out of the scanner is a hybrid: numbers are already the
+    ``Num`` singleton (the parse hooks never build ``int``/``float``),
+    objects are already interned ``RecordType`` nodes, while strings,
+    booleans, ``null`` and arrays arrive as native Python values and are
+    classified by :meth:`_type_of`.  Duplicate object keys surface as
+    :class:`~repro.core.errors.InvalidTypeError` from ``RecordType``'s own
+    well-formedness check and become a :class:`FastLaneMiss`; the strict
+    re-parse then reports the exact offending position.
+    """
+
+    __slots__ = ("_field", "_record", "_array", "_decode")
+
+    def __init__(self, acc) -> None:
+        self._field = acc.interner.field
+        self._record = acc.record_type
+        self._array = acc.array_type
+        self._decode = json.JSONDecoder(
+            object_pairs_hook=self._record_hook,
+            parse_float=_number_hook,
+            parse_int=_number_hook,
+            parse_constant=_constant_hook,
+        ).decode
+
+    def type_document(self, text: str) -> Type:
+        """The interned type of ``text``; raises :class:`FastLaneMiss`."""
+        try:
+            value = self._decode(text)
+        except (ValueError, InvalidTypeError) as exc:
+            # json.JSONDecodeError, our own hooks' FastLaneMiss, and the
+            # duplicate-key InvalidTypeError all funnel into one miss.
+            raise FastLaneMiss(str(exc)) from exc
+        return self._type_of(value)
+
+    def _record_hook(self, pairs: list[tuple[str, object]]) -> Type:
+        field = self._field
+        type_of = self._type_of
+        return self._record(
+            tuple(field(_intern(k), type_of(v)) for k, v in pairs)
+        )
+
+    def _type_of(self, value: object) -> Type:
+        """Classify one scanner output (native value or ready-made type)."""
+        cls = value.__class__
+        if cls is str:
+            return STR
+        if cls is list:
+            return self._array(tuple(map(self._type_of, value)))
+        if cls is bool:
+            return BOOL
+        if value is None:
+            return NULL
+        return value  # already a Type from a nested hook
+
+
+_TYPERS = {"tokens": TokenTyper, "hooks": HookTyper}
+
+
+def make_typer(lane: str, acc) -> TokenTyper | HookTyper:
+    """Instantiate the typer for a resolved fast lane, bound to ``acc``."""
+    try:
+        return _TYPERS[lane](acc)
+    except KeyError:
+        raise ValueError(
+            f"no fast-lane typer for lane {lane!r}; expected one of "
+            f"{tuple(_TYPERS)}"
+        ) from None
+
+
+def type_from_tokens(text: str, acc=None) -> Type:
+    """Type one JSON document straight from its token stream.
+
+    Convenience wrapper over :class:`TokenTyper` for one-off use and the
+    differential tests; for whole partitions build one typer and reuse it.
+    With an accumulator, the result is canonical in *its* interner —
+    pointer-equal to ``acc.interner.intern(infer_type(loads(text)))``.
+
+    >>> from repro.core.printer import print_type
+    >>> print_type(type_from_tokens('{"a": [1, "x"]}'))
+    '{a: [Num, Str]}'
+    """
+    if acc is None:
+        from repro.inference.kernel import PartitionAccumulator
+
+        acc = PartitionAccumulator()
+    return TokenTyper(acc).type_document(text)

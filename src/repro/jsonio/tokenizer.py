@@ -7,6 +7,7 @@ single quotes, no ``NaN``/``Infinity`` — exactly the JSON grammar.
 
 from __future__ import annotations
 
+import sys
 from typing import Iterator, NamedTuple
 
 from repro.jsonio.errors import JsonSyntaxError
@@ -217,7 +218,14 @@ def tokenize(text: str) -> Iterator[Token]:
             cur.advance()
             yield Token(_PUNCT[c], c, line, col)
         elif c == '"':
-            yield Token(TokenType.STRING, _lex_string(cur), line, col)
+            value = _lex_string(cur)
+            # Object keys (a string immediately followed by ``:``) recur
+            # across every record of an NDJSON feed; interning them makes
+            # repeated field names share storage and turns the interner's
+            # key-tuple hashing into pointer comparisons.
+            if cur.pos < len(text) and text[cur.pos] == ":":
+                value = sys.intern(value)
+            yield Token(TokenType.STRING, value, line, col)
         elif c == "-" or c in _DIGITS:
             yield Token(TokenType.NUMBER, _lex_number(cur), line, col)
         elif c.isalpha():

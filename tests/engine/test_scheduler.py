@@ -204,3 +204,38 @@ class TestExplicitReentrancyGuard:
         with Scheduler(parallelism=2) as sched:
             sched.run(lambda x: x, [1, 2, 3])
             assert sched._depth() == 0
+
+
+class TestThroughputStats:
+    def test_jobs_and_tasks_counted(self):
+        with Scheduler(parallelism=2) as sched:
+            sched.run(lambda x: x, [1, 2, 3])
+            sched.run(lambda x: x * 2, [1, 2])
+            assert sched.stats.jobs == 2
+            assert sched.stats.tasks_completed == 5
+            assert sched.stats.job_time_s > 0.0
+
+    def test_nested_jobs_counted_too(self):
+        with Scheduler(parallelism=2) as sched:
+            def outer(i):
+                return sum(sched.run(lambda x: x + i, [1, 2]))
+
+            sched.run(outer, [0, 1, 2])
+            # One outer job plus one nested job per outer task.
+            assert sched.stats.jobs == 4
+            assert sched.stats.tasks_completed == 3 + 3 * 2
+
+    def test_failed_job_still_counts_as_a_job(self):
+        with Scheduler(parallelism=2) as sched:
+            with pytest.raises(ZeroDivisionError):
+                sched.run(_reciprocal, [1, 0])
+            assert sched.stats.jobs == 1
+            assert sched.stats.tasks_completed == 0
+
+    def test_reset_zeroes_throughput_counters(self):
+        with Scheduler(parallelism=2) as sched:
+            sched.run(lambda x: x, [1, 2])
+            sched.stats.reset()
+            assert sched.stats.jobs == 0
+            assert sched.stats.tasks_completed == 0
+            assert sched.stats.job_time_s == 0.0

@@ -1,0 +1,311 @@
+"""Two-lane map phase: fast lanes must be indistinguishable from strict.
+
+The contract under test (ISSUE 3): for any input, every resolved lane —
+``strict``, ``tokens`` (pure-Python token walker), ``hooks`` (C scanner
+with type-building hooks) — produces the same schema, the same record and
+distinct-type counts, the same quarantine entries with absolute file line
+numbers, and the same error diagnostics (message, source, line, column).
+The fast lanes may only ever *defer* to strict, never diverge from it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.printer import print_type
+from repro.engine import Context
+from repro.inference.kernel import (
+    PhaseTimings,
+    accumulate_ndjson_partition,
+    merge_phase_timings,
+)
+from repro.inference.pipeline import infer_ndjson_file
+from repro.inference.typestream import (
+    FastLaneMiss,
+    HookTyper,
+    TokenTyper,
+    c_scanner_available,
+    make_typer,
+    resolve_lane,
+    type_from_tokens,
+)
+from repro.jsonio.errors import DuplicateKeyError, JsonError, JsonSyntaxError
+
+ALL_LANES = ["strict", "tokens", "hooks", "fast", "auto"]
+RESOLVED = ["strict", "tokens", "hooks"]
+
+
+def _numbered(lines):
+    return list(enumerate(lines, start=1))
+
+
+GOOD_LINES = [
+    '{"a": 1, "b": "x"}',
+    '{"a": 2.5, "b": "y", "c": [1, 2, 3]}',
+    '{"a": null, "d": {"nested": [true, false, {"deep": []}]}}',
+    '[]',
+    '[{"k": "v"}, 17, "s"]',
+    '"bare string"',
+    'true',
+    'null',
+    '-12e3',
+    '{}',
+    '{"a": 1, "b": "x"}',
+]
+
+
+class TestLaneEquivalence:
+    def test_all_lanes_same_summary(self):
+        results = {}
+        for lane in ALL_LANES:
+            s = accumulate_ndjson_partition(_numbered(GOOD_LINES),
+                                            parse_lane=lane)
+            results[lane] = (print_type(s.schema), s.record_count,
+                            s.distinct_type_count, s.skipped)
+        assert len(set(results.values())) == 1
+
+    @pytest.mark.parametrize("lane", ALL_LANES)
+    def test_pipeline_lanes_agree_with_strict(self, lane, tmp_path):
+        path = tmp_path / "data.ndjson"
+        path.write_text("\n".join(GOOD_LINES) + "\n", encoding="utf-8")
+        strict = infer_ndjson_file(path, parse_lane="strict")
+        run = infer_ndjson_file(path, parse_lane=lane)
+        assert run.schema == strict.schema
+        assert run.record_count == strict.record_count
+        assert run.distinct_type_count == strict.distinct_type_count
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_fast_lane_matches_sequential_strict(
+        self, backend, tmp_path
+    ):
+        path = tmp_path / "data.ndjson"
+        path.write_text("\n".join(GOOD_LINES * 5) + "\n", encoding="utf-8")
+        strict = infer_ndjson_file(path, parse_lane="strict")
+        with Context(parallelism=2, backend=backend) as ctx:
+            run = infer_ndjson_file(path, context=ctx, num_partitions=4,
+                                    parse_lane="fast")
+        assert run.schema == strict.schema
+        assert run.record_count == strict.record_count
+        assert run.distinct_type_count == strict.distinct_type_count
+
+    @pytest.mark.parametrize("lane", RESOLVED[1:])
+    def test_interned_pointer_equality_within_partition(self, lane):
+        if lane == "hooks" and not c_scanner_available():
+            pytest.skip("stdlib C scanner unavailable")
+        from repro.inference.kernel import PartitionAccumulator
+        from repro.inference.infer import infer_type
+        from repro.jsonio.parser import loads
+
+        acc = PartitionAccumulator()
+        typer = make_typer(lane, acc)
+        for line in GOOD_LINES:
+            fast = typer.type_document(line)
+            strict = acc.interner.intern(infer_type(loads(line)))
+            assert fast is strict
+
+
+class TestPermissiveQuarantine:
+    # A mid-file poison record plus blank lines: absolute physical line
+    # numbers (blank lines counted) must survive both lanes identically.
+    TEXT = (
+        '{"a": 1}\n'
+        "\n"
+        '{"a": 2, "b": "x"}\n'
+        '{"broken": \n'
+        "\n"
+        '{"a": 3, "a": 4}\n'
+        "nope\n"
+        '{"a": 5}\n'
+    )
+
+    def test_bad_records_identical_across_lanes(self, tmp_path):
+        path = tmp_path / "poison.ndjson"
+        path.write_text(self.TEXT, encoding="utf-8")
+        runs = {
+            lane: infer_ndjson_file(path, parse_lane=lane, permissive=True)
+            for lane in ALL_LANES
+        }
+        strict = runs["strict"]
+        assert strict.skipped_count == 3
+        assert [b.line_number for b in strict.bad_records] == [4, 6, 7]
+        for lane, run in runs.items():
+            assert run.bad_records == strict.bad_records, lane
+            assert run.schema == strict.schema, lane
+            assert run.record_count == strict.record_count == 3
+
+    def test_duplicate_key_quarantine_position(self, tmp_path):
+        path = tmp_path / "poison.ndjson"
+        path.write_text(self.TEXT, encoding="utf-8")
+        for lane in ALL_LANES:
+            run = infer_ndjson_file(path, parse_lane=lane, permissive=True)
+            dup = run.bad_records[1]
+            assert dup.line_number == 6
+            assert "duplicate object key 'a'" in dup.error
+            assert "line 6" in dup.error
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_quarantine_identical(self, backend, tmp_path):
+        path = tmp_path / "poison.ndjson"
+        path.write_text(self.TEXT, encoding="utf-8")
+        strict = infer_ndjson_file(path, parse_lane="strict",
+                                   permissive=True)
+        with Context(parallelism=2, backend=backend) as ctx:
+            run = infer_ndjson_file(path, context=ctx, num_partitions=3,
+                                    parse_lane="fast", permissive=True)
+        assert run.bad_records == strict.bad_records
+        assert run.schema == strict.schema
+
+
+class TestStrictErrorIdentity:
+    CASES = [
+        '{"broken": ',
+        '{"a": 1, "a": 2}',
+        "nope",
+        "[1, 2,]",
+        '{"a": 1} trailing',
+        "",
+    ]
+
+    @pytest.mark.parametrize("bad", CASES)
+    @pytest.mark.parametrize("lane", ALL_LANES)
+    def test_same_diagnostic_as_strict(self, lane, bad):
+        try:
+            accumulate_ndjson_partition([(7, bad)], source="feed.ndjson",
+                                        parse_lane="strict")
+        except JsonError as exc:
+            expected = (type(exc), str(exc), exc.line, exc.column,
+                        exc.source)
+        else:
+            pytest.fail("strict lane accepted a bad record")
+        with pytest.raises(JsonError) as info:
+            accumulate_ndjson_partition([(7, bad)], source="feed.ndjson",
+                                        parse_lane=lane)
+        got = (type(info.value), str(info.value), info.value.line,
+               info.value.column, info.value.source)
+        assert got == expected
+
+    def test_duplicate_key_error_type_and_position(self):
+        for lane in ALL_LANES:
+            with pytest.raises(DuplicateKeyError) as info:
+                accumulate_ndjson_partition(
+                    [(3, '{"k": 1, "k": 2}')], source="f.ndjson",
+                    parse_lane=lane,
+                )
+            assert info.value.line == 3
+            assert info.value.column == 10
+            assert info.value.source == "f.ndjson"
+
+
+class TestTypers:
+    def test_token_typer_rejects_duplicate_keys_at_key_token(self):
+        with pytest.raises(DuplicateKeyError) as info:
+            type_from_tokens('{"k": 1, "k": 2}')
+        assert (info.value.line, info.value.column) == (1, 10)
+
+    def test_token_typer_rejects_trailing_garbage(self):
+        with pytest.raises(JsonSyntaxError):
+            type_from_tokens('{"a": 1} {"b": 2}')
+
+    def test_hook_typer_misses_on_nonstandard_constants(self):
+        if not c_scanner_available():
+            pytest.skip("stdlib C scanner unavailable")
+        from repro.inference.kernel import PartitionAccumulator
+
+        typer = HookTyper(PartitionAccumulator())
+        for text in ["NaN", "Infinity", "-Infinity", '{"a": NaN}']:
+            with pytest.raises(FastLaneMiss):
+                typer.type_document(text)
+
+    def test_hook_typer_misses_on_duplicate_keys(self):
+        if not c_scanner_available():
+            pytest.skip("stdlib C scanner unavailable")
+        from repro.inference.kernel import PartitionAccumulator
+
+        typer = HookTyper(PartitionAccumulator())
+        with pytest.raises(FastLaneMiss):
+            typer.type_document('{"k": 1, "k": 2}')
+
+    def test_type_from_tokens_doc_example(self):
+        assert print_type(type_from_tokens('{"a": [1, "x"]}')) == \
+            "{a: [Num, Str]}"
+
+
+class TestLaneResolution:
+    def test_strict_stays_strict(self):
+        assert resolve_lane("strict") == "strict"
+
+    def test_fast_and_auto_pick_an_implementation(self):
+        expected = "hooks" if c_scanner_available() else "tokens"
+        assert resolve_lane("fast") == expected
+        assert resolve_lane("auto") == expected
+
+    def test_resolved_names_pass_through(self):
+        assert resolve_lane("hooks") == "hooks"
+        assert resolve_lane("tokens") == "tokens"
+
+    def test_unknown_lane_rejected(self):
+        with pytest.raises(ValueError, match="unknown parse_lane"):
+            resolve_lane("warp")
+        with pytest.raises(ValueError, match="unknown parse_lane"):
+            accumulate_ndjson_partition([(1, "{}")], parse_lane="warp")
+
+    def test_make_typer_rejects_strict(self):
+        from repro.inference.kernel import PartitionAccumulator
+
+        with pytest.raises(ValueError, match="no fast-lane typer"):
+            make_typer("strict", PartitionAccumulator())
+
+
+class TestPhaseTimings:
+    def test_partition_summary_carries_timings(self):
+        for lane in RESOLVED:
+            s = accumulate_ndjson_partition(_numbered(GOOD_LINES),
+                                            parse_lane=lane)
+            assert s.timings is not None
+            assert s.timings.lane == lane
+            assert s.timings.records == s.record_count
+            assert s.timings.parse_s >= 0.0
+            assert s.timings.map_s > 0.0
+            assert s.timings.records_per_s > 0.0
+            if lane != "strict":
+                # Fast lanes type during parsing; no separate type stage.
+                assert s.timings.type_s == 0.0
+
+    def test_run_carries_merged_timings(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        path.write_text("\n".join(GOOD_LINES) + "\n", encoding="utf-8")
+        run = infer_ndjson_file(path, parse_lane="strict")
+        assert run.phase_timings is not None
+        assert run.phase_timings.lane == "strict"
+        assert run.phase_timings.records == run.record_count
+        with Context(parallelism=2) as ctx:
+            par = infer_ndjson_file(path, context=ctx, num_partitions=4,
+                                    parse_lane="fast")
+        assert par.phase_timings is not None
+        assert par.phase_timings.lane in ("hooks", "tokens")
+        assert par.phase_timings.records == par.record_count
+
+    def test_merge_sums_and_tracks_lane(self):
+        a = PhaseTimings("hooks", 1.0, 0.0, 0.5, 10)
+        b = PhaseTimings("hooks", 2.0, 0.0, 0.5, 20)
+        merged = merge_phase_timings([a, b, None])
+        assert merged == PhaseTimings("hooks", 3.0, 0.0, 1.0, 30)
+        mixed = merge_phase_timings([a, PhaseTimings("strict", 1, 1, 1, 5)])
+        assert mixed.lane == "mixed"
+        assert merge_phase_timings([]) is None
+        assert merge_phase_timings([None]) is None
+
+    def test_describe_formats(self):
+        strict = PhaseTimings("strict", 1.0, 0.5, 0.5, 10000)
+        assert strict.describe() == (
+            "[strict lane] parse 1.000s · type 0.500s · fuse 0.500s"
+            " · 5,000 records/s"
+        )
+        fast = PhaseTimings("hooks", 1.5, 0.0, 0.5, 10000)
+        assert fast.describe() == (
+            "[hooks lane] parse+type 1.500s · fuse 0.500s"
+            " · 5,000 records/s"
+        )
+
+    def test_untimed_throughput_is_zero(self):
+        assert PhaseTimings().records_per_s == 0.0

@@ -120,3 +120,71 @@ class TestAgreementOnAcceptance:
             stdlib_json.loads(text)  # stdlib accepts these extensions
             with pytest.raises(JsonError):
                 loads(text)
+
+
+class TestFastLanesMatchStrictTyping:
+    """The map-phase fast lanes against the strict parse-then-type path.
+
+    For every JSON value the fast typers must produce the *same interned
+    type object* (pointer equality within one accumulator) that
+    ``interner.intern(infer_type(loads(text)))`` yields, and must agree
+    with the strict parser about acceptance at the same positions.
+    """
+
+    @given(json_values())
+    def test_token_typer_pointer_equal(self, value):
+        from repro.inference.infer import infer_type
+        from repro.inference.kernel import PartitionAccumulator
+        from repro.inference.typestream import type_from_tokens
+
+        acc = PartitionAccumulator()
+        text = dumps(value)
+        fast = type_from_tokens(text, acc)
+        strict = acc.interner.intern(infer_type(loads(text)))
+        assert fast is strict
+
+    @given(json_values())
+    def test_hook_typer_pointer_equal(self, value):
+        from repro.inference.infer import infer_type
+        from repro.inference.kernel import PartitionAccumulator
+        from repro.inference.typestream import (
+            HookTyper,
+            c_scanner_available,
+        )
+
+        if not c_scanner_available():  # pragma: no cover
+            pytest.skip("stdlib C scanner unavailable")
+        acc = PartitionAccumulator()
+        typer = HookTyper(acc)
+        text = dumps(value)
+        fast = typer.type_document(text)
+        strict = acc.interner.intern(infer_type(loads(text)))
+        assert fast is strict
+
+    @given(st.text(max_size=25))
+    @example('{"a":1,"a":2}')
+    @example("[1,2,]")
+    @example("NaN")
+    @example('{"a": 1} {"b": 2}')
+    @example("")
+    def test_token_typer_acceptance_matches_strict(self, text):
+        """Same verdict *and the same position* as the strict parser."""
+        from repro.inference.typestream import type_from_tokens
+
+        try:
+            loads(text)
+            strict = ("ok", None)
+        except JsonError as exc:
+            strict = (type(exc).__name__, (exc.line, exc.column))
+        except RecursionError:
+            return  # pathological nesting; both recursive descents bail
+
+        try:
+            type_from_tokens(text)
+            fast = ("ok", None)
+        except JsonError as exc:
+            fast = (type(exc).__name__, (exc.line, exc.column))
+        except RecursionError:
+            return
+
+        assert fast == strict

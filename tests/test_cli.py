@@ -47,6 +47,32 @@ class TestInfer:
         assert main(["infer", sample_file, "--parallel", "3"]) == 0
         assert capsys.readouterr().out == sequential
 
+    def test_parse_lanes_agree(self, sample_file, capsys):
+        outputs = set()
+        for lane in ("auto", "fast", "strict"):
+            assert main(["infer", sample_file, "--parse-lane", lane]) == 0
+            outputs.add(capsys.readouterr().out)
+        assert len(outputs) == 1
+
+    def test_unknown_parse_lane_rejected(self, sample_file):
+        with pytest.raises(SystemExit):
+            main(["infer", sample_file, "--parse-lane", "warp"])
+
+    def test_timings_report_on_stderr(self, sample_file, capsys):
+        assert main(["infer", sample_file, "--timings"]) == 0
+        err = capsys.readouterr().err
+        assert "lane]" in err
+        assert "fuse" in err
+        assert "records/s" in err
+        assert "reduce" in err
+
+    def test_timings_report_strict_lane(self, sample_file, capsys):
+        assert main(["infer", sample_file, "--timings",
+                     "--parse-lane", "strict"]) == 0
+        err = capsys.readouterr().err
+        assert "[strict lane]" in err
+        assert "· type" in err
+
 
 @pytest.fixture()
 def dirty_file(tmp_path):
