@@ -124,7 +124,8 @@ def run_mapfast_variant(variant: str, data: str, partitions: int) -> dict:
     with Context(parallelism=partitions, backend=backend) as ctx:
         start = time.perf_counter()
         run = infer_ndjson_file(
-            data, context=ctx, num_partitions=partitions, parse_lane=lane
+            data, context=ctx, num_partitions=partitions, parse_lane=lane,
+            collect_timings=True,
         )
         seconds = time.perf_counter() - start
 

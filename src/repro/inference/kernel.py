@@ -195,8 +195,11 @@ class FusionMemo:
             for f1 in t1.fields:
                 f2 = f2_of(f1.name)
                 if f2 is None:
+                    # The optional-flipped field must come from the
+                    # interner too: intern_node requires every child to
+                    # be canonical for subtree sharing to hold.
                     fields.append(f1 if f1.optional
-                                  else f1.with_optional(True))
+                                  else field(f1.name, f1.type, True))
                     continue
                 matched += 1
                 ft = fuse(f1.type, f2.type)
@@ -211,7 +214,7 @@ class FusionMemo:
                 for f2 in t2.fields:
                     if f2.name not in t1:
                         fields.append(f2 if f2.optional
-                                      else f2.with_optional(True))
+                                      else field(f2.name, f2.type, True))
             shape = tuple(fields)
             found = self._record_pool.get(shape)
             if found is None:
@@ -386,7 +389,8 @@ class PartitionSummary:
     #: Records quarantined during a permissive NDJSON partition pass
     #: (empty for already-parsed inputs).
     skipped: tuple[BadRecord, ...] = field(default=())
-    #: Per-phase map timings (NDJSON partitions only; ``None`` for
+    #: Per-phase map timings (NDJSON partitions with
+    #: ``collect_timings=True`` only; ``None`` when timing was off or for
     #: already-parsed inputs, whose parse phase happened elsewhere).
     timings: PhaseTimings | None = field(default=None)
 
@@ -598,6 +602,7 @@ def accumulate_ndjson_partition(
     source: str | None = None,
     permissive: bool = False,
     parse_lane: str = "auto",
+    collect_timings: bool = False,
 ) -> PartitionSummary:
     """Parse and stream one partition of raw NDJSON lines in a single pass.
 
@@ -619,48 +624,27 @@ def accumulate_ndjson_partition(
     ``skipped`` tuple and the pass continues.  Like
     :func:`accumulate_partition`, this is a module-level function over
     picklable data by design: it rides the scheduler's process backend.
-    The summary carries per-stage :class:`PhaseTimings` for the partition.
+
+    With ``collect_timings=True`` the summary carries per-stage
+    :class:`PhaseTimings` for the partition, at the cost of two to three
+    clock reads per record; the default leaves the hot loop untimed and
+    the summary's ``timings`` as ``None``.
     """
     lane = resolve_lane(parse_lane)
     acc = PartitionAccumulator()
     skipped: list[BadRecord] = []
     parse_s = type_s = fuse_s = 0.0
-    perf = time.perf_counter
+
+    def quarantine(line_number: int, line: str, exc: JsonError) -> None:
+        skipped.append(
+            BadRecord(source or "<memory>", line_number, str(exc), line)
+        )
 
     if lane == "strict":
-        for line_number, line in numbered_lines:
-            t0 = perf()
-            try:
-                value = loads(line, source=source, first_line=line_number)
-            except JsonError as exc:
-                parse_s += perf() - t0
-                if not permissive:
-                    raise
-                skipped.append(
-                    BadRecord(source or "<memory>", line_number,
-                              str(exc), line)
-                )
-                continue
-            t1 = perf()
-            t = acc.type_value(value)
-            t2 = perf()
-            acc.observe(t)
-            t3 = perf()
-            parse_s += t1 - t0
-            type_s += t2 - t1
-            fuse_s += t3 - t2
-    else:
-        typer = make_typer(lane, acc)
-        type_document = typer.type_document
-        observe = acc.observe
-        for line_number, line in numbered_lines:
-            t0 = perf()
-            try:
-                t = type_document(line)
-            except (FastLaneMiss, JsonError):
-                # Diagnostics lane: re-parse strictly so the error (or
-                # quarantine entry) is byte-identical to a strict run.
-                # Costs a double parse on malformed records only.
+        if collect_timings:
+            perf = time.perf_counter
+            for line_number, line in numbered_lines:
+                t0 = perf()
                 try:
                     value = loads(line, source=source,
                                   first_line=line_number)
@@ -668,32 +652,91 @@ def accumulate_ndjson_partition(
                     parse_s += perf() - t0
                     if not permissive:
                         raise
-                    skipped.append(
-                        BadRecord(source or "<memory>", line_number,
-                                  str(exc), line)
-                    )
+                    quarantine(line_number, line, exc)
                     continue
-                # The lanes disagreed on acceptance: defer to strict.
+                t1 = perf()
                 t = acc.type_value(value)
-            t1 = perf()
-            observe(t)
-            t2 = perf()
-            parse_s += t1 - t0
-            fuse_s += t2 - t1
+                t2 = perf()
+                acc.observe(t)
+                t3 = perf()
+                parse_s += t1 - t0
+                type_s += t2 - t1
+                fuse_s += t3 - t2
+        else:
+            add = acc.add
+            for line_number, line in numbered_lines:
+                try:
+                    value = loads(line, source=source,
+                                  first_line=line_number)
+                except JsonError as exc:
+                    if not permissive:
+                        raise
+                    quarantine(line_number, line, exc)
+                    continue
+                add(value)
+    else:
+        typer = make_typer(lane, acc)
+        type_document = typer.type_document
+        observe = acc.observe
+        if collect_timings:
+            perf = time.perf_counter
+            for line_number, line in numbered_lines:
+                t0 = perf()
+                try:
+                    t = type_document(line)
+                except (FastLaneMiss, JsonError):
+                    # Diagnostics lane: re-parse strictly so the error (or
+                    # quarantine entry) is byte-identical to a strict run.
+                    # Costs a double parse on malformed records only.
+                    try:
+                        value = loads(line, source=source,
+                                      first_line=line_number)
+                    except JsonError as exc:
+                        parse_s += perf() - t0
+                        if not permissive:
+                            raise
+                        quarantine(line_number, line, exc)
+                        continue
+                    # The lanes disagreed on acceptance: defer to strict.
+                    t = acc.type_value(value)
+                t1 = perf()
+                observe(t)
+                t2 = perf()
+                parse_s += t1 - t0
+                fuse_s += t2 - t1
+        else:
+            for line_number, line in numbered_lines:
+                try:
+                    t = type_document(line)
+                except (FastLaneMiss, JsonError):
+                    # Same strict-arbitration fallback as above, untimed.
+                    try:
+                        value = loads(line, source=source,
+                                      first_line=line_number)
+                    except JsonError as exc:
+                        if not permissive:
+                            raise
+                        quarantine(line_number, line, exc)
+                        continue
+                    t = acc.type_value(value)
+                observe(t)
 
     summary = acc.summary()
-    return PartitionSummary(
-        schema=summary.schema,
-        record_count=summary.record_count,
-        distinct_types=summary.distinct_types,
-        skipped=tuple(skipped),
-        timings=PhaseTimings(
+    timings = None
+    if collect_timings:
+        timings = PhaseTimings(
             lane=lane,
             parse_s=parse_s,
             type_s=type_s,
             fuse_s=fuse_s,
             records=summary.record_count,
-        ),
+        )
+    return PartitionSummary(
+        schema=summary.schema,
+        record_count=summary.record_count,
+        distinct_types=summary.distinct_types,
+        skipped=tuple(skipped),
+        timings=timings,
     )
 
 

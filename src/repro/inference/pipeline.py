@@ -270,6 +270,7 @@ def infer_ndjson_file(
     bad_records_path: str | Path | None = None,
     max_error_rate: float | None = None,
     parse_lane: str = "auto",
+    collect_timings: bool = False,
 ) -> InferenceRun:
     """Instrumented schema inference straight from an NDJSON file.
 
@@ -283,8 +284,11 @@ def infer_ndjson_file(
     value tree — C-accelerated via stdlib ``json`` hooks when available —
     and fall back to the strict parser per record on any error, so
     results, error diagnostics and quarantine behaviour are identical to
-    ``"strict"`` on every input; only the wall-clock differs.  The run's
-    ``phase_timings`` attribute the map time to parse/type/fuse stages.
+    ``"strict"`` on every input; only the wall-clock differs.  With
+    ``collect_timings=True`` (the CLI's ``--timings``) the run's
+    ``phase_timings`` attribute the map time to parse/type/fuse stages;
+    the default skips the per-record clock reads and leaves
+    ``phase_timings`` as ``None``.
 
     Dirty-data handling:
 
@@ -308,7 +312,7 @@ def infer_ndjson_file(
     lane = resolve_lane(parse_lane)
     task = partial(
         accumulate_ndjson_partition, source=source, permissive=permissive,
-        parse_lane=lane,
+        parse_lane=lane, collect_timings=collect_timings,
     )
 
     start = time.perf_counter()

@@ -22,7 +22,9 @@ module removes it, in two flavours selected by :func:`resolve_lane`:
 
 Both lanes are *optimistic*: they handle well-formed records at full
 speed and bail out on anything else — a syntax error, a non-standard
-``NaN``/``Infinity`` constant, a duplicate object key.  The bailout
+``NaN``/``Infinity`` constant, a duplicate object key, a ``\\u``
+surrogate escape (which the stdlib scanner tolerates unpaired but the
+strict grammar rejects).  The bailout
 contract is :exc:`FastLaneMiss` (or any
 :class:`~repro.jsonio.errors.JsonError`): the caller re-parses the
 offending record with the strict :func:`repro.jsonio.parser.loads` lane,
@@ -41,12 +43,13 @@ fuzz tests check both properties on arbitrary JSON.
 from __future__ import annotations
 
 import json
-import sys
+import re
 from typing import Iterator
 
 from repro.core.errors import InvalidTypeError
 from repro.core.types import BOOL, NULL, NUM, STR, Type
 from repro.jsonio.errors import DuplicateKeyError, JsonSyntaxError
+from repro.jsonio.keycache import KeyCache
 from repro.jsonio.tokenizer import Token, TokenType, tokenize
 
 __all__ = [
@@ -142,8 +145,6 @@ _ATOM_TYPES = {
     TokenType.NULL: NULL,
 }
 
-_intern = sys.intern
-
 
 class TokenTyper:
     """Types one JSON document per call, straight off the token stream.
@@ -160,12 +161,16 @@ class TokenTyper:
     re-parse strictly for relocated (source, absolute-line) diagnostics.
     """
 
-    __slots__ = ("_field", "_record", "_array")
+    __slots__ = ("_field", "_record", "_array", "_key")
 
     def __init__(self, acc) -> None:
         self._field = acc.interner.field
         self._record = acc.record_type
         self._array = acc.array_type
+        # Per-typer (i.e. per-partition) bounded key dedup: repeated
+        # field names share one string for the partition's lifetime
+        # without sys.intern's process-global, immortal pinning.
+        self._key = KeyCache().share
 
     def type_document(self, text: str) -> Type:
         """The interned type of ``text``; raises ``JsonSyntaxError``."""
@@ -200,13 +205,14 @@ class TokenTyper:
         fields = []
         seen: set[str] = set()
         field = self._field
+        share_key = self._key
         while True:
             if token.type != TokenType.STRING:
                 raise JsonSyntaxError(
                     f"expected 'string', found {token.type!r}",
                     token.line, token.column,
                 )
-            key = _intern(token.value)
+            key = share_key(token.value)
             if key in seen:
                 raise DuplicateKeyError(key, token.line, token.column)
             seen.add(key)
@@ -266,6 +272,22 @@ def _constant_hook(literal: str) -> Type:
     raise FastLaneMiss(f"non-standard JSON constant {literal!r}")
 
 
+#: A ``\u`` escape naming a code point in U+D800-U+DFFF (the second hex
+#: digit of every surrogate is D and the third is 8-F).  The stdlib C
+#: scanner decodes these permissively — a lone ``\ud800`` passes through
+#: as an unpaired surrogate — while the strict tokenizer pairs them per
+#: RFC 8259 section 7 and rejects lone ones, so any record containing
+#: such an escape must take the strict lane to keep acceptance,
+#: diagnostics and quarantine byte-identical.  Deliberately conservative:
+#: a validly *paired* escape (``\\ud83d\\ude00``) also misses, and the
+#: strict re-parse then accepts it with the identical type — only the
+#: rare escape-bearing record pays, and the check stays one C-speed scan
+#: of the raw text.  (An escaped backslash like ``\\ud800`` false-matches
+#: too; same harmless deferral.)  Raw unescaped surrogate *characters*
+#: need no handling: both lanes pass them through unchanged.
+_SURROGATE_ESCAPE = re.compile(r"\\u[dD][89a-fA-F]")
+
+
 class HookTyper:
     """C-accelerated typed parsing via stdlib ``json`` decoder hooks.
 
@@ -280,15 +302,22 @@ class HookTyper:
     classified by :meth:`_type_of`.  Duplicate object keys surface as
     :class:`~repro.core.errors.InvalidTypeError` from ``RecordType``'s own
     well-formedness check and become a :class:`FastLaneMiss`; the strict
-    re-parse then reports the exact offending position.
+    re-parse then reports the exact offending position.  Records carrying
+    ``\\u`` surrogate escapes are deferred wholesale before decoding (see
+    ``_SURROGATE_ESCAPE``): the C scanner tolerates lone surrogates the
+    strict grammar rejects, so strict must arbitrate those.
     """
 
-    __slots__ = ("_field", "_record", "_array", "_decode")
+    __slots__ = ("_field", "_record", "_array", "_decode", "_key")
 
     def __init__(self, acc) -> None:
         self._field = acc.interner.field
         self._record = acc.record_type
         self._array = acc.array_type
+        # Per-typer (i.e. per-partition) bounded key dedup: repeated
+        # field names share one string for the partition's lifetime
+        # without sys.intern's process-global, immortal pinning.
+        self._key = KeyCache().share
         self._decode = json.JSONDecoder(
             object_pairs_hook=self._record_hook,
             parse_float=_number_hook,
@@ -298,6 +327,11 @@ class HookTyper:
 
     def type_document(self, text: str) -> Type:
         """The interned type of ``text``; raises :class:`FastLaneMiss`."""
+        if "\\u" in text and _SURROGATE_ESCAPE.search(text) is not None:
+            # The C scanner would accept lone surrogate escapes the
+            # strict grammar rejects; defer before decoding so the
+            # strict lane is the arbiter of acceptance.
+            raise FastLaneMiss("surrogate \\u escape; deferring to strict")
         try:
             value = self._decode(text)
         except (ValueError, InvalidTypeError) as exc:
@@ -309,8 +343,9 @@ class HookTyper:
     def _record_hook(self, pairs: list[tuple[str, object]]) -> Type:
         field = self._field
         type_of = self._type_of
+        share_key = self._key
         return self._record(
-            tuple(field(_intern(k), type_of(v)) for k, v in pairs)
+            tuple(field(share_key(k), type_of(v)) for k, v in pairs)
         )
 
     def _type_of(self, value: object) -> Type:

@@ -11,10 +11,10 @@ Differences from :func:`json.loads` that matter for schema inference:
 
 from __future__ import annotations
 
-import sys
 from typing import Any, Iterator
 
 from repro.jsonio.errors import DuplicateKeyError, JsonSyntaxError
+from repro.jsonio.keycache import shared_key
 from repro.jsonio.tokenizer import Token, TokenType, tokenize
 
 __all__ = ["loads"]
@@ -71,10 +71,10 @@ def _parse_object(stream: _TokenStream) -> dict[str, Any]:
         return obj
     while True:
         key_token = stream.expect(TokenType.STRING)
-        # Interned here as well as in the tokenizer: the tokenizer's
+        # Shared here as well as in the tokenizer: the tokenizer's
         # colon lookahead misses keys written with whitespace before the
         # colon, and the parser knows for certain this string is a key.
-        key = sys.intern(key_token.value)
+        key = shared_key(key_token.value)
         if key in obj:
             raise DuplicateKeyError(key, key_token.line, key_token.column)
         stream.expect(TokenType.COLON)

@@ -7,10 +7,10 @@ single quotes, no ``NaN``/``Infinity`` — exactly the JSON grammar.
 
 from __future__ import annotations
 
-import sys
 from typing import Iterator, NamedTuple
 
 from repro.jsonio.errors import JsonSyntaxError
+from repro.jsonio.keycache import shared_key
 
 __all__ = ["Token", "TokenType", "tokenize"]
 
@@ -220,11 +220,12 @@ def tokenize(text: str) -> Iterator[Token]:
         elif c == '"':
             value = _lex_string(cur)
             # Object keys (a string immediately followed by ``:``) recur
-            # across every record of an NDJSON feed; interning them makes
-            # repeated field names share storage and turns the interner's
-            # key-tuple hashing into pointer comparisons.
+            # across every record of an NDJSON feed; deduplicating them
+            # through the bounded key cache makes repeated field names
+            # share storage (turning downstream key hashing into pointer
+            # comparisons) without sys.intern's process-lifetime pinning.
             if cur.pos < len(text) and text[cur.pos] == ":":
-                value = sys.intern(value)
+                value = shared_key(value)
             yield Token(TokenType.STRING, value, line, col)
         elif c == "-" or c in _DIGITS:
             yield Token(TokenType.NUMBER, _lex_number(cur), line, col)

@@ -47,6 +47,25 @@ def _contains_non_finite(value) -> bool:
     return False
 
 
+def _contains_surrogate(value) -> bool:
+    """True if any decoded string carries a code point in U+D800-DFFF.
+
+    Stdlib decodes lone surrogate ``\\u`` escapes permissively; our
+    strict parser rejects them per RFC 8259 section 7 — the second
+    documented acceptance divergence besides ``NaN``/``Infinity``.
+    """
+    if isinstance(value, str):
+        return any("\ud800" <= c <= "\udfff" for c in value)
+    if isinstance(value, dict):
+        return any(
+            _contains_surrogate(k) or _contains_surrogate(v)
+            for k, v in value.items()
+        )
+    if isinstance(value, list):
+        return any(_contains_surrogate(v) for v in value)
+    return False
+
+
 class TestAgreementOnValidInputs:
     @given(json_values())
     def test_same_value_as_stdlib(self, value):
@@ -84,6 +103,11 @@ class TestAgreementOnAcceptance:
     @example("01")
     @example("+1")
     @example('"\\x41"')
+    @example('"\\ud800"')
+    @example('"\\udc00"')
+    @example('{"a": "\\uD800"}')
+    @example('"\\ud800x"')
+    @example('"\\ud83d\\ude00"')
     def test_acceptance_agrees_modulo_duplicates(self, text):
         try:
             ours = ("ok", loads(text))
@@ -106,9 +130,10 @@ class TestAgreementOnAcceptance:
             assert theirs[0] == "ok"
             assert _has_duplicate_keys(text)
         elif ours[0] == "err" and theirs[0] == "ok":
-            # The only stdlib leniency we do not share: the non-standard
-            # NaN/Infinity constants.
-            assert _contains_non_finite(theirs[1])
+            # The only stdlib leniencies we do not share: non-standard
+            # NaN/Infinity constants and lone surrogate \u escapes.
+            assert (_contains_non_finite(theirs[1])
+                    or _contains_surrogate(theirs[1]))
         else:
             assert ours[0] == theirs[0]
             if ours[0] == "ok":
@@ -161,12 +186,42 @@ class TestFastLanesMatchStrictTyping:
         strict = acc.interner.intern(infer_type(loads(text)))
         assert fast is strict
 
+    @pytest.mark.parametrize("text", [
+        '"\\ud800"',           # lone high surrogate
+        '"\\udc00"',           # lone low surrogate
+        '{"a": "\\uD800"}',    # uppercase hex, nested
+        '"\\ud800x"',          # high surrogate not followed by \u
+        '"\\ud83d\\ude00"',    # valid pair (deferred, then accepted)
+    ])
+    def test_hook_typer_never_answers_for_surrogate_escapes(self, text):
+        """The C scanner tolerates lone surrogates; the typer must defer.
+
+        Without the deferral the hooks lane would silently *accept*
+        inputs the strict lane rejects, breaking the byte-identical
+        contract (schema, error and quarantine output would differ
+        between ``auto`` and ``strict``).
+        """
+        from repro.inference.kernel import PartitionAccumulator
+        from repro.inference.typestream import (
+            FastLaneMiss,
+            HookTyper,
+            c_scanner_available,
+        )
+
+        if not c_scanner_available():  # pragma: no cover
+            pytest.skip("stdlib C scanner unavailable")
+        typer = HookTyper(PartitionAccumulator())
+        with pytest.raises(FastLaneMiss):
+            typer.type_document(text)
+
     @given(st.text(max_size=25))
     @example('{"a":1,"a":2}')
     @example("[1,2,]")
     @example("NaN")
     @example('{"a": 1} {"b": 2}')
     @example("")
+    @example('"\\ud800"')
+    @example('"\\ud83d\\ude00"')
     def test_token_typer_acceptance_matches_strict(self, text):
         """Same verdict *and the same position* as the strict parser."""
         from repro.inference.typestream import type_from_tokens

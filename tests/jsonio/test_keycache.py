@@ -1,0 +1,79 @@
+"""The bounded object-key cache that replaced ``sys.intern``.
+
+``sys.intern`` is process-global and, on CPython >= 3.12, immortalizes
+its strings — so NDJSON whose objects use high-cardinality keys (UUID-
+or id-keyed maps) would grow a long-lived worker process without bound.
+:class:`KeyCache` must keep the sharing benefit for repeated keys while
+staying bounded, and a missed share must never change results.
+"""
+
+import pytest
+
+from repro.jsonio.keycache import DEFAULT_CAP, KeyCache, shared_key
+from repro.jsonio.parser import loads
+from repro.jsonio.tokenizer import TokenType, tokenize
+
+
+def _fresh(s: str) -> str:
+    """An equal-but-distinct string object (defeats literal interning)."""
+    return "".join(s)
+
+
+class TestKeyCache:
+    def test_shares_repeated_keys(self):
+        cache = KeyCache()
+        first = _fresh("user_id")
+        assert cache.share(first) is first
+        assert cache.share(_fresh("user_id")) is first
+
+    def test_bounded_with_clear_on_full(self):
+        cache = KeyCache(cap=4)
+        for i in range(100):
+            cache.share(f"key-{i}")
+        assert len(cache) <= 4
+
+    def test_survives_clearing_and_recovers_sharing(self):
+        cache = KeyCache(cap=2)
+        hot = _fresh("hot")
+        cache.share(hot)
+        # Overflow evicts everything, including the hot key ...
+        cache.share("a")
+        cache.share("b")
+        # ... but its next occurrence re-seeds the cache and shares again.
+        second = _fresh("hot")
+        assert cache.share(second) is second
+        assert cache.share(_fresh("hot")) is second
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="cap must be positive"):
+            KeyCache(cap=0)
+
+
+class TestSharingInTokenizerAndParser:
+    def test_tokenizer_shares_object_keys(self):
+        a = [t for t in tokenize('{"name": 1}') if t.type == TokenType.STRING]
+        b = [t for t in tokenize('{"name": 2}') if t.type == TokenType.STRING]
+        assert a[0].value is b[0].value
+
+    def test_parser_shares_keys_with_whitespace_before_colon(self):
+        # The tokenizer's colon lookahead misses these; the parser's own
+        # share covers them.
+        one = loads('{"key" : 1}')
+        two = loads('{"key" : 2}')
+        assert next(iter(one)) is next(iter(two))
+
+    def test_string_values_are_not_cached(self):
+        # Only keys recur structurally; values stay untouched.
+        tokens = [t for t in tokenize('["payload"]')
+                  if t.type == TokenType.STRING]
+        assert tokens[0].value == "payload"
+
+    def test_module_shared_key_is_key_cache_share(self):
+        assert shared_key.__self__.__class__ is KeyCache
+
+    def test_high_cardinality_keys_do_not_pin_memory(self):
+        # A flood of distinct keys (the sys.intern failure mode) leaves
+        # the process-wide cache no larger than its cap.
+        for i in range(DEFAULT_CAP + 100):
+            loads('{"k%d": 1}' % i)
+        assert len(shared_key.__self__) <= DEFAULT_CAP
