@@ -1,0 +1,345 @@
+"""Ingestion benchmark — line-oriented vs. byte-range input splits.
+
+Two measurements per dataset size, each over the same NDJSON file and
+each under every combination of ingestion model and scheduler backend
+(``lines``/``bytes`` x ``thread``/``process``):
+
+* **ingest** — the ingestion phase in isolation: get every record line
+  from disk into the workers and count them.  ``lines`` reads, strips
+  and numbers the whole file at the driver and ships the text (through
+  pickle, on the process backend); ``bytes`` ships
+  :class:`~repro.jsonio.splits.FileSplit` descriptors and workers read
+  their own byte ranges.  This is where the split model's throughput
+  win lives, and the headline MB/s and speedup numbers come from here.
+* **infer** — ``infer_ndjson_file`` end-to-end under the same variant,
+  for the equivalence gate (identical schemas and counts across all
+  variants) and the driver peak-RSS comparison.  End-to-end wall time
+  is dominated by the map phase (parse + type), which is identical in
+  both modes, so its speedup hovers near 1x on a single-core host —
+  the per-phase rows make that attribution visible instead of hiding
+  ingestion inside it.
+
+Each variant runs in a *fresh subprocess* so heap inherited from a
+previous variant cannot pollute the peak-RSS measurement — the point of
+byte splits is precisely that driver memory stays flat, so the driver's
+``ru_maxrss`` is reported per variant alongside wall time, MB/s, and
+the scheduler's bytes-shipped / bytes-read counters.
+
+Run standalone for the full-size measurement (writes ``BENCH_ingest.json``
+at the repository root)::
+
+    python benchmarks/bench_ingest_splits.py --n 100000 500000
+
+or as the CI equivalence gate (small n, exit non-zero unless every
+variant produced identical schemas and counts)::
+
+    python benchmarks/bench_ingest_splits.py --check --n 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_ingest.json"
+
+#: variant name -> (split_mode, backend)
+VARIANTS = {
+    "lines-thread": ("lines", "thread"),
+    "lines-process": ("lines", "process"),
+    "bytes-thread": ("bytes", "thread"),
+    "bytes-process": ("bytes", "process"),
+}
+
+PHASES = ("ingest", "infer")
+
+
+def _count_partition(part) -> int:
+    """Ingest kernel, lines mode: count records already shipped as text."""
+    return sum(1 for _ in part)
+
+
+def _count_split(split) -> int:
+    """Ingest kernel, bytes mode: read one byte range, count records."""
+    from repro.jsonio.splits import iter_split_lines
+
+    return sum(1 for _ in iter_split_lines(split))
+
+
+def _measure_ingest(variant: str, data: str, partitions: int) -> dict:
+    """Time the ingestion phase alone: file -> records at the workers."""
+    import pickle
+
+    from repro.engine import Context
+    from repro.engine.context import split_evenly
+    from repro.jsonio.ndjson import iter_numbered_lines
+    from repro.jsonio.splits import plan_splits
+
+    split_mode, backend = VARIANTS[variant]
+    with Context(parallelism=partitions, backend=backend) as ctx:
+        start = time.perf_counter()
+        if split_mode == "lines":
+            lines = [text for _, text in iter_numbered_lines(data)]
+            parts = split_evenly(lines, partitions * 2)
+            shipped = sum(len(t) for t in lines)
+            counts = ctx.scheduler.run(_count_partition, parts)
+        else:
+            splits = plan_splits(data, partitions * 2, min_split_bytes=1)
+            shipped = len(pickle.dumps(splits))
+            counts = ctx.scheduler.run(_count_split, splits)
+        seconds = time.perf_counter() - start
+    return {
+        "seconds": round(seconds, 4),
+        "record_count": sum(counts),
+        "input_bytes_shipped": shipped,
+    }
+
+
+def _measure_infer(variant: str, data: str, partitions: int) -> dict:
+    """Time ``infer_ndjson_file`` end-to-end under the variant."""
+    from repro.core.printer import print_type
+    from repro.engine import Context
+    from repro.inference.pipeline import infer_ndjson_file
+
+    split_mode, backend = VARIANTS[variant]
+    with Context(parallelism=partitions, backend=backend) as ctx:
+        start = time.perf_counter()
+        run = infer_ndjson_file(
+            data, context=ctx, num_partitions=partitions * 2,
+            split_mode=split_mode, min_split_bytes=1,
+        )
+        seconds = time.perf_counter() - start
+        stats = ctx.scheduler.stats
+    digest = hashlib.sha256(print_type(run.schema).encode()).hexdigest()
+    return {
+        "seconds": round(seconds, 4),
+        "map_seconds": round(run.map_seconds, 4),
+        "reduce_seconds": round(run.reduce_seconds, 4),
+        "input_bytes_shipped": stats.input_bytes_shipped,
+        "input_bytes_read": stats.input_bytes_read,
+        "record_count": run.record_count,
+        "distinct_type_count": run.distinct_type_count,
+        "schema_sha256": digest,
+    }
+
+
+def run_variant(
+    variant: str, phase: str, data: str, partitions: int
+) -> dict:
+    """One timed phase; meant to run in a fresh process."""
+    import resource
+
+    split_mode, backend = VARIANTS[variant]
+    measure = _measure_ingest if phase == "ingest" else _measure_infer
+    row = measure(variant, data, partitions)
+    file_bytes = os.stat(data).st_size
+    # Linux reports ru_maxrss in KiB.  This is the *driver's* peak: the
+    # subprocess that planned and merged, not the pool workers.
+    peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    row.update(
+        variant=variant,
+        phase=phase,
+        split_mode=split_mode,
+        backend=backend,
+        file_mb=round(file_bytes / 1e6, 2),
+        mb_per_s=round(file_bytes / 1e6 / row["seconds"], 2),
+        driver_peak_rss_mb=round(peak_kib / 1024, 1),
+    )
+    return row
+
+
+def _run_in_subprocess(
+    variant: str, phase: str, data: str, partitions: int
+) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [
+            sys.executable, os.fspath(Path(__file__).resolve()),
+            "--variant", variant, "--phase", phase, "--data", data,
+            "--partitions", str(partitions),
+        ],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def run_size(n: int, partitions: int) -> dict:
+    """Both phases, all four variants, over one n-record file."""
+    import tempfile
+
+    from repro.datasets import mixed
+    from repro.jsonio.ndjson import write_ndjson
+
+    with tempfile.TemporaryDirectory(prefix="bench_ingest_") as tmp:
+        data = os.path.join(tmp, "mixed.ndjson")
+        write_ndjson(data, mixed.generate(n))
+        rows = {
+            phase: [
+                _run_in_subprocess(v, phase, data, partitions)
+                for v in VARIANTS
+            ]
+            for phase in PHASES
+        }
+    for phase_rows in rows.values():
+        by_name = {r["variant"]: r for r in phase_rows}
+        for backend in ("thread", "process"):
+            lines = by_name[f"lines-{backend}"]
+            bytes_ = by_name[f"bytes-{backend}"]
+            bytes_["speedup_vs_lines"] = round(
+                lines["seconds"] / bytes_["seconds"], 3
+            )
+            bytes_["driver_rss_saving_mb"] = round(
+                lines["driver_peak_rss_mb"] - bytes_["driver_peak_rss_mb"], 1
+            )
+    infer_rows = rows["infer"]
+    identical = (
+        len({r["schema_sha256"] for r in infer_rows}) == 1
+        and len({r["record_count"] for r in infer_rows}) == 1
+        and len({r["distinct_type_count"] for r in infer_rows}) == 1
+        and len({r["record_count"] for r in rows["ingest"]}) == 1
+    )
+    by_infer = {r["variant"]: r for r in infer_rows}
+    by_ingest = {r["variant"]: r for r in rows["ingest"]}
+    return {
+        "n": n,
+        "partitions": partitions,
+        "results_identical": identical,
+        "process_backend_ingest_speedup":
+            by_ingest["bytes-process"]["speedup_vs_lines"],
+        "process_backend_infer_rss_saving_mb":
+            by_infer["bytes-process"]["driver_rss_saving_mb"],
+        "ingest": rows["ingest"],
+        "infer": infer_rows,
+    }
+
+
+def run_benchmark(
+    sizes: list[int],
+    partitions: int = 4,
+    out_path: Path | str | None = DEFAULT_OUT,
+) -> dict:
+    report = {
+        "benchmark": "ingest_splits",
+        "dataset": "mixed",
+        "cpu_count": os.cpu_count(),
+        "results_identical": True,
+        "sizes": [],
+    }
+    for n in sizes:
+        size_report = run_size(n, partitions)
+        report["results_identical"] &= size_report["results_identical"]
+        report["sizes"].append(size_report)
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def print_report(report: dict) -> None:
+    from repro.analysis.tables import render_table
+
+    for size_report in report["sizes"]:
+        for phase in PHASES:
+            rows = [
+                [
+                    r["variant"],
+                    f"{r['seconds']:.2f}s",
+                    f"{r['mb_per_s']:.1f}",
+                    f"{r['driver_peak_rss_mb']:.0f} MB",
+                    f"{r['input_bytes_shipped']:,}",
+                    (f"{r['speedup_vs_lines']:.2f}x"
+                     if "speedup_vs_lines" in r else "-"),
+                ]
+                for r in size_report[phase]
+            ]
+            print()
+            print(render_table(
+                ["variant", "wall", "MB/s", "driver RSS", "bytes shipped",
+                 "speedup"],
+                rows,
+                title=(
+                    f"NDJSON {phase} — mixed x{size_report['n']:,}, "
+                    f"{size_report['partitions']} partitions"
+                ),
+            ))
+    print(f"results identical across variants: {report['results_identical']}")
+
+
+def check_equivalence(n: int, partitions: int = 4) -> bool:
+    """CI gate: every variant identical at a small n, on both backends."""
+    report = run_benchmark([n], partitions, out_path=None)
+    print_report(report)
+    return report["results_identical"]
+
+
+def test_bench_ingest_splits(benchmark):
+    """Equivalence plus, at full scale, the byte-split win: >= 1.5x
+    ingestion speedup on the process backend and a materially smaller
+    driver on the end-to-end run."""
+    from conftest import max_scale
+
+    n = max_scale()
+    report = run_benchmark([n], partitions=4, out_path=None)
+    print_report(report)
+    assert report["results_identical"]
+    if n >= 100_000:
+        size_report = report["sizes"][0]
+        assert size_report["process_backend_ingest_speedup"] >= 1.5
+        assert size_report["process_backend_infer_rss_saving_mb"] > 0
+    # Stable in-process number: one split read at a fixed small size.
+    import tempfile
+
+    from repro.datasets import mixed
+    from repro.jsonio.ndjson import write_ndjson
+    from repro.jsonio.splits import FileSplit, iter_split_lines
+
+    with tempfile.TemporaryDirectory(prefix="bench_ingest_") as tmp:
+        data = os.path.join(tmp, "small.ndjson")
+        write_ndjson(data, mixed.generate(min(n, 2000)))
+        size = os.stat(data).st_size
+        split = FileSplit(data, 0, size, 0)
+        benchmark.pedantic(
+            lambda: sum(1 for _ in iter_split_lines(split)),
+            rounds=3, iterations=1,
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, nargs="+", default=[100_000],
+                        help="dataset sizes in records (one report each)")
+    parser.add_argument("--partitions", type=int, default=4)
+    parser.add_argument("--out", default=os.fspath(DEFAULT_OUT))
+    parser.add_argument("--check", action="store_true",
+                        help="equivalence gate: exit 1 unless all variants "
+                             "produce identical results")
+    parser.add_argument("--variant", choices=sorted(VARIANTS),
+                        help=argparse.SUPPRESS)  # internal: subprocess mode
+    parser.add_argument("--phase", choices=PHASES, default="infer",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--data", help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    if args.variant:
+        print(json.dumps(run_variant(args.variant, args.phase, args.data,
+                                     args.partitions)))
+        return 0
+    if args.check:
+        return 0 if check_equivalence(args.n[0], args.partitions) else 1
+    report = run_benchmark(args.n, args.partitions, out_path=args.out)
+    print_report(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,6 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
              "free of per-record clock reads",
     )
     p_infer.add_argument(
+        "--split-mode", choices=["auto", "bytes", "lines"], default="auto",
+        help="input ingestion model: 'bytes' ships byte-range split "
+             "descriptors and workers read the file themselves (zero-copy "
+             "driver), 'lines' reads and distributes lines at the driver, "
+             "'auto' picks bytes when --parallel is set (default: auto)",
+    )
+    p_infer.add_argument(
+        "--min-split-mb", type=float, metavar="MB", default=None,
+        help="with --split-mode bytes/auto: smallest byte-range split to "
+             "plan, in MiB (default: 1)",
+    )
+    p_infer.add_argument(
         "--parallel", type=int, metavar="N", default=None,
         help="run typing+fusion on the engine with N-way parallelism",
     )
@@ -186,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_infer(args: argparse.Namespace) -> int:
     from repro.engine import Context, RetryPolicy
     from repro.jsonio.errors import ErrorRateExceeded
+    from repro.jsonio.splits import DEFAULT_MIN_SPLIT_BYTES
 
     policy = RetryPolicy(
         max_retries=args.max_retries, task_timeout_s=args.task_timeout
@@ -197,11 +210,18 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         max_error_rate=args.max_error_rate,
         parse_lane=args.parse_lane,
         collect_timings=args.timings,
+        split_mode=args.split_mode,
+        min_split_bytes=(
+            int(args.min_split_mb * (1 << 20))
+            if args.min_split_mb is not None else DEFAULT_MIN_SPLIT_BYTES
+        ),
     )
+    stats = None
     try:
         if args.parallel:
             with Context(parallelism=args.parallel, backend=args.backend,
                          retry_policy=policy) as ctx:
+                stats = ctx.scheduler.stats
                 run = infer_ndjson_file(
                     args.file, context=ctx,
                     num_partitions=args.parallel * 2, **kwargs,
@@ -225,6 +245,12 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                   if run.phase_timings is not None else "")
         print(f"map {run.map_seconds:.3f}s{detail} · "
               f"reduce {run.reduce_seconds:.3f}s", file=sys.stderr)
+        if stats is not None:
+            print(
+                f"input: {stats.input_bytes_shipped:,} B shipped from the "
+                f"driver · {stats.input_bytes_read:,} B read by workers",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -192,6 +192,16 @@ class SchedulerStats:
     — the scheduler-level counterpart of the kernel's per-partition
     :class:`~repro.inference.kernel.PhaseTimings`, letting a benchmark
     split engine overhead from map-phase work.
+
+    ``input_bytes_shipped`` / ``input_bytes_read`` account for how input
+    data reached the workers (maintained by the ingestion pipelines, not
+    the dispatch loop): bytes of input payload the *driver* materialised
+    and handed to partition tasks, versus bytes the *workers* read
+    directly from source files via byte-range splits.  A
+    ``split_mode="bytes"`` run ships a few hundred descriptor bytes and
+    reads the whole file worker-side; a ``split_mode="lines"`` run is
+    the mirror image — that contrast is the observable win of the
+    input-split model (surfaced by the CLI's ``--timings``).
     """
 
     retries: int = 0
@@ -203,6 +213,8 @@ class SchedulerStats:
     jobs: int = 0
     tasks_completed: int = 0
     job_time_s: float = 0.0
+    input_bytes_shipped: int = 0
+    input_bytes_read: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -215,6 +227,8 @@ class SchedulerStats:
         self.jobs = 0
         self.tasks_completed = 0
         self.job_time_s = 0.0
+        self.input_bytes_shipped = 0
+        self.input_bytes_read = 0
 
 
 def _default_parallelism() -> int:

@@ -35,8 +35,8 @@ check on arbitrary JSON values.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Iterable
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Sequence
 
 from repro.core.errors import InvalidValueError
 from repro.core.interning import TypeInterner
@@ -59,9 +59,10 @@ from repro.inference.fusion import (
     lfuse,
 )
 from repro.inference.typestream import FastLaneMiss, make_typer, resolve_lane
-from repro.jsonio.errors import JsonError
+from repro.jsonio.errors import JsonError, JsonSyntaxError
 from repro.jsonio.ndjson import BadRecord
 from repro.jsonio.parser import loads
+from repro.jsonio.splits import FileSplit, SplitLineReader, count_lines_before
 
 __all__ = [
     "FusionMemo",
@@ -69,11 +70,14 @@ __all__ = [
     "PartitionAccumulator",
     "PartitionSummary",
     "PhaseTimings",
+    "TREE_MERGE_THRESHOLD",
     "accumulate_ndjson_partition",
+    "accumulate_ndjson_split",
     "accumulate_partition",
     "merge_phase_timings",
     "merge_summaries",
     "merge_summaries_full",
+    "merge_summary_group",
 ]
 
 
@@ -393,6 +397,15 @@ class PartitionSummary:
     #: ``collect_timings=True`` only; ``None`` when timing was off or for
     #: already-parsed inputs, whose parse phase happened elsewhere).
     timings: PhaseTimings | None = field(default=None)
+    #: Physical lines owned by this partition's byte-range split (blank
+    #: lines included), the quantity the driver prefix-sums to turn
+    #: split-local line numbers into absolute ones.  Zero for partitions
+    #: that were not read from a byte split.
+    line_count: int = 0
+    #: Bytes this partition read from its source file (byte-split
+    #: partitions only) — the worker-side half of the engine's
+    #: bytes-shipped vs bytes-read accounting.
+    bytes_read: int = 0
 
     @property
     def distinct_type_count(self) -> int:
@@ -740,6 +753,46 @@ def accumulate_ndjson_partition(
     )
 
 
+def accumulate_ndjson_split(
+    split: FileSplit,
+    permissive: bool = False,
+    parse_lane: str = "auto",
+    collect_timings: bool = False,
+) -> PartitionSummary:
+    """Read one byte-range split worker-side and stream it in a single pass.
+
+    The zero-copy counterpart of :func:`accumulate_ndjson_partition`: the
+    driver ships only the :class:`~repro.jsonio.splits.FileSplit`
+    descriptor; this task opens the file itself, seeks to the split's
+    offset and parses exactly the lines the split owns (see
+    :mod:`repro.jsonio.splits` for the boundary rules).  The summary's
+    ``line_count`` and ``bytes_read`` report what was read; quarantined
+    records carry *split-local* line numbers for the driver to re-base.
+
+    In strict mode a malformed record fails the task with the error
+    re-anchored to its absolute file line: the worker counts the lines
+    preceding the split's offset (one extra prefix read, on the error
+    path only) so the message is identical to a line-oriented run's.
+    """
+    reader = SplitLineReader(split)
+    try:
+        summary = accumulate_ndjson_partition(
+            reader,
+            source=split.path,
+            permissive=permissive,
+            parse_lane=parse_lane,
+            collect_timings=collect_timings,
+        )
+    except JsonSyntaxError as exc:
+        if split.offset == 0:
+            raise
+        base = count_lines_before(split.path, split.offset)
+        raise exc.relocate(split.path, exc.line + base) from None
+    return replace(
+        summary, line_count=reader.line_count, bytes_read=reader.bytes_read
+    )
+
+
 @dataclass(frozen=True)
 class MergedSummary:
     """The driver-side combination of every partition summary."""
@@ -757,30 +810,88 @@ class MergedSummary:
         return len(self.skipped)
 
 
+#: Partition counts up to this fold sequentially at the driver; above it,
+#: :func:`merge_summaries_full` tree-merges pairs on the scheduler when one
+#: is provided.  Sized so small jobs never pay task-dispatch overhead for
+#: a reduce that is already trivial.
+TREE_MERGE_THRESHOLD = 16
+
+
+def merge_summary_group(
+    summaries: "Sequence[PartitionSummary]",
+) -> PartitionSummary:
+    """Combine adjacent partition summaries into one partial summary.
+
+    The unit task of the tree reduce: a module-level function over
+    picklable data, so the scheduler can run it on either backend.
+    Distinct types deduplicate structurally in first-seen order,
+    quarantined records concatenate in partition order, and ``line_count``
+    / ``bytes_read`` add — every component is associative, so any
+    grouping of the tree yields the same final merge (Theorem 5.5).
+    """
+    schema: Type = EMPTY
+    count = 0
+    distinct: dict[Type, None] = {}
+    skipped: list[BadRecord] = []
+    timings: list[PhaseTimings | None] = []
+    line_count = 0
+    bytes_read = 0
+    for summary in summaries:
+        schema = fuse(schema, summary.schema)
+        count += summary.record_count
+        for t in summary.distinct_types:
+            distinct.setdefault(t)
+        skipped.extend(summary.skipped)
+        timings.append(summary.timings)
+        line_count += summary.line_count
+        bytes_read += summary.bytes_read
+    return PartitionSummary(
+        schema=schema,
+        record_count=count,
+        distinct_types=tuple(distinct),
+        skipped=tuple(skipped),
+        timings=merge_phase_timings(timings),
+        line_count=line_count,
+        bytes_read=bytes_read,
+    )
+
+
 def merge_summaries_full(
     summaries: Iterable[PartitionSummary],
+    scheduler: "Any | None" = None,
+    tree_threshold: int = TREE_MERGE_THRESHOLD,
 ) -> MergedSummary:
-    """Driver-side merge of per-partition summaries, in partition order.
+    """Merge per-partition summaries, in partition order.
 
     The schema fold is safe in any grouping by associativity (Theorem
     5.5); the distinct count deduplicates *across* partitions
     structurally, since canonical objects from different interners (or
     processes) are distinct objects but compare equal.  Quarantined
     records are concatenated in partition order (i.e. file order).
+
+    By default the fold is sequential at the driver.  With a
+    ``scheduler`` (any object with the
+    :meth:`repro.engine.scheduler.Scheduler.run` signature), summary
+    lists longer than ``tree_threshold`` are first reduced by rounds of
+    pairwise :func:`merge_summary_group` tasks — a balanced tree whose
+    result is identical to the sequential fold by the associativity
+    theorem, but whose depth is logarithmic in the partition count, so
+    the driver-side reduce stops being the bottleneck on many-partition
+    jobs.
     """
-    schema: Type = EMPTY
-    count = 0
-    distinct: set[Type] = set()
-    skipped: list[BadRecord] = []
-    timings: list[PhaseTimings | None] = []
-    for summary in summaries:
-        schema = fuse(schema, summary.schema)
-        count += summary.record_count
-        distinct.update(summary.distinct_types)
-        skipped.extend(summary.skipped)
-        timings.append(summary.timings)
-    return MergedSummary(schema, count, len(distinct), tuple(skipped),
-                         merge_phase_timings(timings))
+    rows = list(summaries)
+    if scheduler is not None:
+        while len(rows) > tree_threshold:
+            pairs = [rows[i:i + 2] for i in range(0, len(rows), 2)]
+            rows = scheduler.run(merge_summary_group, pairs)
+    merged = merge_summary_group(rows)
+    return MergedSummary(
+        merged.schema,
+        merged.record_count,
+        merged.distinct_type_count,
+        merged.skipped,
+        merged.timings,
+    )
 
 
 def merge_summaries(

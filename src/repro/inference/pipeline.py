@@ -29,8 +29,9 @@ materialise-then-multi-pass implementation is kept, byte for byte, behind
 
 from __future__ import annotations
 
+import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 from pathlib import Path
 from typing import Any, Iterable, Sequence
@@ -44,6 +45,7 @@ from repro.inference.kernel import (
     PartitionAccumulator,
     PhaseTimings,
     accumulate_ndjson_partition,
+    accumulate_ndjson_split,
     accumulate_partition,
     merge_summaries,
     merge_summaries_full,
@@ -55,16 +57,23 @@ from repro.jsonio.ndjson import (
     iter_numbered_lines,
     write_bad_records,
 )
+from repro.jsonio.splits import (
+    DEFAULT_MIN_SPLIT_BYTES,
+    plan_splits,
+    rebase_bad_records,
+)
 
 __all__ = [
     "infer_schema",
     "infer_ndjson_file",
+    "resolve_split_mode",
     "run_inference",
     "InferenceRun",
     "SchemaInferencer",
     "infer_partitioned",
     "PartitionReport",
     "PartitionedRun",
+    "SPLIT_MODES",
 ]
 
 
@@ -85,11 +94,25 @@ def infer_schema(values: Iterable[Any], context: Context | None = None,
     """
     if context is None:
         return fuse_all(infer_type(v) for v in values)
-    parts = split_evenly(list(values),
+    parts = split_evenly(_as_sequence(values),
                          num_partitions or context.default_parallelism)
     summaries = context.scheduler.run(accumulate_partition, parts)
     schema, _, _ = merge_summaries(summaries)
     return schema
+
+
+def _as_sequence(values: Iterable[Any]) -> Sequence[Any]:
+    """``values`` itself when it already supports len+slicing, else a list.
+
+    :func:`split_evenly` partitions by index without copying, so a list
+    (or any other sequence) can be split as-is — materialising is only
+    for one-shot iterables.  Strings/bytes are sequences *of characters*,
+    never a collection of records; exclude them so a mistaken call fails
+    loudly downstream instead of silently typing characters.
+    """
+    if isinstance(values, Sequence) and not isinstance(values, (str, bytes)):
+        return values
+    return list(values)
 
 
 @dataclass
@@ -174,7 +197,7 @@ def _run_inference_streaming(
             reduce_seconds=0.0,
         )
 
-    parts = split_evenly(list(values),
+    parts = split_evenly(_as_sequence(values),
                          num_partitions or context.default_parallelism)
     start = time.perf_counter()
     # One task per partition over the *raw* values.  Shipped as a plain
@@ -262,6 +285,29 @@ def run_inference(
     )
 
 
+#: Public values of ``infer_ndjson_file``'s ``split_mode``.
+SPLIT_MODES = ("auto", "bytes", "lines")
+
+
+def resolve_split_mode(split_mode: str, context: Context | None) -> str:
+    """Resolve an ingestion ``split_mode`` to ``"bytes"`` or ``"lines"``.
+
+    ``"auto"`` picks byte-range splits whenever a :class:`Context` is
+    available — the workers read their own byte ranges, so the driver
+    never materialises the file and ships only descriptors — and the
+    streaming line reader otherwise (the sequential path is already
+    zero-copy: it feeds the accumulator straight off the file iterator).
+    """
+    if split_mode not in SPLIT_MODES:
+        raise ValueError(
+            f"unknown split_mode {split_mode!r}; expected one of "
+            f"{SPLIT_MODES}"
+        )
+    if split_mode == "auto":
+        return "bytes" if context is not None else "lines"
+    return split_mode
+
+
 def infer_ndjson_file(
     path: str | Path,
     context: Context | None = None,
@@ -271,12 +317,30 @@ def infer_ndjson_file(
     max_error_rate: float | None = None,
     parse_lane: str = "auto",
     collect_timings: bool = False,
+    split_mode: str = "auto",
+    min_split_bytes: int = DEFAULT_MIN_SPLIT_BYTES,
 ) -> InferenceRun:
     """Instrumented schema inference straight from an NDJSON file.
 
-    Lines are read with their absolute file line numbers and *parsed
-    inside the partitions* (in parallel under a ``context``, on either
-    backend), so one pass covers parsing, typing, interning and fusion.
+    ``split_mode`` picks the ingestion model (see
+    :func:`resolve_split_mode` for how ``"auto"`` chooses):
+
+    * ``"bytes"`` — the driver plans
+      :class:`~repro.jsonio.splits.FileSplit` byte ranges from the file
+      size alone and ships only those descriptors; each worker opens the
+      file itself and parses exactly the lines its range owns.  Driver
+      memory stays O(1) in the dataset and nothing but summaries crosses
+      the process boundary back.  ``min_split_bytes`` floors the split
+      size so tiny files do not shatter into per-task overhead.
+    * ``"lines"`` — the original model: the driver reads the file,
+      numbers every line, and distributes the line lists.  Kept as the
+      executable reference the byte-split differential tests compare
+      against (and the only model for already-open streams).
+
+    Both modes produce identical results — schema, counts, error
+    diagnostics and quarantine sidecars, absolute line numbers included;
+    byte-split workers report split-local line numbers that the driver
+    re-bases with a prefix sum over the splits' line counts.
 
     ``parse_lane`` picks the map-phase implementation per
     :func:`repro.inference.typestream.resolve_lane`: ``"auto"`` (default)
@@ -306,31 +370,77 @@ def infer_ndjson_file(
       before the abort, for post-mortems.
     """
     source = str(path)
-    # Resolve once at the driver (raising early on an unknown lane) so
-    # every partition — local or on a worker process — runs the same
-    # implementation and reports a stable lane name in its timings.
+    # Resolve once at the driver (raising early on an unknown lane or
+    # mode) so every partition — local or on a worker process — runs the
+    # same implementation and reports a stable lane name in its timings.
     lane = resolve_lane(parse_lane)
-    task = partial(
-        accumulate_ndjson_partition, source=source, permissive=permissive,
-        parse_lane=lane, collect_timings=collect_timings,
-    )
+    mode = resolve_split_mode(split_mode, context)
+    stats = context.scheduler.stats if context is not None else None
+    scheduler = context.scheduler if context is not None else None
 
     start = time.perf_counter()
-    if context is None:
-        # Feed the accumulator straight off the file iterator: the
-        # sequential path never materialises the line list, keeping
-        # memory constant however massive the input.
-        summaries = [task(iter_numbered_lines(path))]
-    else:
-        parts = split_evenly(
-            list(iter_numbered_lines(path)),
-            num_partitions or context.default_parallelism,
+    if mode == "bytes":
+        splits = plan_splits(
+            source,
+            num_partitions
+            or (context.default_parallelism if context is not None else 1),
+            min_split_bytes,
         )
-        summaries = context.scheduler.run(task, parts)
+        split_task = partial(
+            accumulate_ndjson_split, permissive=permissive, parse_lane=lane,
+            collect_timings=collect_timings,
+        )
+        if stats is not None:
+            # The entire driver-to-worker input payload: the pickled
+            # descriptors.  Compare with input_bytes_read below.
+            stats.input_bytes_shipped += len(pickle.dumps(splits))
+        if context is None:
+            summaries = [split_task(s) for s in splits]
+        else:
+            summaries = context.scheduler.run(split_task, splits)
+        if stats is not None:
+            stats.input_bytes_read += sum(s.bytes_read for s in summaries)
+        # Workers only know split-local line numbers; a prefix sum over
+        # the split line counts re-anchors quarantined records to their
+        # absolute file lines before anything downstream sees them.
+        rebased = []
+        base = 0
+        for summary in summaries:
+            if summary.skipped:
+                summary = replace(
+                    summary,
+                    skipped=rebase_bad_records(summary.skipped, base),
+                )
+            base += summary.line_count
+            rebased.append(summary)
+        summaries = rebased
+    else:
+        task = partial(
+            accumulate_ndjson_partition, source=source,
+            permissive=permissive, parse_lane=lane,
+            collect_timings=collect_timings,
+        )
+        if context is None:
+            # Feed the accumulator straight off the file iterator: the
+            # sequential path never materialises the line list, keeping
+            # memory constant however massive the input.
+            summaries = [task(iter_numbered_lines(path))]
+        else:
+            lines = list(iter_numbered_lines(path))
+            if stats is not None:
+                # Approximate payload the driver hands to the partition
+                # tasks: the text of every record (character count).
+                stats.input_bytes_shipped += sum(
+                    len(text) for _, text in lines
+                )
+            parts = split_evenly(
+                lines, num_partitions or context.default_parallelism
+            )
+            summaries = context.scheduler.run(task, parts)
     map_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    merged = merge_summaries_full(summaries)
+    merged = merge_summaries_full(summaries, scheduler=scheduler)
     # Attribute quarantined rows to their partitions through the engine's
     # accumulator machinery (summaries carry the counts across process
     # boundaries; the accumulator merges them driver-side).

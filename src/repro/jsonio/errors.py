@@ -49,6 +49,17 @@ class JsonSyntaxError(JsonError):
         """
         return JsonSyntaxError(self.message, line, self.column, source)
 
+    def __reduce__(self):
+        # The default exception reduction replays ``args`` — which holds
+        # the pre-formatted message, not the constructor signature — so
+        # without this, the error dies with a TypeError while crossing a
+        # process-pool boundary (e.g. a strict-mode parse failure on a
+        # worker).  Reduce to the real constructor arguments instead.
+        return (
+            self.__class__,
+            (self.message, self.line, self.column, self.source),
+        )
+
 
 class DuplicateKeyError(JsonSyntaxError):
     """A JSON object repeats a key.
@@ -75,6 +86,12 @@ class DuplicateKeyError(JsonSyntaxError):
         """See :meth:`JsonSyntaxError.relocate`."""
         return DuplicateKeyError(self.key, line, self.column, source)
 
+    def __reduce__(self):
+        return (
+            self.__class__,
+            (self.key, self.line, self.column, self.source),
+        )
+
 
 class ErrorRateExceeded(JsonError):
     """Too many malformed records for a permissive run to be trusted.
@@ -94,3 +111,11 @@ class ErrorRateExceeded(JsonError):
         self.total = total
         self.rate = rate
         self.max_error_rate = max_error_rate
+
+    def __reduce__(self):
+        # Same pickling contract as JsonSyntaxError: reduce to the
+        # constructor arguments, not the formatted message.
+        return (
+            self.__class__,
+            (self.skipped, self.total, self.max_error_rate),
+        )
