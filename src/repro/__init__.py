@@ -20,6 +20,8 @@ Package layout:
   pipelines, incremental inference, statistics enrichment.
 * :mod:`repro.jsonio` — from-scratch JSON parsing/serialisation and NDJSON.
 * :mod:`repro.engine` — mini-Spark execution substrate + cluster simulator.
+* :mod:`repro.store` — persistent schema checkpoints: save/load/merge
+  partition summaries for incremental, restartable inference.
 * :mod:`repro.datasets` — synthetic generators for the paper's four
   datasets (GitHub, Twitter, Wikidata, NYTimes).
 * :mod:`repro.analysis` — succinctness statistics, schema paths, tables.
@@ -53,6 +55,12 @@ from repro.core import (
     to_json_schema,
 )
 from repro.engine import Context
+from repro.store import (
+    Checkpoint,
+    load_checkpoint,
+    merge_checkpoints,
+    save_checkpoint,
+)
 from repro.inference import (
     SchemaInferencer,
     collapse,
@@ -80,4 +88,6 @@ __all__ = [
     "run_inference", "SchemaInferencer", "infer_partitioned",
     # engine
     "Context",
+    # store
+    "Checkpoint", "save_checkpoint", "load_checkpoint", "merge_checkpoints",
 ]

@@ -3,6 +3,7 @@
 Sub-commands::
 
     infer FILE            infer and print the fused schema of an NDJSON file
+    merge A B... -o C     union schema checkpoints (cross-shard merge)
     stats FILE            print a Tables 2-5 style succinctness report
     generate NAME N OUT   write a synthetic dataset as NDJSON
     paths FILE            list every schema path with its optionality
@@ -106,6 +107,18 @@ def build_parser() -> argparse.ArgumentParser:
              "plan, in MiB (default: 1)",
     )
     p_infer.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="persist the inferred summary (schema, counts, distinct "
+             "types, source fingerprints) as a checkpoint directory "
+             "after the run",
+    )
+    p_infer.add_argument(
+        "--update", action="store_true",
+        help="with --checkpoint: fuse the stored summary with the new "
+             "file instead of inferring from scratch (merge-on-update; "
+             "a missing checkpoint directory starts cold)",
+    )
+    p_infer.add_argument(
         "--parallel", type=int, metavar="N", default=None,
         help="run typing+fusion on the engine with N-way parallelism",
     )
@@ -124,6 +137,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--task-timeout", type=float, metavar="SECONDS", default=None,
         help="abandon and retry a partition task exceeding this wall-clock "
              "budget (default: unlimited)",
+    )
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="union schema checkpoints into one (cross-shard merge)",
+    )
+    p_merge.add_argument(
+        "checkpoints", nargs="+",
+        help="checkpoint directories to merge (any order — the result "
+             "is the same by associativity)",
+    )
+    p_merge.add_argument(
+        "-o", "--out", required=True, metavar="DIR",
+        help="directory to write the merged checkpoint to",
+    )
+    p_merge.add_argument(
+        "--pretty", action="store_true",
+        help="multi-line, indented schema output",
+    )
+    p_merge.add_argument(
+        "--parallel", type=int, metavar="N", default=None,
+        help="load and merge the checkpoints on the engine with N-way "
+             "parallelism",
     )
 
     p_stats = sub.add_parser(
@@ -199,6 +235,14 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     from repro.engine import Context, RetryPolicy
     from repro.jsonio.errors import ErrorRateExceeded
     from repro.jsonio.splits import DEFAULT_MIN_SPLIT_BYTES
+    from repro.store import checkpoint_exists
+
+    if args.update and not args.checkpoint:
+        print("error: --update requires --checkpoint DIR", file=sys.stderr)
+        return 2
+    update_from = None
+    if args.update and checkpoint_exists(args.checkpoint):
+        update_from = args.checkpoint
 
     policy = RetryPolicy(
         max_retries=args.max_retries, task_timeout_s=args.task_timeout
@@ -215,6 +259,8 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             int(args.min_split_mb * (1 << 20))
             if args.min_split_mb is not None else DEFAULT_MIN_SPLIT_BYTES
         ),
+        update_from=update_from,
+        checkpoint_to=args.checkpoint,
     )
     stats = None
     try:
@@ -240,6 +286,14 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         print(print_type(schema))
     if args.permissive and run.skipped_count:
         print(run.skip_summary(), file=sys.stderr)
+    if args.checkpoint:
+        reused = (f" ({run.checkpoint_record_count:,} reused from "
+                  f"the previous checkpoint)" if update_from else "")
+        print(
+            f"checkpoint: {run.record_count:,} records -> "
+            f"{args.checkpoint}{reused}",
+            file=sys.stderr,
+        )
     if args.timings:
         detail = (f" ({run.phase_timings.describe()})"
                   if run.phase_timings is not None else "")
@@ -251,6 +305,35 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                 f"driver · {stats.input_bytes_read:,} B read by workers",
                 file=sys.stderr,
             )
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.store import CheckpointError, merge_checkpoints
+
+    try:
+        if args.parallel:
+            from repro.engine import Context
+
+            with Context(parallelism=args.parallel) as ctx:
+                merged = ctx.merge_checkpoints(args.checkpoints,
+                                               out=args.out)
+        else:
+            merged = merge_checkpoints(args.checkpoints, out=args.out)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.pretty:
+        print(pretty_print(merged.schema))
+    else:
+        print(print_type(merged.schema))
+    print(
+        f"merged {len(args.checkpoints)} checkpoints "
+        f"({merged.record_count:,} records, "
+        f"{merged.manifest.distinct_type_count:,} distinct types) -> "
+        f"{args.out}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -351,6 +434,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "infer": _cmd_infer,
+    "merge": _cmd_merge,
     "stats": _cmd_stats,
     "generate": _cmd_generate,
     "paths": _cmd_paths,

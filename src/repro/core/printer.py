@@ -32,11 +32,30 @@ __all__ = ["print_type", "pretty_print"]
 EMPTY_SYMBOL = "(empty)"
 
 
+#: Short escapes for the common control characters; everything else
+#: below U+0020 prints as ``\uXXXX``.  Keeping printed types free of raw
+#: control characters makes the output safe for line-oriented formats
+#: (one type per line, e.g. a checkpoint's distinct-types file) and for
+#: terminals.
+_KEY_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\t": "\\t",
+                "\r": "\\r"}
+
+
 def _key_syntax(name: str) -> str:
     """Quote a record key unless it is a bare identifier."""
     if name and all(c.isalnum() or c in "_-$" for c in name) and not name[0].isdigit():
         return name
-    return '"' + name.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    out = ['"']
+    for c in name:
+        escape = _KEY_ESCAPES.get(c)
+        if escape is not None:
+            out.append(escape)
+        elif ord(c) < 0x20:
+            out.append(f"\\u{ord(c):04x}")
+        else:
+            out.append(c)
+    out.append('"')
+    return "".join(out)
 
 
 def print_type(t: Type) -> str:

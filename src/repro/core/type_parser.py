@@ -16,6 +16,12 @@ Note the single grammar subtlety: inside ``[...]`` we parse a full union
 ``type`` and then decide, on seeing ``*``, whether it was a simplified array
 body.  ``[Num + Str]`` is a one-element positional array of a union;
 ``[(Num + Str)*]`` and ``[Num + Str*]`` are both the simplified array.
+
+String-literal keys support the escapes the printer emits: ``\\\\``,
+``\\"``, ``\\n``, ``\\t``, ``\\r`` and ``\\uXXXX``; any other backslashed
+character stands for itself.  The printer never leaves a raw control
+character in its output, so a printed type always occupies exactly one
+line.
 """
 
 from __future__ import annotations
@@ -86,6 +92,10 @@ class _Parser:
             raise self.error("expected an identifier")
         return self.source[start:self.pos]
 
+    #: Escape sequences with a meaning beyond "the next char verbatim";
+    #: mirrors the printer's key escapes so quoted keys round-trip.
+    _ESCAPES = {"n": "\n", "t": "\t", "r": "\r"}
+
     def read_string(self) -> str:
         self.eat('"')
         out: list[str] = []
@@ -99,8 +109,20 @@ class _Parser:
             if c == "\\":
                 if self.pos >= len(self.source):
                     raise self.error("unterminated escape")
-                out.append(self.source[self.pos])
+                escaped = self.source[self.pos]
                 self.pos += 1
+                if escaped == "u":
+                    digits = self.source[self.pos:self.pos + 4]
+                    if len(digits) < 4 or any(
+                        d not in "0123456789abcdefABCDEF" for d in digits
+                    ):
+                        raise self.error(
+                            "\\u escape needs four hex digits"
+                        )
+                    out.append(chr(int(digits, 16)))
+                    self.pos += 4
+                else:
+                    out.append(self._ESCAPES.get(escaped, escaped))
             else:
                 out.append(c)
 

@@ -202,6 +202,14 @@ class SchedulerStats:
     reads the whole file worker-side; a ``split_mode="lines"`` run is
     the mirror image — that contrast is the observable win of the
     input-split model (surfaced by the CLI's ``--timings``).
+
+    ``checkpoints_loaded`` / ``checkpoints_saved`` /
+    ``checkpoint_records_merged`` account for incremental maintenance
+    (maintained by :mod:`repro.store` and the pipelines): how many
+    persistent summaries entered this scheduler's merges, how many were
+    written back, and how many already-summarised records those loads
+    contributed — the records an update run *didn't* have to re-parse,
+    i.e. the work incrementality saved.
     """
 
     retries: int = 0
@@ -215,6 +223,9 @@ class SchedulerStats:
     job_time_s: float = 0.0
     input_bytes_shipped: int = 0
     input_bytes_read: int = 0
+    checkpoints_loaded: int = 0
+    checkpoints_saved: int = 0
+    checkpoint_records_merged: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -229,6 +240,9 @@ class SchedulerStats:
         self.job_time_s = 0.0
         self.input_bytes_shipped = 0
         self.input_bytes_read = 0
+        self.checkpoints_loaded = 0
+        self.checkpoints_saved = 0
+        self.checkpoint_records_merged = 0
 
 
 def _default_parallelism() -> int:

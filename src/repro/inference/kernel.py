@@ -506,6 +506,27 @@ class PartitionAccumulator:
         self._schema = self.memo.fuse(self._schema, self.interner.intern(t))
         self._count += records
 
+    def add_summary(self, summary: PartitionSummary) -> None:
+        """Fold a :class:`PartitionSummary` into this accumulator.
+
+        The incremental-update primitive: a loaded checkpoint (or any
+        other partial summary) merges into live state exactly as
+        :func:`merge_summary_group` would merge it at the driver — the
+        schema fuses in, the record counts add, and the summary's
+        distinct top-level types join this accumulator's distinct set
+        *structurally* (foreign types are interned here first, so the
+        usual pointer-equality distinct test stays sound afterwards).
+        """
+        intern = self.interner.intern
+        for t in summary.distinct_types:
+            canonical = intern(t)
+            key = id(canonical)
+            if key not in self._distinct_ids:
+                self._distinct_ids.add(key)
+                self._distinct.append(canonical)
+        self._schema = self.memo.fuse(self._schema, intern(summary.schema))
+        self._count += summary.record_count
+
     def summary(self) -> PartitionSummary:
         """Snapshot the accumulator as a small, picklable summary."""
         return PartitionSummary(
@@ -795,14 +816,25 @@ def accumulate_ndjson_split(
 
 @dataclass(frozen=True)
 class MergedSummary:
-    """The driver-side combination of every partition summary."""
+    """The driver-side combination of every partition summary.
+
+    Carries the merged distinct top-level types themselves (not only the
+    count) so the result can be persisted as a checkpoint
+    (:mod:`repro.store`) and later merged onward without information
+    loss.
+    """
 
     schema: Type
     record_count: int
-    distinct_type_count: int
+    distinct_types: tuple[Type, ...]
     skipped: tuple[BadRecord, ...]
     #: Summed per-phase map timings (``None`` when no partition was timed).
     timings: PhaseTimings | None = None
+
+    @property
+    def distinct_type_count(self) -> int:
+        """Distinct top-level types across every merged partition."""
+        return len(self.distinct_types)
 
     @property
     def skipped_count(self) -> int:
@@ -888,7 +920,7 @@ def merge_summaries_full(
     return MergedSummary(
         merged.schema,
         merged.record_count,
-        merged.distinct_type_count,
+        merged.distinct_types,
         merged.skipped,
         merged.timings,
     )

@@ -43,6 +43,7 @@ from repro.inference.fusion import fuse, fuse_all, fuse_multiset
 from repro.inference.infer import infer_type
 from repro.inference.kernel import (
     PartitionAccumulator,
+    PartitionSummary,
     PhaseTimings,
     accumulate_ndjson_partition,
     accumulate_ndjson_split,
@@ -138,6 +139,11 @@ class InferenceRun:
     #: Under a parallel backend the stage buckets are CPU-seconds, so
     #: they can legitimately exceed the wall-clock ``map_seconds``.
     phase_timings: PhaseTimings | None = None
+    #: Records contributed by the ``update_from`` checkpoint (already
+    #: part of ``record_count``); zero for non-incremental runs.
+    checkpoint_record_count: int = 0
+    #: The checkpoint written by ``checkpoint_to``, if any.
+    checkpoint: "Any | None" = None
 
     @property
     def total_seconds(self) -> float:
@@ -146,8 +152,15 @@ class InferenceRun:
 
     @property
     def skip_rate(self) -> float:
-        """Fraction of input records that were quarantined (0..1)."""
-        total = self.record_count + self.skipped_count
+        """Fraction of input records that were quarantined (0..1).
+
+        Measured over the records *this* run actually read — records
+        reused from an ``update_from`` checkpoint are excluded, so an
+        update over a small dirty batch cannot hide behind a large
+        clean history.
+        """
+        new_records = self.record_count - self.checkpoint_record_count
+        total = new_records + self.skipped_count
         return self.skipped_count / total if total else 0.0
 
     def skip_summary(self) -> str:
@@ -319,8 +332,22 @@ def infer_ndjson_file(
     collect_timings: bool = False,
     split_mode: str = "auto",
     min_split_bytes: int = DEFAULT_MIN_SPLIT_BYTES,
+    update_from: str | Path | None = None,
+    checkpoint_to: str | Path | None = None,
 ) -> InferenceRun:
     """Instrumented schema inference straight from an NDJSON file.
+
+    Incremental maintenance (see :mod:`repro.store` and
+    docs/INCREMENTAL.md): ``update_from`` names a checkpoint directory
+    whose stored summary is fused with the freshly mapped partitions —
+    only the new file is parsed, and the stored summary enters the
+    reduce as one more partial (participating in the scheduler's
+    tree-merge like any partition summary).  ``checkpoint_to`` persists
+    the merged result (schema, record count, distinct types, source
+    fingerprints) after the run; pass the same directory for both to
+    maintain a long-lived schema over an arriving feed.  By
+    associativity (Theorem 5.5) the update result is *identical* to
+    recomputing over all the data from scratch.
 
     ``split_mode`` picks the ingestion model (see
     :func:`resolve_split_mode` for how ``"auto"`` chooses):
@@ -377,6 +404,14 @@ def infer_ndjson_file(
     mode = resolve_split_mode(split_mode, context)
     stats = context.scheduler.stats if context is not None else None
     scheduler = context.scheduler if context is not None else None
+
+    loaded = None
+    if update_from is not None or checkpoint_to is not None:
+        # Imported lazily: the store sits above the kernel, and most
+        # runs never touch it.
+        from repro.store.checkpoint import load_checkpoint, save_checkpoint
+    if update_from is not None:
+        loaded = load_checkpoint(update_from, stats=stats)
 
     start = time.perf_counter()
     if mode == "bytes":
@@ -440,7 +475,6 @@ def infer_ndjson_file(
     map_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    merged = merge_summaries_full(summaries, scheduler=scheduler)
     # Attribute quarantined rows to their partitions through the engine's
     # accumulator machinery (summaries carry the counts across process
     # boundaries; the accumulator merges them driver-side).
@@ -448,16 +482,45 @@ def infer_ndjson_file(
     for index, summary in enumerate(summaries):
         if summary.skipped_count:
             per_partition.add_count(index, summary.skipped_count)
+    if loaded is not None:
+        # The stored summary is just one more partial: it enters the
+        # same (possibly tree-shaped) reduce as the fresh partitions.
+        summaries = list(summaries) + [loaded.summary]
+    merged = merge_summaries_full(summaries, scheduler=scheduler)
     reduce_seconds = time.perf_counter() - start
 
     if bad_records_path is not None and merged.skipped:
         write_bad_records(bad_records_path, merged.skipped)
+    checkpoint_records = loaded.record_count if loaded is not None else 0
     if max_error_rate is not None:
-        total = merged.record_count + merged.skipped_count
+        # Judge the error rate over the records this run actually read;
+        # checkpointed history must not dilute a dirty new batch.
+        new_records = merged.record_count - checkpoint_records
+        total = new_records + merged.skipped_count
         if total and merged.skipped_count / total > max_error_rate:
             raise ErrorRateExceeded(
                 merged.skipped_count, total, max_error_rate
             )
+
+    checkpoint = None
+    if checkpoint_to is not None:
+        previous_sources = (
+            loaded.manifest.sources if loaded is not None else ()
+        )
+        previous_skipped = (
+            loaded.manifest.skipped_count if loaded is not None else 0
+        )
+        checkpoint = save_checkpoint(
+            checkpoint_to,
+            PartitionSummary(
+                schema=merged.schema,
+                record_count=merged.record_count,
+                distinct_types=merged.distinct_types,
+            ),
+            sources=list(previous_sources) + [source],
+            skipped_count=previous_skipped + merged.skipped_count,
+            stats=stats,
+        )
 
     return InferenceRun(
         schema=merged.schema,
@@ -469,6 +532,8 @@ def infer_ndjson_file(
         bad_records=merged.skipped,
         skipped_per_partition=per_partition.value,
         phase_timings=merged.timings,
+        checkpoint_record_count=checkpoint_records,
+        checkpoint=checkpoint,
     )
 
 
@@ -529,6 +594,33 @@ class SchemaInferencer:
 
     def __or__(self, other: "SchemaInferencer") -> "SchemaInferencer":
         return self.merge(other)
+
+    @classmethod
+    def from_checkpoint(cls, directory: str | Path) -> "SchemaInferencer":
+        """Resume a long-lived inferencer from a saved checkpoint.
+
+        The loaded summary folds in through the kernel's
+        :meth:`~repro.inference.kernel.PartitionAccumulator.add_summary`,
+        so the resumed inferencer's schema, record count and distinct
+        set all continue exactly where the checkpointed run stopped.
+        """
+        from repro.store.checkpoint import load_checkpoint
+
+        inferencer = cls()
+        inferencer._acc.add_summary(load_checkpoint(directory).summary)
+        return inferencer
+
+    def save_checkpoint(self, directory: str | Path,
+                        sources: Iterable[Any] = ()) -> "Any":
+        """Persist the current state as a checkpoint; returns it.
+
+        See :func:`repro.store.save_checkpoint`; ``sources`` may name
+        input files to fingerprint into the manifest.
+        """
+        from repro.store.checkpoint import save_checkpoint
+
+        return save_checkpoint(directory, self._acc.summary(),
+                               sources=sources)
 
 
 @dataclass

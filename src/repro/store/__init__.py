@@ -1,0 +1,48 @@
+"""Persistent schema state: checkpoint save/load/merge.
+
+The store turns the one-shot reproducer into a restartable, shardable
+service primitive: a run's fused summary persists as a versioned on-disk
+checkpoint, a later run fuses new data *into* it instead of recomputing
+from scratch (``infer_ndjson_file(..., update_from=..., checkpoint_to=
+...)``), and checkpoints from independent shards union with
+:func:`merge_checkpoints` — all of it exact by the fusion algebra's
+commutativity/associativity (paper Theorems 5.4-5.5).
+
+See :mod:`repro.store.checkpoint` for the on-disk format.
+"""
+
+from repro.store.checkpoint import (
+    FORMAT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointManifest,
+    CheckpointNotFoundError,
+    SourceFingerprint,
+    build_manifest,
+    checkpoint_exists,
+    fingerprint_source,
+    load_checkpoint,
+    load_manifest,
+    load_summary,
+    merge_checkpoints,
+    save_checkpoint,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "CheckpointManifest",
+    "CheckpointNotFoundError",
+    "SourceFingerprint",
+    "build_manifest",
+    "checkpoint_exists",
+    "fingerprint_source",
+    "load_checkpoint",
+    "load_manifest",
+    "load_summary",
+    "merge_checkpoints",
+    "save_checkpoint",
+]

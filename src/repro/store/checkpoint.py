@@ -1,0 +1,520 @@
+"""Persistent, mergeable schema checkpoints (incremental maintenance).
+
+The paper proves ``Fuse`` commutative and associative (Theorems 5.4-5.5)
+precisely so that schemas can be maintained *incrementally*: the fused
+state of everything seen so far is itself just another operand.  This
+module gives that state a durable, versioned on-disk form so inference
+stops being a one-shot batch job:
+
+* :func:`save_checkpoint` persists a
+  :class:`~repro.inference.kernel.PartitionSummary` — schema, record
+  count, distinct top-level types — into a directory, alongside a
+  manifest with the format version, counts, a schema digest and source
+  fingerprints.
+* :func:`load_checkpoint` reads it back, verifying version and digest,
+  and yields a summary that is *exactly* a partition summary: it can be
+  appended to a fresh run's partials and ride the existing merge path
+  (:func:`~repro.inference.kernel.merge_summary_group`), including the
+  scheduler's tree-merge reduce.
+* :func:`merge_checkpoints` unions any number of checkpoints — the
+  cross-shard schema union: shards infer independently, checkpoint, and
+  their checkpoints merge in any order or grouping to the same schema.
+
+Serialization is the existing concrete type syntax
+(:func:`repro.core.printer.print_type` /
+:func:`repro.core.type_parser.parse_type`), which round-trips exactly.
+Every file is written deterministically — canonical (sorted) type form,
+distinct types sorted by printed form, manifest keys sorted, no
+timestamps — so checkpointing the same data twice, on any backend,
+produces byte-identical directories (a golden-file test pins this).
+
+A checkpoint of a zero-record dataset is valid and round-trips the empty
+type ``(empty)``: fusing it into anything is a no-op, exactly as the
+algebra demands of the neutral element.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.core.errors import TypeSyntaxError
+from repro.core.printer import print_type
+from repro.core.type_parser import parse_type
+from repro.core.types import Type
+from repro.inference.kernel import (
+    PartitionSummary,
+    TREE_MERGE_THRESHOLD,
+    merge_summary_group,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "CheckpointManifest",
+    "CheckpointNotFoundError",
+    "SourceFingerprint",
+    "build_manifest",
+    "checkpoint_exists",
+    "fingerprint_source",
+    "load_checkpoint",
+    "load_manifest",
+    "load_summary",
+    "merge_checkpoints",
+    "save_checkpoint",
+]
+
+#: On-disk format version; bumped on any incompatible layout change.
+FORMAT_VERSION = 1
+
+#: File names inside a checkpoint directory.
+MANIFEST_FILE = "MANIFEST.json"
+SCHEMA_FILE = "schema.type"
+DISTINCT_FILE = "distinct.types"
+
+#: How much of a source file the fingerprint hashes (a prefix: cheap and
+#: deterministic, and together with the size enough to notice the common
+#: mutations — truncation, replacement, append-with-rewrite).
+_FINGERPRINT_BYTES = 1 << 16
+
+
+class CheckpointError(Exception):
+    """Base class for checkpoint store failures."""
+
+
+class CheckpointNotFoundError(CheckpointError):
+    """The named directory does not hold a checkpoint."""
+
+
+class CheckpointFormatError(CheckpointError):
+    """The checkpoint exists but cannot be trusted.
+
+    Raised for unknown format versions, unparseable files, and digest or
+    count mismatches between the manifest and the data files.
+    """
+
+
+@dataclass(frozen=True)
+class SourceFingerprint:
+    """Identity of one input file that contributed to a checkpoint.
+
+    ``sha256`` digests the first 64 KiB of the file — a cheap prefix
+    hash, not a full-content hash — so fingerprinting stays O(1) however
+    large the source.  Combined with ``size`` it detects the usual ways
+    a source diverges from what was ingested.
+    """
+
+    path: str
+    size: int
+    sha256: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for the manifest JSON."""
+        return {"path": self.path, "size": self.size, "sha256": self.sha256}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SourceFingerprint":
+        """Rebuild from the manifest JSON dict."""
+        try:
+            return cls(
+                path=str(data["path"]),
+                size=int(data["size"]),
+                sha256=str(data["sha256"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointFormatError(
+                f"malformed source fingerprint entry: {data!r}"
+            ) from exc
+
+
+def fingerprint_source(path: str | Path) -> SourceFingerprint:
+    """Fingerprint one source file (size + prefix sha256)."""
+    p = Path(path)
+    size = p.stat().st_size
+    digest = hashlib.sha256()
+    with open(p, "rb") as handle:
+        digest.update(handle.read(_FINGERPRINT_BYTES))
+    return SourceFingerprint(str(p), size, digest.hexdigest())
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """The checkpoint's metadata record (``MANIFEST.json``).
+
+    ``skipped_count`` is informational: quarantined records themselves
+    live in NDJSON sidecars (see ``infer_ndjson_file``), not in the
+    checkpoint, so only their cumulative count survives an update chain.
+    """
+
+    format_version: int
+    record_count: int
+    distinct_type_count: int
+    skipped_count: int
+    schema_sha256: str
+    sources: tuple[SourceFingerprint, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form, ready for deterministic JSON dumping."""
+        return {
+            "format_version": self.format_version,
+            "record_count": self.record_count,
+            "distinct_type_count": self.distinct_type_count,
+            "skipped_count": self.skipped_count,
+            "schema_sha256": self.schema_sha256,
+            "sources": [s.to_dict() for s in self.sources],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CheckpointManifest":
+        """Rebuild from parsed manifest JSON, validating field shapes."""
+        try:
+            return cls(
+                format_version=int(data["format_version"]),
+                record_count=int(data["record_count"]),
+                distinct_type_count=int(data["distinct_type_count"]),
+                skipped_count=int(data.get("skipped_count", 0)),
+                schema_sha256=str(data["schema_sha256"]),
+                sources=tuple(
+                    SourceFingerprint.from_dict(s)
+                    for s in data.get("sources", [])
+                ),
+            )
+        except CheckpointFormatError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointFormatError(
+                f"malformed checkpoint manifest: missing or invalid "
+                f"field ({exc})"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A checkpoint in memory: its manifest plus the summary it stores.
+
+    ``path`` is the directory it was loaded from or saved to (``None``
+    for a merge result that was not written out).
+    """
+
+    manifest: CheckpointManifest
+    summary: PartitionSummary
+    path: str | None = None
+
+    @property
+    def schema(self) -> Type:
+        """The checkpointed fused schema."""
+        return self.summary.schema
+
+    @property
+    def record_count(self) -> int:
+        """Records folded into this checkpoint so far."""
+        return self.summary.record_count
+
+
+def _schema_bytes(schema: Type) -> bytes:
+    """The deterministic on-disk form of the schema file."""
+    return (print_type(schema) + "\n").encode("utf-8")
+
+
+def _distinct_bytes(distinct_types: Sequence[Type]) -> bytes:
+    """The deterministic on-disk form of the distinct-types file.
+
+    One printed type per line, sorted lexicographically — the set of
+    distinct types is order-free, so sorting makes the file independent
+    of partition arrival order (and therefore of backend and batch
+    split).  ``print_type`` never emits a raw newline (control
+    characters in record keys are escaped), so lines and types are in
+    bijection.
+    """
+    lines = sorted(print_type(t) for t in distinct_types)
+    return "".join(line + "\n" for line in lines).encode("utf-8")
+
+
+def _write_file(directory: Path, name: str, data: bytes) -> None:
+    """Write one checkpoint file atomically (temp file + rename)."""
+    tmp = directory / (name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, directory / name)
+
+
+def _normalize_sources(
+    sources: Iterable[SourceFingerprint | str | Path],
+) -> tuple[SourceFingerprint, ...]:
+    """Fingerprint paths, dedupe by path (last wins), sort for determinism."""
+    by_path: dict[str, SourceFingerprint] = {}
+    for source in sources:
+        if not isinstance(source, SourceFingerprint):
+            source = fingerprint_source(source)
+        by_path[source.path] = source
+    return tuple(sorted(by_path.values(), key=lambda s: s.path))
+
+
+def build_manifest(
+    summary: PartitionSummary,
+    sources: Iterable[SourceFingerprint | str | Path] = (),
+    skipped_count: int | None = None,
+) -> CheckpointManifest:
+    """The manifest describing ``summary``; paths are fingerprinted.
+
+    ``skipped_count`` defaults to the summary's own quarantine count;
+    an update pass overrides it with the cumulative count carried over
+    from the previous checkpoint.
+    """
+    return CheckpointManifest(
+        format_version=FORMAT_VERSION,
+        record_count=summary.record_count,
+        distinct_type_count=summary.distinct_type_count,
+        skipped_count=(
+            summary.skipped_count if skipped_count is None else skipped_count
+        ),
+        schema_sha256=hashlib.sha256(
+            _schema_bytes(summary.schema)
+        ).hexdigest(),
+        sources=_normalize_sources(sources),
+    )
+
+
+def save_checkpoint(
+    directory: str | Path,
+    summary: PartitionSummary,
+    sources: Iterable[SourceFingerprint | str | Path] = (),
+    skipped_count: int | None = None,
+    stats: Any | None = None,
+) -> Checkpoint:
+    """Persist ``summary`` into ``directory`` (created if needed).
+
+    Existing checkpoint files in the directory are replaced atomically,
+    manifest last, so a reader never observes a manifest describing
+    files that are not yet in place.  Only the algebraic state travels:
+    schema, record count, distinct types.  Per-run transients —
+    quarantined record bodies, phase timings, split line/byte counters —
+    stay with the run that produced them (the manifest keeps the
+    cumulative ``skipped_count`` for observability).
+
+    ``stats`` may be a :class:`~repro.engine.scheduler.SchedulerStats`;
+    when given, ``checkpoints_saved`` is incremented.
+
+    >>> import tempfile
+    >>> from repro.inference.kernel import accumulate_partition
+    >>> summary = accumulate_partition([{"a": 1}, {"a": 2.5}])
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     ckpt = save_checkpoint(d, summary)
+    ...     reloaded = load_checkpoint(d)
+    >>> reloaded.summary.schema == summary.schema
+    True
+    >>> reloaded.record_count
+    2
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    manifest = build_manifest(summary, sources, skipped_count)
+    _write_file(target, SCHEMA_FILE, _schema_bytes(summary.schema))
+    _write_file(target, DISTINCT_FILE, _distinct_bytes(summary.distinct_types))
+    manifest_bytes = (
+        json.dumps(manifest.to_dict(), sort_keys=True, indent=2) + "\n"
+    ).encode("utf-8")
+    _write_file(target, MANIFEST_FILE, manifest_bytes)
+    if stats is not None:
+        stats.checkpoints_saved += 1
+    return Checkpoint(manifest=manifest, summary=summary, path=str(target))
+
+
+def checkpoint_exists(directory: str | Path) -> bool:
+    """Whether ``directory`` holds a checkpoint (has a manifest)."""
+    return (Path(directory) / MANIFEST_FILE).is_file()
+
+
+def _read_file(directory: Path, name: str) -> bytes:
+    try:
+        with open(directory / name, "rb") as handle:
+            return handle.read()
+    except FileNotFoundError:
+        raise CheckpointNotFoundError(
+            f"no checkpoint at {str(directory)!r}: missing {name}"
+        ) from None
+
+
+def load_manifest(directory: str | Path) -> CheckpointManifest:
+    """Read and validate just the manifest of a checkpoint directory.
+
+    Cheap (one small JSON file), so callers that only need metadata —
+    source fingerprints, counts — can skip parsing the type files.
+    Raises :class:`CheckpointNotFoundError` when no checkpoint is there
+    and :class:`CheckpointFormatError` on a malformed manifest or an
+    unknown format version.
+    """
+    target = Path(directory)
+    if not target.is_dir():
+        raise CheckpointNotFoundError(
+            f"no checkpoint at {str(target)!r}: not a directory"
+        )
+    manifest_bytes = _read_file(target, MANIFEST_FILE)
+    try:
+        manifest_data = json.loads(manifest_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointFormatError(
+            f"unreadable checkpoint manifest in {str(target)!r}: {exc}"
+        ) from exc
+    if not isinstance(manifest_data, dict):
+        raise CheckpointFormatError(
+            f"checkpoint manifest in {str(target)!r} is not a JSON object"
+        )
+    manifest = CheckpointManifest.from_dict(manifest_data)
+    if manifest.format_version != FORMAT_VERSION:
+        raise CheckpointFormatError(
+            f"checkpoint at {str(target)!r} has format version "
+            f"{manifest.format_version}; this build reads version "
+            f"{FORMAT_VERSION}"
+        )
+    return manifest
+
+
+def load_checkpoint(
+    directory: str | Path, stats: Any | None = None
+) -> Checkpoint:
+    """Load and verify the checkpoint stored in ``directory``.
+
+    Verification covers the format version, the manifest's JSON shape,
+    the schema digest (the schema file must be exactly the bytes the
+    manifest was computed over) and the distinct-type count.  Failures
+    raise :class:`CheckpointFormatError`; a missing directory or file
+    raises :class:`CheckpointNotFoundError`.
+
+    The returned summary's types are parsed fresh; they are *not*
+    interned into any live accumulator.  That is fine for every merge
+    path — structural equality drives deduplication across process
+    boundaries already — and
+    :meth:`~repro.inference.kernel.PartitionAccumulator.add_summary`
+    interns them on the way in when a live accumulator adopts them.
+    """
+    target = Path(directory)
+    manifest = load_manifest(target)
+
+    schema_bytes = _read_file(target, SCHEMA_FILE)
+    digest = hashlib.sha256(schema_bytes).hexdigest()
+    if digest != manifest.schema_sha256:
+        raise CheckpointFormatError(
+            f"schema digest mismatch in {str(target)!r}: manifest says "
+            f"{manifest.schema_sha256[:12]}…, file hashes to {digest[:12]}…"
+        )
+    try:
+        schema = parse_type(schema_bytes.decode("utf-8").strip())
+    except (UnicodeDecodeError, TypeSyntaxError) as exc:
+        raise CheckpointFormatError(
+            f"unparseable schema in {str(target)!r}: {exc}"
+        ) from exc
+
+    distinct_bytes = _read_file(target, DISTINCT_FILE)
+    try:
+        lines = distinct_bytes.decode("utf-8").splitlines()
+        distinct = tuple(parse_type(line) for line in lines if line.strip())
+    except (UnicodeDecodeError, TypeSyntaxError) as exc:
+        raise CheckpointFormatError(
+            f"unparseable distinct-types file in {str(target)!r}: {exc}"
+        ) from exc
+    if len(distinct) != manifest.distinct_type_count:
+        raise CheckpointFormatError(
+            f"distinct-type count mismatch in {str(target)!r}: manifest "
+            f"says {manifest.distinct_type_count}, file holds "
+            f"{len(distinct)}"
+        )
+
+    summary = PartitionSummary(
+        schema=schema,
+        record_count=manifest.record_count,
+        distinct_types=distinct,
+    )
+    if stats is not None:
+        stats.checkpoints_loaded += 1
+        stats.checkpoint_records_merged += summary.record_count
+    return Checkpoint(manifest=manifest, summary=summary, path=str(target))
+
+
+def load_summary(directory: str | Path) -> PartitionSummary:
+    """Load just the partition summary of a checkpoint.
+
+    A module-level function over picklable data, so
+    :func:`merge_checkpoints` can ship the loads to scheduler workers —
+    parsing a large distinct-types file is the expensive part of a load,
+    and it parallelises perfectly.
+    """
+    return load_checkpoint(directory).summary
+
+
+def merge_checkpoints(
+    inputs: Sequence[str | Path | Checkpoint],
+    out: str | Path | None = None,
+    scheduler: Any | None = None,
+    stats: Any | None = None,
+) -> Checkpoint:
+    """Union any number of checkpoints into one (cross-shard schema merge).
+
+    Every component of the merge is associative and commutative —
+    schemas fuse, record counts add, distinct types union structurally —
+    so shards may be merged in any order or grouping and the result is
+    the schema a single pass over all the shards' data would have
+    produced (Theorem 5.5).  The merge reuses the kernel's summary-merge
+    path (:func:`~repro.inference.kernel.merge_summary_group`), and with
+    a ``scheduler`` both the checkpoint *loads* and — above the kernel's
+    tree-merge threshold — the pairwise merge rounds run as parallel
+    tasks.
+
+    With ``out``, the merged checkpoint is saved there (its manifest
+    unions the inputs' source fingerprints) and the returned
+    :class:`Checkpoint` points at it; otherwise the result stays in
+    memory with ``path=None``.
+    """
+    if not inputs:
+        raise CheckpointError("merge_checkpoints needs at least one input")
+    paths = [c for c in inputs if not isinstance(c, Checkpoint)]
+    if scheduler is not None and len(paths) > 1:
+        # Ship the expensive part (parsing the type files) to workers;
+        # manifests are one small JSON each and stay at the driver.
+        loaded_by_path = dict(
+            zip(map(str, paths), scheduler.run(load_summary, paths))
+        )
+        if stats is not None:
+            stats.checkpoints_loaded += len(paths)
+            stats.checkpoint_records_merged += sum(
+                s.record_count for s in loaded_by_path.values()
+            )
+        checkpoints = [
+            item if isinstance(item, Checkpoint) else Checkpoint(
+                manifest=load_manifest(item),
+                summary=loaded_by_path[str(item)],
+                path=str(item),
+            )
+            for item in inputs
+        ]
+    else:
+        checkpoints = [
+            c if isinstance(c, Checkpoint)
+            else load_checkpoint(c, stats=stats)
+            for c in inputs
+        ]
+    sources = [s for c in checkpoints for s in c.manifest.sources]
+    skipped = sum(c.manifest.skipped_count for c in checkpoints)
+
+    rows: Sequence[PartitionSummary] = [c.summary for c in checkpoints]
+    if scheduler is not None:
+        while len(rows) > TREE_MERGE_THRESHOLD:
+            pairs = [rows[i:i + 2] for i in range(0, len(rows), 2)]
+            rows = scheduler.run(merge_summary_group, pairs)
+    merged = merge_summary_group(rows)
+
+    if out is not None:
+        return save_checkpoint(
+            out, merged, sources=sources, skipped_count=skipped, stats=stats
+        )
+    return Checkpoint(
+        manifest=build_manifest(merged, sources, skipped_count=skipped),
+        summary=merged,
+        path=None,
+    )

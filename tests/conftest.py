@@ -127,3 +127,57 @@ def normal_types(max_leaves: int = 12) -> st.SearchStrategy:
 non_union_types = normal_types().filter(
     lambda t: t.kind is not None
 )
+
+
+# ---------------------------------------------------------------------------
+# NDJSON corpora (shared by the incremental/checkpoint correctness harness)
+
+#: A corpus split into batches of top-level records — the unit the
+#: incremental tests permute, concatenate, checkpoint and re-merge.
+record_batches = st.lists(
+    st.lists(json_records, max_size=6), min_size=1, max_size=5
+)
+
+
+def write_corpus(path, records) -> int:
+    """Write ``records`` to ``path`` as NDJSON via the project serialiser.
+
+    Returns the record count, mirroring
+    :func:`repro.jsonio.ndjson.write_ndjson`.
+    """
+    from repro.jsonio.ndjson import write_ndjson
+
+    return write_ndjson(path, records)
+
+
+def make_corpus(n: int, seed: int = 0) -> list:
+    """A deterministic synthetic record corpus, no hypothesis required.
+
+    Mixes the shapes that exercise every fusion rule — nested records,
+    positional and starred arrays, type-flipping fields, occasional
+    missing keys — so batch-vs-incremental equivalence over this corpus
+    covers the interesting merge paths.  Same ``(n, seed)`` always yields
+    the same records; the CI equivalence gate and the golden checkpoint
+    fixture both rely on that.
+    """
+    import random
+
+    rng = random.Random(seed)
+    corpus = []
+    for i in range(n):
+        record = {"id": i, "kind": rng.choice(["a", "b", "c"])}
+        roll = rng.random()
+        if roll < 0.3:
+            record["payload"] = {"score": rng.random(), "tags": [
+                rng.choice(["x", "y", "z"]) for _ in range(rng.randrange(3))
+            ]}
+        elif roll < 0.5:
+            record["payload"] = rng.randrange(100)
+        elif roll < 0.6:
+            record["payload"] = None
+        if rng.random() < 0.4:
+            record["extra"] = [rng.randrange(10), str(rng.randrange(10))]
+        if rng.random() < 0.2:
+            record["meta"] = {"flag": rng.random() < 0.5}
+        corpus.append(record)
+    return corpus

@@ -2,6 +2,7 @@
 
 import pytest
 from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.errors import TypeSyntaxError
 from repro.core.printer import print_type
@@ -141,3 +142,49 @@ class TestRoundTrip:
         t = parse_type(text)
         assert t.field("B").type == make_union([NUM, BOOL])
         assert t.field("A").optional and t.field("C").optional
+
+
+class TestKeyEscapes:
+    """Control characters and quotes in record keys (checkpoint safety).
+
+    The checkpoint store writes one printed type per line, so the
+    printer must never emit a raw newline and the parser must decode
+    every escape the printer produces.
+    """
+
+    @pytest.mark.parametrize("key", [
+        "a\nb", "a\tb", "a\rb", 'quo"te', "back\\slash",
+        "\x00", "\x1b[0m", "mix\n\t\"\\", "\x07bell",
+    ])
+    def test_awkward_keys_round_trip(self, key):
+        t = make_record([(key, NUM)])
+        printed = print_type(t)
+        assert "\n" not in printed and "\r" not in printed
+        assert parse_type(printed) == t
+
+    def test_newline_key_prints_escaped(self):
+        assert print_type(make_record([("a\nb", NUM)])) == '{"a\\nb": Num}'
+
+    def test_control_char_prints_as_unicode_escape(self):
+        assert print_type(make_record([("\x01", NUM)])) == '{"\\u0001": Num}'
+
+    def test_unicode_escape_parses(self):
+        assert parse_type('{"\\u0041": Num}') == make_record([("A", NUM)])
+
+    def test_truncated_unicode_escape_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            parse_type('{"\\u00": Num}')
+
+    def test_non_hex_unicode_escape_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            parse_type('{"\\uzzzz": Num}')
+
+    def test_unknown_escape_is_verbatim(self):
+        assert parse_type('{"\\q": Num}') == make_record([("q", NUM)])
+
+    @given(st.text(min_size=1, max_size=10))
+    def test_arbitrary_text_keys_round_trip(self, key):
+        t = make_record([(key, STR)])
+        printed = print_type(t)
+        assert "\n" not in printed
+        assert parse_type(printed) == t

@@ -146,6 +146,82 @@ class TestAbsorption:
         assert fuse_all([t] * (n + 1)) == fuse_all([t, t])
 
 
+class TestMemoizedFusionMetamorphic:
+    """Metamorphic laws through the kernel's pooled fast path.
+
+    The optimized path (interning + pointer-keyed memoized fusion) must
+    be *observationally identical* to the plain recursive ``fuse``: for
+    any relation that holds of the reference implementation, the same
+    relation must hold when every operand first travels through a
+    :class:`~repro.core.interning.TypeInterner` and the fusion runs in a
+    :class:`~repro.inference.kernel.FusionMemo`.
+    """
+
+    @staticmethod
+    def _memo():
+        from repro.core.interning import TypeInterner
+        from repro.inference.kernel import FusionMemo
+
+        interner = TypeInterner()
+        return interner, FusionMemo(interner)
+
+    @given(normal_types(), normal_types())
+    def test_memo_fuse_equals_plain_fuse(self, t1, t2):
+        interner, memo = self._memo()
+        assert memo.fuse(interner.intern(t1), interner.intern(t2)) == fuse(
+            t1, t2
+        )
+
+    @given(normal_types())
+    def test_interning_is_identity_and_idempotent(self, t):
+        interner, _ = self._memo()
+        canonical = interner.intern(t)
+        assert canonical == t
+        assert interner.intern(canonical) is canonical
+        # A structurally equal copy resolves to the same pooled object.
+        assert interner.intern(t) is canonical
+
+    @given(normal_types(), normal_types())
+    def test_memo_commutes(self, t1, t2):
+        interner, memo = self._memo()
+        a, b = interner.intern(t1), interner.intern(t2)
+        assert memo.fuse(a, b) == memo.fuse(b, a)
+
+    @given(normal_types(), normal_types(), normal_types())
+    def test_memo_associates(self, t1, t2, t3):
+        interner, memo = self._memo()
+        a, b, c = (interner.intern(t) for t in (t1, t2, t3))
+        assert memo.fuse(memo.fuse(a, b), c) == memo.fuse(a, memo.fuse(b, c))
+
+    @given(normal_types(), normal_types())
+    def test_memo_result_is_canonical_and_cached(self, t1, t2):
+        interner, memo = self._memo()
+        a, b = interner.intern(t1), interner.intern(t2)
+        first = memo.fuse(a, b)
+        assert interner.intern(first) is first
+        # Repeating the same pooled operands must hit the cache exactly.
+        assert memo.fuse(a, b) is first
+
+    @given(st.lists(json_values(), min_size=1, max_size=8))
+    def test_memo_fold_equals_fuse_all(self, values):
+        from repro.core.types import EMPTY
+
+        interner, memo = self._memo()
+        schema = EMPTY
+        for v in values:
+            schema = memo.fuse(schema, interner.intern(infer_type(v)))
+        assert schema == fuse_all([infer_type(v) for v in values])
+
+    @given(normal_types(), normal_types())
+    def test_separate_memos_agree(self, t1, t2):
+        """Pooling is per-partition state; results must not depend on it."""
+        i1, m1 = self._memo()
+        i2, m2 = self._memo()
+        assert m1.fuse(i1.intern(t1), i1.intern(t2)) == m2.fuse(
+            i2.intern(t1), i2.intern(t2)
+        )
+
+
 class TestFuseAllProperties:
     @given(json_values(), json_values(), json_values())
     def test_any_order_same_schema(self, a, b, c):

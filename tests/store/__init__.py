@@ -1,0 +1,1 @@
+"""Tests for the persistent checkpoint store (repro.store)."""

@@ -1,0 +1,31 @@
+"""Regenerate the golden checkpoint fixture (tests/golden/checkpoint).
+
+Run after an *intentional* on-disk format change, together with a
+``FORMAT_VERSION`` bump::
+
+    PYTHONPATH=src python tests/store/regen_golden.py
+"""
+
+from pathlib import Path
+
+from repro.inference.kernel import accumulate_partition
+from repro.store.checkpoint import save_checkpoint
+
+
+def main() -> None:
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent))
+    from tests.conftest import make_corpus
+
+    golden = (
+        Path(__file__).resolve().parent.parent / "golden" / "checkpoint"
+    )
+    summary = accumulate_partition(make_corpus(64, seed=7))
+    checkpoint = save_checkpoint(golden, summary)
+    print(f"wrote {golden} ({checkpoint.record_count} records, "
+          f"{summary.distinct_type_count} distinct types)")
+
+
+if __name__ == "__main__":
+    main()

@@ -262,3 +262,96 @@ class TestParser:
     def test_missing_arguments_rejected(self):
         with pytest.raises(SystemExit):
             main(["infer"])
+
+
+class TestCheckpointCli:
+    def test_infer_writes_checkpoint(self, sample_file, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["infer", sample_file, "--checkpoint", str(ckpt)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == (
+            "{a: (Num + Str), b: {c: Str, d: Bool?}}"
+        )
+        assert "checkpoint: 2 records" in captured.err
+        assert (ckpt / "MANIFEST.json").is_file()
+
+    def test_update_chain_equals_full_inference(self, tmp_path, capsys):
+        first = tmp_path / "first.ndjson"
+        second = tmp_path / "second.ndjson"
+        both = tmp_path / "both.ndjson"
+        write_ndjson(first, [{"a": 1}, {"a": 2}])
+        write_ndjson(second, [{"a": "x", "b": None}])
+        write_ndjson(both, [{"a": 1}, {"a": 2}, {"a": "x", "b": None}])
+        ckpt = tmp_path / "ckpt"
+        assert main(["infer", str(first), "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(["infer", str(second), "--checkpoint", str(ckpt),
+                     "--update"]) == 0
+        updated = capsys.readouterr()
+        assert main(["infer", str(both)]) == 0
+        full = capsys.readouterr()
+        assert updated.out == full.out
+        assert "2 reused from the previous checkpoint" in updated.err
+
+    def test_update_cold_starts_without_existing_checkpoint(
+        self, sample_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "fresh"
+        assert main(["infer", sample_file, "--checkpoint", str(ckpt),
+                     "--update"]) == 0
+        captured = capsys.readouterr()
+        assert "reused" not in captured.err
+        assert (ckpt / "MANIFEST.json").is_file()
+
+    def test_update_without_checkpoint_dir_is_an_error(
+        self, sample_file, capsys
+    ):
+        assert main(["infer", sample_file, "--update"]) == 2
+        assert "--update requires --checkpoint" in capsys.readouterr().err
+
+
+class TestMerge:
+    def _checkpoint(self, tmp_path, name, records):
+        source = tmp_path / f"{name}.ndjson"
+        write_ndjson(source, records)
+        ckpt = tmp_path / name
+        assert main(["infer", str(source), "--checkpoint", str(ckpt)]) == 0
+        return ckpt
+
+    def test_merge_two_checkpoints(self, tmp_path, capsys):
+        a = self._checkpoint(tmp_path, "a", [{"x": 1}])
+        b = self._checkpoint(tmp_path, "b", [{"x": "s", "y": True}])
+        capsys.readouterr()
+        out_dir = tmp_path / "union"
+        assert main(["merge", str(a), str(b), "-o", str(out_dir)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "{x: (Num + Str), y: Bool?}"
+        assert "merged 2 checkpoints (2 records" in captured.err
+        assert (out_dir / "MANIFEST.json").is_file()
+
+    def test_merge_parallel_matches_serial(self, tmp_path, capsys):
+        paths = [
+            self._checkpoint(tmp_path, f"s{i}", [{"k": i}, {"k": str(i)}])
+            for i in range(4)
+        ]
+        capsys.readouterr()
+        args = [str(p) for p in paths]
+        assert main(["merge", *args, "-o", str(tmp_path / "serial")]) == 0
+        serial = capsys.readouterr().out
+        assert main(["merge", *args, "-o", str(tmp_path / "par"),
+                     "--parallel", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_merge_missing_checkpoint_fails(self, tmp_path, capsys):
+        a = self._checkpoint(tmp_path, "a", [{"x": 1}])
+        capsys.readouterr()
+        assert main(["merge", str(a), str(tmp_path / "nope"),
+                     "-o", str(tmp_path / "out")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_merge_pretty(self, tmp_path, capsys):
+        a = self._checkpoint(tmp_path, "a", [{"x": 1, "y": {"z": "s"}}])
+        capsys.readouterr()
+        assert main(["merge", str(a), "-o", str(tmp_path / "out"),
+                     "--pretty"]) == 0
+        assert "\n" in capsys.readouterr().out.strip()
