@@ -48,6 +48,17 @@ BACKENDS = ("thread", "process")
 PATHS = ("full", "update", "merge")
 
 
+def _cpu_count() -> int:
+    """CPUs *available* to this process (affinity-aware), not installed."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0))
+        except OSError:  # pragma: no cover
+            pass
+    return os.cpu_count() or 1
+
+
 def _digest(schema) -> str:
     from repro.core.printer import print_type
 
@@ -176,7 +187,7 @@ def run_benchmark(
         "n": n,
         "batches": batches,
         "partitions": partitions,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": _cpu_count(),
         "results_identical": True,
         "backends": [],
     }

@@ -50,6 +50,17 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_OUT = REPO_ROOT / "BENCH_ingest.json"
 
+
+def _cpu_count() -> int:
+    """CPUs *available* to this process (affinity-aware), not installed."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0))
+        except OSError:  # pragma: no cover
+            pass
+    return os.cpu_count() or 1
+
 #: variant name -> (split_mode, backend)
 VARIANTS = {
     "lines-thread": ("lines", "thread"),
@@ -230,7 +241,7 @@ def run_benchmark(
     report = {
         "benchmark": "ingest_splits",
         "dataset": "mixed",
-        "cpu_count": os.cpu_count(),
+        "cpu_count": _cpu_count(),
         "results_identical": True,
         "sizes": [],
     }

@@ -50,6 +50,17 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_OUT = REPO_ROOT / "BENCH_kernel.json"
+
+
+def _cpu_count() -> int:
+    """CPUs *available* to this process (affinity-aware), not installed."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0))
+        except OSError:  # pragma: no cover
+            pass
+    return os.cpu_count() or 1
 MAPFAST_OUT = REPO_ROOT / "BENCH_mapfast.json"
 
 VARIANTS = ("quadpass-thread", "kernel-thread", "kernel-process")
@@ -196,7 +207,7 @@ def run_mapfast_benchmark(
         "n": n,
         "partitions": partitions,
         "parallelism": partitions,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": _cpu_count(),
         "results_identical": identical,
         "variants": rows,
     }
@@ -253,7 +264,7 @@ def run_benchmark(
         "n": n,
         "partitions": partitions,
         "parallelism": partitions,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": _cpu_count(),
         "results_identical": identical,
         "variants": rows,
     }

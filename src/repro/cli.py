@@ -119,14 +119,33 @@ def build_parser() -> argparse.ArgumentParser:
              "a missing checkpoint directory starts cold)",
     )
     p_infer.add_argument(
-        "--parallel", type=int, metavar="N", default=None,
-        help="run typing+fusion on the engine with N-way parallelism",
+        "--parallel", "--workers", type=int, metavar="N", default=None,
+        dest="parallel",
+        help="run typing+fusion on the engine with N-way parallelism "
+             "(0 = one worker per available CPU; --workers is an alias)",
     )
     p_infer.add_argument(
         "--backend", choices=["thread", "process"], default="thread",
         help="engine worker pool for --parallel: threads share memory, "
              "processes give CPU-bound work true parallelism (default: "
              "thread)",
+    )
+    p_infer.add_argument(
+        "--batch-size", type=int, metavar="N", default=None,
+        help="partitions folded worker-locally per scheduler task; 1 "
+             "disables batching (default: auto — batch only when "
+             "partitions far outnumber workers)",
+    )
+    p_infer.add_argument(
+        "--no-warm", action="store_true",
+        help="do not keep per-worker kernel state (type interner, fusion "
+             "memo, key cache) warm across tasks and jobs",
+    )
+    p_infer.add_argument(
+        "--wire-format", choices=["auto", "on", "off"], default="auto",
+        help="compact flat-table encoding for task-result summaries; "
+             "'auto' enables it on the process backend where results "
+             "cross the IPC boundary (default: auto)",
     )
     p_infer.add_argument(
         "--max-retries", type=int, metavar="N", default=3,
@@ -232,7 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    from repro.engine import Context, RetryPolicy
+    from repro.engine import Context, RetryPolicy, available_parallelism
     from repro.jsonio.errors import ErrorRateExceeded
     from repro.jsonio.splits import DEFAULT_MIN_SPLIT_BYTES
     from repro.store import checkpoint_exists
@@ -261,16 +280,21 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         ),
         update_from=update_from,
         checkpoint_to=args.checkpoint,
+        batch_size=args.batch_size,
+        wire_format=args.wire_format,
     )
     stats = None
     try:
-        if args.parallel:
-            with Context(parallelism=args.parallel, backend=args.backend,
-                         retry_policy=policy) as ctx:
+        if args.parallel is not None:
+            # --parallel 0 means "size the pool to this machine".
+            workers = args.parallel or available_parallelism()
+            with Context(parallelism=workers, backend=args.backend,
+                         retry_policy=policy,
+                         warm=not args.no_warm) as ctx:
                 stats = ctx.scheduler.stats
                 run = infer_ndjson_file(
                     args.file, context=ctx,
-                    num_partitions=args.parallel * 2, **kwargs,
+                    num_partitions=workers * 2, **kwargs,
                 )
         else:
             run = infer_ndjson_file(args.file, **kwargs)
@@ -305,6 +329,25 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                 f"driver · {stats.input_bytes_read:,} B read by workers",
                 file=sys.stderr,
             )
+            if stats.tasks_per_worker:
+                spread = " ".join(
+                    f"{worker}={count}" for worker, count in
+                    sorted(stats.tasks_per_worker.items())
+                )
+                print(f"workers: {spread}", file=sys.stderr)
+            if stats.warm_state_builds or stats.warm_state_reuses:
+                print(
+                    f"warm state: {stats.warm_state_builds} built · "
+                    f"{stats.warm_state_reuses} reused",
+                    file=sys.stderr,
+                )
+            if stats.summary_wire_bytes_decoded:
+                print(
+                    f"summary wire: {stats.summary_wire_bytes_encoded:,} B "
+                    f"encoded · {stats.summary_wire_bytes_decoded:,} B "
+                    f"decoded",
+                    file=sys.stderr,
+                )
     return 0
 
 

@@ -38,6 +38,7 @@ from repro.engine.scheduler import (
     Scheduler,
     SchedulerStats,
     TaskTimeoutError,
+    available_parallelism,
 )
 
 __all__ = [
@@ -48,4 +49,5 @@ __all__ = [
     "NodeSpec", "Block", "ClusterSimulator", "SimulationResult",
     "NodeFailure",
     "default_cluster", "place_on_single_node", "place_round_robin",
+    "available_parallelism",
 ]

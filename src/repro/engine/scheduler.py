@@ -66,6 +66,7 @@ remain inline and unbounded.
 from __future__ import annotations
 
 import gc
+import itertools
 import os
 import pickle
 import random
@@ -91,6 +92,7 @@ __all__ = [
     "RetryPolicy",
     "TaskTimeoutError",
     "BACKENDS",
+    "available_parallelism",
 ]
 
 T = TypeVar("T")
@@ -226,6 +228,23 @@ class SchedulerStats:
     checkpoints_loaded: int = 0
     checkpoints_saved: int = 0
     checkpoint_records_merged: int = 0
+    #: Warm per-worker kernel state (interner/memo/key cache) accounting,
+    #: maintained by the pipelines from summary telemetry: how many
+    #: partition tasks found a warm state waiting in their worker versus
+    #: how many had to build one from scratch (first task on a worker, or
+    #: after :meth:`Scheduler.invalidate_warm_state`).
+    warm_state_reuses: int = 0
+    warm_state_builds: int = 0
+    #: Compact summary wire format accounting (pipelines): bytes of
+    #: flat-table-encoded summaries produced by workers and decoded back
+    #: at the driver.  Zero when summaries travel as pickled object
+    #: graphs (thread backend, or ``wire_format=False``).
+    summary_wire_bytes_encoded: int = 0
+    summary_wire_bytes_decoded: int = 0
+    #: Partition tasks attributed per worker (``pid<N>/<thread-name>``),
+    #: maintained by the pipelines from summary telemetry — the
+    #: observable spread of a job over the pool.
+    tasks_per_worker: dict[str, int] = field(default_factory=dict)
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -243,10 +262,50 @@ class SchedulerStats:
         self.checkpoints_loaded = 0
         self.checkpoints_saved = 0
         self.checkpoint_records_merged = 0
+        self.warm_state_reuses = 0
+        self.warm_state_builds = 0
+        self.summary_wire_bytes_encoded = 0
+        self.summary_wire_bytes_decoded = 0
+        self.tasks_per_worker = {}
+
+
+def available_parallelism() -> int:
+    """CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the machine's cores; under a container
+    quota, a cpuset, or ``taskset`` the process may be allowed far fewer.
+    ``os.sched_getaffinity(0)`` reflects that restriction, so it is the
+    honest default for sizing worker pools and the number benchmarks
+    should record as ``cpu_count``.  Falls back to ``os.cpu_count()``
+    where affinity is not exposed (macOS, Windows).
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - affinity query denied
+            pass
+    return max(1, os.cpu_count() or 1)
 
 
 def _default_parallelism() -> int:
-    return max(2, os.cpu_count() or 2)
+    return max(2, available_parallelism())
+
+
+#: Process-wide source of warm-state generation tags.  Each scheduler
+#: draws a fresh generation at construction (and on invalidation), so
+#: workers shared between schedulers — or reused across invalidations —
+#: can tell stale per-worker kernel state from current state by comparing
+#: tags.  A plain counter: generations only need to be unique within the
+#: process, and forked workers inherit a snapshot that can never collide
+#: with later driver draws in a way that matters (a stale tag mismatch
+#: just rebuilds state).
+_WARM_GENERATIONS = itertools.count(1)
+
+
+def _prestart_probe() -> None:
+    """No-op task used by :meth:`Scheduler.prestart` to spin workers up."""
+    return None
 
 
 def _process_worker_init() -> None:
@@ -303,6 +362,7 @@ class Scheduler:
         backend: str = "thread",
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        warm: bool = True,
     ) -> None:
         if parallelism is None:
             parallelism = _default_parallelism()
@@ -317,6 +377,14 @@ class Scheduler:
         self.retry_policy = retry_policy or RetryPolicy()
         self.fault_plan = fault_plan if fault_plan else None
         self.stats = SchedulerStats()
+        #: Whether tasks may keep per-worker kernel state (interner, fusion
+        #: memo, key cache) warm across tasks and jobs.  The pools already
+        #: persist across :meth:`run` calls; ``warm`` additionally lets the
+        #: kernel's partition tasks reuse worker-local caches tagged with
+        #: :attr:`warm_generation`.  Purely a performance knob — results
+        #: are identical either way, which the warm-pool tests check.
+        self.warm = warm
+        self.warm_generation = next(_WARM_GENERATIONS)
         self._pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessPoolExecutor | None = None
         # Futures abandoned on timeout that may still be running on a
@@ -378,11 +446,49 @@ class Scheduler:
         return self._ensure_pool()
 
     def _rebuild_process_pool(self) -> None:
-        """Discard a broken process pool so the next round gets a fresh one."""
+        """Discard a broken process pool so the next round gets a fresh one.
+
+        Warm per-worker kernel state needs no explicit invalidation here:
+        it lives in the crashed workers and dies with them, and the fresh
+        pool's workers start cold and rebuild on their first task — so
+        crash recovery composes with the warm pool without any change to
+        the :class:`RetryPolicy` semantics (the in-flight partitions are
+        re-dispatched exactly as before).
+        """
         if self._process_pool is not None:
-            self._process_pool.shutdown(wait=False)
+            self._process_pool.shutdown(wait=False, cancel_futures=True)
             self._process_pool = None
         self.stats.pool_rebuilds += 1
+
+    def invalidate_warm_state(self) -> int:
+        """Retire every worker's warm kernel state; returns the new tag.
+
+        Bumps :attr:`warm_generation`: a worker whose thread-local state
+        carries an older tag rebuilds it lazily on its next task.  Cheap
+        (one counter draw — no worker round-trip) and safe to call
+        between jobs of a long-lived scheduler, e.g. after processing an
+        unrelated dataset whose field names would only pollute the
+        interners.
+        """
+        self.warm_generation = next(_WARM_GENERATIONS)
+        return self.warm_generation
+
+    def prestart(self) -> int:
+        """Best-effort spin-up of the configured workers before a job.
+
+        Submits one no-op probe per worker slot and waits for all of
+        them, so the first real job does not pay pool construction —
+        process forking especially — inside its measured wall-clock.
+        Idempotent; returns the configured parallelism.
+        """
+        if self.backend == "process":
+            pool: ProcessPoolExecutor | ThreadPoolExecutor = (
+                self._ensure_process_pool()
+            )
+        else:
+            pool = self._ensure_live_thread_pool()
+        wait([pool.submit(_prestart_probe) for _ in range(self.parallelism)])
+        return self.parallelism
 
     # ------------------------------------------------------------------
     # shippability
@@ -714,7 +820,11 @@ class Scheduler:
         """Release the worker pools.  The scheduler can be reused afterwards.
 
         Does not block on abandoned (timed-out) thread tasks — their
-        threads exit on their own when the tasks finish.
+        threads exit on their own when the tasks finish.  Queued
+        process-pool work is cancelled (``cancel_futures=True``): a
+        ``Context.__exit__`` racing an in-flight job must not block on
+        tasks that have not even started, only on the ones already
+        executing.
         """
         if self._pool is not None:
             self._thread_zombies = [
@@ -724,7 +834,7 @@ class Scheduler:
             self._pool = None
             self._thread_zombies = []
         if self._process_pool is not None:
-            self._process_pool.shutdown(wait=True)
+            self._process_pool.shutdown(wait=True, cancel_futures=True)
             self._process_pool = None
 
     def __enter__(self) -> "Scheduler":

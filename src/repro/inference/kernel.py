@@ -34,6 +34,9 @@ check on arbitrary JSON values.
 
 from __future__ import annotations
 
+import os
+import pickle
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Sequence
@@ -42,8 +45,10 @@ from repro.core.errors import InvalidValueError
 from repro.core.interning import TypeInterner
 from repro.core.types import (
     ArrayType,
+    BasicType,
     BOOL,
     EMPTY,
+    EmptyType,
     Field,
     NULL,
     NUM,
@@ -60,9 +65,15 @@ from repro.inference.fusion import (
 )
 from repro.inference.typestream import FastLaneMiss, make_typer, resolve_lane
 from repro.jsonio.errors import JsonError, JsonSyntaxError
+from repro.jsonio.keycache import KeyCache
 from repro.jsonio.ndjson import BadRecord
 from repro.jsonio.parser import loads
-from repro.jsonio.splits import FileSplit, SplitLineReader, count_lines_before
+from repro.jsonio.splits import (
+    FileSplit,
+    SplitLineReader,
+    count_lines_before,
+    rebase_bad_records,
+)
 
 __all__ = [
     "FusionMemo",
@@ -71,13 +82,21 @@ __all__ = [
     "PartitionSummary",
     "PhaseTimings",
     "TREE_MERGE_THRESHOLD",
+    "WARM_STATE_NODE_LIMIT",
+    "WIRE_FORMAT_VERSION",
+    "WarmState",
     "accumulate_ndjson_partition",
+    "accumulate_ndjson_partition_batch",
     "accumulate_ndjson_split",
+    "accumulate_ndjson_split_batch",
     "accumulate_partition",
+    "decode_summary",
+    "encode_summary",
     "merge_phase_timings",
     "merge_summaries",
     "merge_summaries_full",
     "merge_summary_group",
+    "warm_state_for",
 ]
 
 
@@ -406,6 +425,14 @@ class PartitionSummary:
     #: partitions only) — the worker-side half of the engine's
     #: bytes-shipped vs bytes-read accounting.
     bytes_read: int = 0
+    #: Telemetry: which worker produced this summary
+    #: (``pid<N>/<thread-name>``) and whether it found warm per-worker
+    #: kernel state waiting (``None`` when warm state was not in play).
+    #: Excluded from equality — two runs of the same partition are the
+    #: same result regardless of which worker computed it.
+    worker: str = field(default="", compare=False, repr=False)
+    warm_reused: "bool | None" = field(default=None, compare=False,
+                                       repr=False)
 
     @property
     def distinct_type_count(self) -> int:
@@ -418,6 +445,88 @@ class PartitionSummary:
         return len(self.skipped)
 
 
+#: A warm worker state whose interner has pooled more distinct type nodes
+#: than this is retired and rebuilt on the worker's next task.  Interners
+#: only grow (every distinct subtree stays alive for pointer-keyed
+#: memoization), so a long-lived worker crossing many heterogeneous
+#: datasets needs *some* bound; real schemas stay orders of magnitude
+#: below it, so the cap never fires on a well-behaved feed.
+WARM_STATE_NODE_LIMIT = 2_000_000
+
+
+class WarmState:
+    """Per-worker kernel state kept warm across partition tasks.
+
+    The expensive part of a partition task is not the accumulator's
+    counters — it is re-discovering the dataset's type universe: interning
+    every distinct subtree, re-memoizing every fuse pair, re-deduplicating
+    every field name.  Workers in a persistent pool process many
+    partitions of the *same* dataset (and, across jobs, of similar ones),
+    so that discovery work is shared here: one
+    :class:`~repro.core.interning.TypeInterner`, one :class:`FusionMemo`,
+    the construction pools, and one :class:`~repro.jsonio.keycache.KeyCache`
+    per worker, handed to every accumulator the worker builds.
+
+    Purely an optimization: canonicality is per-interner, and per-task
+    *results* (schema, counts, distinct sets) live in the accumulator,
+    which stays fresh per task — so summaries are identical with warm
+    state on or off, which the equivalence tests check.
+
+    ``generation`` tags the state with the scheduler generation it was
+    built for; :func:`warm_state_for` rebuilds on a mismatch, which is
+    how driver-side invalidation reaches workers without a round-trip.
+    """
+
+    __slots__ = ("generation", "interner", "memo", "record_pool",
+                 "array_pool", "key_cache", "tasks_served", "reused")
+
+    def __init__(self, generation: int) -> None:
+        self.generation = generation
+        self.interner = TypeInterner()
+        self.memo = FusionMemo(self.interner)
+        self.record_pool: dict[tuple[Field, ...], Type] = {}
+        self.array_pool: dict[tuple[Type, ...], Type] = {}
+        self.key_cache = KeyCache()
+        #: Tasks this state has served (including the one that built it).
+        self.tasks_served = 0
+        #: Whether the *current* task found this state already built —
+        #: the flag each summary reports as ``warm_reused``.
+        self.reused = False
+
+
+# One warm state per worker *thread*: process-pool workers are
+# single-threaded so this is per-process there, thread-pool workers each
+# get their own (sharing one interner across concurrent tasks would race),
+# and inline/re-entrant execution on the driver thread warms the driver's
+# own slot harmlessly.
+_WARM_STATES = threading.local()
+
+
+def warm_state_for(
+    generation: "int | None",
+    node_limit: int = WARM_STATE_NODE_LIMIT,
+) -> "WarmState | None":
+    """This worker's warm state for ``generation``; ``None`` disables.
+
+    Returns the thread-local :class:`WarmState`, rebuilding it when the
+    generation tag differs (driver-side invalidation, or a scheduler
+    restart) or the interner has outgrown ``node_limit``.  A fresh worker
+    — including one forked after a pool crash — simply builds on first
+    use, which is what keeps crash recovery oblivious to warming.
+    """
+    if generation is None:
+        return None
+    state: WarmState | None = getattr(_WARM_STATES, "state", None)
+    if (state is None or state.generation != generation
+            or len(state.interner) > node_limit):
+        state = WarmState(generation)
+        _WARM_STATES.state = state
+    else:
+        state.reused = True
+    state.tasks_served += 1
+    return state
+
+
 class PartitionAccumulator:
     """Streaming schema accumulator: one pass, no materialised type list.
 
@@ -428,23 +537,34 @@ class PartitionAccumulator:
     '{a: (Num + Str), b: Bool?}'
     >>> acc.record_count, acc.distinct_type_count
     (3, 2)
+
+    With a :class:`WarmState`, the interner, fusion memo and construction
+    pools come from (and keep feeding) the worker's warm caches, while the
+    per-task results — schema, record count, distinct set — always start
+    fresh; results are identical either way.
     """
 
-    def __init__(self) -> None:
-        self.interner = TypeInterner()
-        self.memo = FusionMemo(self.interner)
+    def __init__(self, warm: "WarmState | None" = None) -> None:
+        if warm is None:
+            self.interner = TypeInterner()
+            self.memo = FusionMemo(self.interner)
+            # Construction pools: map tuples of canonical children straight
+            # to the canonical node, skipping node construction (sort,
+            # hash, size) for shapes seen before.  Keyed on the *unsorted*
+            # child tuple, so two key orders of one record shape occupy two
+            # entries mapping to the same canonical type — a deliberate
+            # trade of a little memory for never re-sorting.
+            self._record_pool: dict[tuple[Field, ...], Type] = {}
+            self._array_pool: dict[tuple[Type, ...], Type] = {}
+        else:
+            self.interner = warm.interner
+            self.memo = warm.memo
+            self._record_pool = warm.record_pool
+            self._array_pool = warm.array_pool
         self._schema: Type = EMPTY
         self._count = 0
         self._distinct_ids: set[int] = set()
         self._distinct: list[Type] = []
-        # Construction pools: map tuples of canonical children straight to
-        # the canonical node, skipping node construction (sort, hash, size)
-        # for shapes seen before.  Keyed on the *unsorted* child tuple, so
-        # two key orders of one record shape occupy two entries mapping to
-        # the same canonical type — a deliberate trade of a little memory
-        # for never re-sorting.
-        self._record_pool: dict[tuple[Field, ...], Type] = {}
-        self._array_pool: dict[tuple[Type, ...], Type] = {}
 
     @property
     def schema(self) -> Type:
@@ -619,16 +739,302 @@ class PartitionAccumulator:
         raise InvalidValueError(f"not a JSON value: {type(value).__name__}")
 
 
-def accumulate_partition(values: Iterable[Any]) -> PartitionSummary:
-    """Stream one partition through a fresh accumulator.
+# ---------------------------------------------------------------------------
+# Compact summary wire format (the task return path of the process backend)
+#
+# Pickling a PartitionSummary serialises the schema and every distinct
+# type as an object graph: one __reduce__ frame per node, class
+# references and per-node constructor tuples included — and the
+# driver-side unpickle rebuilds each tree only for add_summary to
+# re-intern it structurally, node by node.  The wire format flattens
+# instead: every distinct type node becomes a few small integers in one
+# postorder op-stream (children precede parents, references are table
+# indices), field names live once in a deduplicated string table, and
+# shared subtrees — the whole point of interning — are stored exactly
+# once.  IPC cost therefore scales with the number of distinct nodes,
+# not with the summed size of the trees, and the driver decodes
+# *directly into* an accumulator's interner, so adoption is canonical
+# from the start instead of a second structural interning pass.
+
+#: Version tag leading every encoded payload; bump on layout changes.
+WIRE_FORMAT_VERSION = 1
+
+#: Node-table indices 0-4 are pre-seeded with the leaf singletons — they
+#: never occupy ops in the payload.
+_WIRE_BASE = (NULL, BOOL, NUM, STR, EMPTY)
+_WIRE_BASIC_INDEX = {int(t.kind): i for i, t in enumerate(_WIRE_BASE[:4])}
+_WIRE_EMPTY_INDEX = 4
+
+# Op tags, one per composite node constructor.
+_WIRE_RECORD = 0
+_WIRE_ARRAY = 1
+_WIRE_STAR = 2
+_WIRE_UNION = 3
+
+
+class _WireEncoder:
+    """Flattens canonical type DAGs into the op-stream + key table."""
+
+    __slots__ = ("ops", "keys", "_key_index", "_node_index", "_next")
+
+    def __init__(self) -> None:
+        #: The flat op-stream: ``RECORD n mask (key child)*n`` /
+        #: ``ARRAY n child*n`` / ``STAR body`` / ``UNION n member*n``.
+        #: One homogeneous list of small ints pickles far more compactly
+        #: than per-node tuples.
+        self.ops: list[int] = []
+        self.keys: list[str] = []
+        self._key_index: dict[str, int] = {}
+        self._node_index: dict[int, int] = {}
+        self._next = len(_WIRE_BASE)
+
+    def _key(self, name: str) -> int:
+        found = self._key_index.get(name)
+        if found is None:
+            found = self._key_index[name] = len(self.keys)
+            self.keys.append(name)
+        return found
+
+    def encode(self, t: Type) -> int:
+        """Emit ``t``'s unseen nodes (postorder); returns its table index.
+
+        Memoized by ``id()``: within one summary the types are canonical
+        in one interner, so shared subtrees are emitted once.
+        Structurally equal nodes from *different* interners would get
+        separate ops — harmless, and never produced by the kernel.
+        """
+        node_index = self._node_index
+        key = id(t)
+        found = node_index.get(key)
+        if found is not None:
+            return found
+        if isinstance(t, BasicType):
+            i = _WIRE_BASIC_INDEX[int(t.kind)]
+        elif isinstance(t, EmptyType):
+            i = _WIRE_EMPTY_INDEX
+        elif isinstance(t, RecordType):
+            fields = t.fields
+            mask = 0
+            pairs = []
+            for bit, f in enumerate(fields):
+                if f.optional:
+                    mask |= 1 << bit
+                pairs.append((self._key(f.name), self.encode(f.type)))
+            ops = self.ops
+            ops.append(_WIRE_RECORD)
+            ops.append(len(fields))
+            ops.append(mask)
+            for key_i, child_i in pairs:
+                ops.append(key_i)
+                ops.append(child_i)
+            i = self._next
+            self._next += 1
+        elif isinstance(t, StarArrayType):
+            body = self.encode(t.body)
+            self.ops.extend((_WIRE_STAR, body))
+            i = self._next
+            self._next += 1
+        elif isinstance(t, ArrayType):
+            children = [self.encode(e) for e in t.elements]
+            self.ops.extend((_WIRE_ARRAY, len(children)))
+            self.ops.extend(children)
+            i = self._next
+            self._next += 1
+        elif isinstance(t, UnionType):
+            members = [self.encode(m) for m in t.members]
+            self.ops.extend((_WIRE_UNION, len(members)))
+            self.ops.extend(members)
+            i = self._next
+            self._next += 1
+        else:
+            raise TypeError(
+                f"cannot wire-encode type node {type(t).__name__}"
+            )
+        node_index[key] = i
+        return i
+
+
+def encode_summary(summary: PartitionSummary) -> bytes:
+    """Encode a summary as the compact flat-table wire payload.
+
+    The schema and every distinct type share one node table; everything
+    else (counts, quarantined records, timings, telemetry) rides along
+    as plain data.  :func:`decode_summary` inverts this exactly —
+    ``decode_summary(encode_summary(s)) == s``.
+    """
+    enc = _WireEncoder()
+    schema_i = enc.encode(summary.schema)
+    distinct_i = [enc.encode(t) for t in summary.distinct_types]
+    payload = (
+        WIRE_FORMAT_VERSION,
+        tuple(enc.keys),
+        enc.ops,
+        schema_i,
+        distinct_i,
+        summary.record_count,
+        summary.skipped,
+        summary.timings,
+        summary.line_count,
+        summary.bytes_read,
+        summary.worker,
+        summary.warm_reused,
+    )
+    return pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+
+
+def _decode_types(
+    keys: Sequence[str],
+    ops: Sequence[int],
+    acc: "PartitionAccumulator | None",
+) -> list:
+    """Replay the op-stream; entry ``i`` of the result is node ``i``.
+
+    With an accumulator the nodes are built *canonical in its interner*
+    (fields through the field cache, records/arrays through the
+    construction pools), so the driver's adoption needs no structural
+    re-interning afterwards.  Without one, plain constructors rebuild
+    structurally equal trees.
+    """
+    types: list[Type] = list(_WIRE_BASE)
+    append = types.append
+    pos = 0
+    end = len(ops)
+    if acc is not None:
+        make_field = acc.interner.field
+        intern_node = acc.interner.intern_node
+        record_type = acc.record_type
+        array_type = acc.array_type
+        while pos < end:
+            tag = ops[pos]
+            if tag == _WIRE_RECORD:
+                n = ops[pos + 1]
+                mask = ops[pos + 2]
+                pos += 3
+                shape = []
+                for bit in range(n):
+                    shape.append(make_field(
+                        keys[ops[pos]], types[ops[pos + 1]],
+                        bool(mask >> bit & 1),
+                    ))
+                    pos += 2
+                append(record_type(tuple(shape)))
+            elif tag == _WIRE_ARRAY:
+                n = ops[pos + 1]
+                pos += 2
+                append(array_type(
+                    tuple(types[ops[pos + j]] for j in range(n))
+                ))
+                pos += n
+            elif tag == _WIRE_STAR:
+                append(intern_node(StarArrayType(types[ops[pos + 1]])))
+                pos += 2
+            elif tag == _WIRE_UNION:
+                n = ops[pos + 1]
+                pos += 2
+                append(intern_node(UnionType(
+                    tuple(types[ops[pos + j]] for j in range(n))
+                )))
+                pos += n
+            else:
+                raise ValueError(f"unknown wire op tag {tag!r}")
+        return types
+    while pos < end:
+        tag = ops[pos]
+        if tag == _WIRE_RECORD:
+            n = ops[pos + 1]
+            mask = ops[pos + 2]
+            pos += 3
+            fields = []
+            for bit in range(n):
+                fields.append(Field(
+                    keys[ops[pos]], types[ops[pos + 1]],
+                    bool(mask >> bit & 1),
+                ))
+                pos += 2
+            append(RecordType(fields))
+        elif tag == _WIRE_ARRAY:
+            n = ops[pos + 1]
+            pos += 2
+            append(ArrayType(types[ops[pos + j]] for j in range(n)))
+            pos += n
+        elif tag == _WIRE_STAR:
+            append(StarArrayType(types[ops[pos + 1]]))
+            pos += 2
+        elif tag == _WIRE_UNION:
+            n = ops[pos + 1]
+            pos += 2
+            append(UnionType(
+                tuple(types[ops[pos + j]] for j in range(n))
+            ))
+            pos += n
+        else:
+            raise ValueError(f"unknown wire op tag {tag!r}")
+    return types
+
+
+def decode_summary(
+    payload: bytes, acc: "PartitionAccumulator | None" = None
+) -> PartitionSummary:
+    """Decode a wire payload back into a :class:`PartitionSummary`.
+
+    Pass the driver's adoption accumulator as ``acc`` to build the types
+    canonical in *its* interner — summaries decoded through one
+    accumulator share subtrees across partitions, so the driver-side
+    merge deduplicates by pointer from the start.
+    """
+    try:
+        decoded = pickle.loads(payload)
+        (version, keys, ops, schema_i, distinct_i, record_count, skipped,
+         timings, line_count, bytes_read, worker, warm_reused) = decoded
+    except Exception as exc:
+        raise ValueError(f"malformed summary wire payload: {exc}") from exc
+    if version != WIRE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported summary wire format version {version!r} "
+            f"(expected {WIRE_FORMAT_VERSION})"
+        )
+    types = _decode_types(keys, ops, acc)
+    return PartitionSummary(
+        schema=types[schema_i],
+        record_count=record_count,
+        distinct_types=tuple(types[i] for i in distinct_i),
+        skipped=skipped,
+        timings=timings,
+        line_count=line_count,
+        bytes_read=bytes_read,
+        worker=worker,
+        warm_reused=warm_reused,
+    )
+
+
+def _worker_name() -> str:
+    """Telemetry identity of the executing worker (pid + thread name)."""
+    return f"pid{os.getpid()}/{threading.current_thread().name}"
+
+
+def accumulate_partition(
+    values: Iterable[Any],
+    warm_generation: "int | None" = None,
+    wire: bool = False,
+) -> "PartitionSummary | bytes":
+    """Stream one partition through an accumulator.
 
     A module-level function on purpose: it is picklable, so the scheduler's
     process backend can ship it (with the partition's raw values) to a
-    worker process and get the tiny summary back.
+    worker process and get the tiny summary back.  ``warm_generation``
+    (from :attr:`repro.engine.scheduler.Scheduler.warm_generation`)
+    enables the worker's warm kernel state; ``wire=True`` returns the
+    summary wire-encoded (see :func:`encode_summary`).
     """
-    acc = PartitionAccumulator()
+    warm = warm_state_for(warm_generation)
+    acc = PartitionAccumulator(warm)
     acc.add_many(values)
-    return acc.summary()
+    summary = replace(
+        acc.summary(),
+        worker=_worker_name(),
+        warm_reused=warm.reused if warm is not None else None,
+    )
+    return encode_summary(summary) if wire else summary
 
 
 def accumulate_ndjson_partition(
@@ -637,7 +1043,10 @@ def accumulate_ndjson_partition(
     permissive: bool = False,
     parse_lane: str = "auto",
     collect_timings: bool = False,
-) -> PartitionSummary:
+    warm_generation: "int | None" = None,
+    wire: bool = False,
+    _warm: "WarmState | None" = None,
+) -> "PartitionSummary | bytes":
     """Parse and stream one partition of raw NDJSON lines in a single pass.
 
     ``numbered_lines`` pairs each record's text with its absolute file
@@ -663,9 +1072,16 @@ def accumulate_ndjson_partition(
     :class:`PhaseTimings` for the partition, at the cost of two to three
     clock reads per record; the default leaves the hot loop untimed and
     the summary's ``timings`` as ``None``.
+
+    ``warm_generation`` enables the worker's warm kernel state (see
+    :class:`WarmState`); ``wire=True`` returns the wire-encoded summary.
+    ``_warm`` is internal: batch/split wrappers that already claimed the
+    warm state for this task pass it through so the claim (and its
+    telemetry) happens exactly once.
     """
     lane = resolve_lane(parse_lane)
-    acc = PartitionAccumulator()
+    warm = _warm if _warm is not None else warm_state_for(warm_generation)
+    acc = PartitionAccumulator(warm)
     skipped: list[BadRecord] = []
     parse_s = type_s = fuse_s = 0.0
 
@@ -709,7 +1125,10 @@ def accumulate_ndjson_partition(
                     continue
                 add(value)
     else:
-        typer = make_typer(lane, acc)
+        typer = make_typer(
+            lane, acc,
+            key_cache=warm.key_cache if warm is not None else None,
+        )
         type_document = typer.type_document
         observe = acc.observe
         if collect_timings:
@@ -765,12 +1184,44 @@ def accumulate_ndjson_partition(
             fuse_s=fuse_s,
             records=summary.record_count,
         )
-    return PartitionSummary(
+    summary = PartitionSummary(
         schema=summary.schema,
         record_count=summary.record_count,
         distinct_types=summary.distinct_types,
         skipped=tuple(skipped),
         timings=timings,
+        worker=_worker_name(),
+        warm_reused=warm.reused if warm is not None else None,
+    )
+    return encode_summary(summary) if wire else summary
+
+
+def _accumulate_split(
+    split: FileSplit,
+    permissive: bool,
+    parse_lane: str,
+    collect_timings: bool,
+    warm: "WarmState | None",
+) -> PartitionSummary:
+    """One split's summary (plain, never wire-encoded), with an already
+    claimed warm state; shared by the single-split and batch tasks."""
+    reader = SplitLineReader(split)
+    try:
+        summary = accumulate_ndjson_partition(
+            reader,
+            source=split.path,
+            permissive=permissive,
+            parse_lane=parse_lane,
+            collect_timings=collect_timings,
+            _warm=warm,
+        )
+    except JsonSyntaxError as exc:
+        if split.offset == 0:
+            raise
+        base = count_lines_before(split.path, split.offset)
+        raise exc.relocate(split.path, exc.line + base) from None
+    return replace(
+        summary, line_count=reader.line_count, bytes_read=reader.bytes_read
     )
 
 
@@ -779,7 +1230,9 @@ def accumulate_ndjson_split(
     permissive: bool = False,
     parse_lane: str = "auto",
     collect_timings: bool = False,
-) -> PartitionSummary:
+    warm_generation: "int | None" = None,
+    wire: bool = False,
+) -> "PartitionSummary | bytes":
     """Read one byte-range split worker-side and stream it in a single pass.
 
     The zero-copy counterpart of :func:`accumulate_ndjson_partition`: the
@@ -794,24 +1247,101 @@ def accumulate_ndjson_split(
     re-anchored to its absolute file line: the worker counts the lines
     preceding the split's offset (one extra prefix read, on the error
     path only) so the message is identical to a line-oriented run's.
+
+    ``warm_generation`` / ``wire`` as in
+    :func:`accumulate_ndjson_partition`.
     """
-    reader = SplitLineReader(split)
-    try:
-        summary = accumulate_ndjson_partition(
-            reader,
-            source=split.path,
+    warm = warm_state_for(warm_generation)
+    summary = _accumulate_split(
+        split, permissive, parse_lane, collect_timings, warm
+    )
+    return encode_summary(summary) if wire else summary
+
+
+def accumulate_ndjson_split_batch(
+    splits: Sequence[FileSplit],
+    permissive: bool = False,
+    parse_lane: str = "auto",
+    collect_timings: bool = False,
+    warm_generation: "int | None" = None,
+    wire: bool = False,
+) -> "PartitionSummary | bytes":
+    """Stream a contiguous batch of byte-range splits as *one* task.
+
+    Batched dispatch: at high partition counts, per-task overhead
+    (dispatch, a summary per split, a driver-side merge per split)
+    dominates small splits.  This task folds its batch locally — every
+    split streams through the worker's (shared, possibly warm)
+    accumulator state and the partial summaries merge on the worker —
+    so the driver sees one summary per *batch*.
+
+    Quarantine stays exact: each split reports split-local line numbers,
+    which are re-based here against the running line count of the
+    *batch* (an intra-batch prefix sum); the merged summary's
+    ``line_count`` is the batch total, so the driver's usual cross-task
+    prefix sum then anchors them absolutely.  In strict mode the first
+    malformed record raises with its absolute file line, exactly as the
+    unbatched task would.  The local merge is
+    :func:`merge_summary_group` — the same associative merge the driver
+    (or the tree reduce) would have applied, so results are identical
+    to unbatched dispatch in every grouping (Theorem 5.5).
+    """
+    warm = warm_state_for(warm_generation)
+    partials: list[PartitionSummary] = []
+    base = 0
+    for split in splits:
+        summary = _accumulate_split(
+            split, permissive, parse_lane, collect_timings, warm
+        )
+        if summary.skipped and base:
+            summary = replace(
+                summary,
+                skipped=rebase_bad_records(summary.skipped, base),
+            )
+        base += summary.line_count
+        partials.append(summary)
+    merged = replace(
+        merge_summary_group(partials),
+        worker=_worker_name(),
+        warm_reused=warm.reused if warm is not None else None,
+    )
+    return encode_summary(merged) if wire else merged
+
+
+def accumulate_ndjson_partition_batch(
+    parts: Sequence[Iterable[tuple[int, str]]],
+    source: str | None = None,
+    permissive: bool = False,
+    parse_lane: str = "auto",
+    collect_timings: bool = False,
+    warm_generation: "int | None" = None,
+    wire: bool = False,
+) -> "PartitionSummary | bytes":
+    """Line-mode twin of :func:`accumulate_ndjson_split_batch`.
+
+    ``parts`` is a sequence of numbered-line partitions; their line
+    numbers are already absolute (the driver numbered the whole file),
+    so no re-basing is needed — the partials simply merge locally and
+    one summary returns per batch.
+    """
+    warm = warm_state_for(warm_generation)
+    partials = [
+        accumulate_ndjson_partition(
+            part,
+            source=source,
             permissive=permissive,
             parse_lane=parse_lane,
             collect_timings=collect_timings,
+            _warm=warm,
         )
-    except JsonSyntaxError as exc:
-        if split.offset == 0:
-            raise
-        base = count_lines_before(split.path, split.offset)
-        raise exc.relocate(split.path, exc.line + base) from None
-    return replace(
-        summary, line_count=reader.line_count, bytes_read=reader.bytes_read
+        for part in parts
+    ]
+    merged = replace(
+        merge_summary_group(partials),
+        worker=_worker_name(),
+        warm_reused=warm.reused if warm is not None else None,
     )
+    return encode_summary(merged) if wire else merged
 
 
 @dataclass(frozen=True)

@@ -46,8 +46,11 @@ from repro.inference.kernel import (
     PartitionSummary,
     PhaseTimings,
     accumulate_ndjson_partition,
+    accumulate_ndjson_partition_batch,
     accumulate_ndjson_split,
+    accumulate_ndjson_split_batch,
     accumulate_partition,
+    decode_summary,
     merge_summaries,
     merge_summaries_full,
 )
@@ -68,6 +71,7 @@ __all__ = [
     "infer_schema",
     "infer_ndjson_file",
     "resolve_split_mode",
+    "resolve_wire_format",
     "run_inference",
     "InferenceRun",
     "SchemaInferencer",
@@ -75,6 +79,7 @@ __all__ = [
     "PartitionReport",
     "PartitionedRun",
     "SPLIT_MODES",
+    "WIRE_FORMAT_MODES",
 ]
 
 
@@ -97,9 +102,46 @@ def infer_schema(values: Iterable[Any], context: Context | None = None,
         return fuse_all(infer_type(v) for v in values)
     parts = split_evenly(_as_sequence(values),
                          num_partitions or context.default_parallelism)
-    summaries = context.scheduler.run(accumulate_partition, parts)
+    summaries = context.scheduler.run(_warm_task(context), parts)
+    _note_summary_telemetry(context.scheduler.stats, summaries)
     schema, _, _ = merge_summaries(summaries)
     return schema
+
+
+def _warm_task(context: Context):
+    """:func:`accumulate_partition`, warm-enabled when the context is.
+
+    A warm context stamps its scheduler's generation tag into the task,
+    so each worker keeps (and reuses) per-worker kernel state across
+    tasks and jobs; ``warm=False`` contexts ship the plain function.
+    """
+    if context.warm:
+        return partial(
+            accumulate_partition,
+            warm_generation=context.scheduler.warm_generation,
+        )
+    return accumulate_partition
+
+
+def _note_summary_telemetry(stats, summaries) -> None:
+    """Fold the summaries' worker telemetry into the scheduler stats.
+
+    Workers cannot mutate driver-side stats across a process boundary,
+    so each summary carries its executing worker's identity and whether
+    it reused warm state; the driver aggregates here, pre-merge.
+    """
+    if stats is None:
+        return
+    per_worker = stats.tasks_per_worker
+    for summary in summaries:
+        if summary.worker:
+            per_worker[summary.worker] = (
+                per_worker.get(summary.worker, 0) + 1
+            )
+        if summary.warm_reused is True:
+            stats.warm_state_reuses += 1
+        elif summary.warm_reused is False:
+            stats.warm_state_builds += 1
 
 
 def _as_sequence(values: Iterable[Any]) -> Sequence[Any]:
@@ -214,9 +256,11 @@ def _run_inference_streaming(
                          num_partitions or context.default_parallelism)
     start = time.perf_counter()
     # One task per partition over the *raw* values.  Shipped as a plain
-    # module-level function so the process backend can serialize it.
-    summaries = context.scheduler.run(accumulate_partition, parts)
+    # module-level function (or a partial of one, for the warm
+    # generation tag) so the process backend can serialize it.
+    summaries = context.scheduler.run(_warm_task(context), parts)
     map_seconds = time.perf_counter() - start
+    _note_summary_telemetry(context.scheduler.stats, summaries)
 
     start = time.perf_counter()
     schema, record_count, distinct_count = merge_summaries(summaries)
@@ -301,6 +345,73 @@ def run_inference(
 #: Public values of ``infer_ndjson_file``'s ``split_mode``.
 SPLIT_MODES = ("auto", "bytes", "lines")
 
+#: Public values of ``infer_ndjson_file``'s ``wire_format``.
+WIRE_FORMAT_MODES = ("auto", "on", "off")
+
+
+def resolve_wire_format(wire_format: str, context: Context | None) -> bool:
+    """Resolve a ``wire_format`` mode to a concrete on/off decision.
+
+    ``"auto"`` turns the compact summary wire format on exactly where it
+    pays: the process backend, whose task results otherwise cross the
+    IPC boundary as pickled type-object graphs.  On the thread backend
+    (and in-line) summaries are shared by reference, so encoding would
+    be pure overhead.  ``"on"``/``"off"`` force the decision — ``"on"``
+    is how the equivalence tests exercise the codec on every backend.
+    """
+    if wire_format not in WIRE_FORMAT_MODES:
+        raise ValueError(
+            f"unknown wire_format {wire_format!r}; expected one of "
+            f"{WIRE_FORMAT_MODES}"
+        )
+    if wire_format == "auto":
+        return context is not None and context.backend == "process"
+    return wire_format == "on"
+
+
+def _plan_batches(items: list, parallelism: int,
+                  batch_size: int | None) -> "list[list] | None":
+    """Group per-partition work items into per-task batches, or ``None``.
+
+    ``None`` (returned for ``batch_size`` ≤ 1, or under the auto policy
+    when the item count is at most ``2 × parallelism``) means "dispatch
+    unbatched" — one task per item, the historical behaviour.  The auto
+    policy kicks in only when there are *many more* items than workers:
+    it sizes batches so roughly ``2 × parallelism`` tasks remain, which
+    keeps the tail balanced while folding the per-task overhead (dispatch,
+    result shipping, driver-side merge) of all the small partitions into
+    worker-local merges.  Batches are contiguous runs, so downstream
+    line-number accounting stays a prefix sum.
+    """
+    n = len(items)
+    if batch_size is None:
+        if n <= 2 * parallelism:
+            return None
+        batch_size = -(-n // (2 * parallelism))  # ceil division
+    if batch_size <= 1:
+        return None
+    return [items[i:i + batch_size] for i in range(0, n, batch_size)]
+
+
+def _decode_wire_summaries(payloads, stats) -> list[PartitionSummary]:
+    """Decode wire payloads through one shared adoption accumulator.
+
+    One accumulator means one interner: structurally equal subtrees from
+    *different* partitions decode to pointer-identical nodes, so the
+    driver-side merge deduplicates by identity from the start.  The
+    byte counters feed ``--timings``; encoded and decoded totals are
+    tallied from the same payloads (every result the driver sees was
+    encoded exactly once, worker-side).
+    """
+    adopt = PartitionAccumulator()
+    summaries = []
+    for payload in payloads:
+        if stats is not None:
+            stats.summary_wire_bytes_encoded += len(payload)
+            stats.summary_wire_bytes_decoded += len(payload)
+        summaries.append(decode_summary(payload, adopt))
+    return summaries
+
 
 def resolve_split_mode(split_mode: str, context: Context | None) -> str:
     """Resolve an ingestion ``split_mode`` to ``"bytes"`` or ``"lines"``.
@@ -334,6 +445,8 @@ def infer_ndjson_file(
     min_split_bytes: int = DEFAULT_MIN_SPLIT_BYTES,
     update_from: str | Path | None = None,
     checkpoint_to: str | Path | None = None,
+    batch_size: int | None = None,
+    wire_format: str = "auto",
 ) -> InferenceRun:
     """Instrumented schema inference straight from an NDJSON file.
 
@@ -381,6 +494,29 @@ def infer_ndjson_file(
     the default skips the per-record clock reads and leaves
     ``phase_timings`` as ``None``.
 
+    Dispatch shape and the task return path:
+
+    * ``batch_size`` — how many partitions (splits or line chunks) each
+      scheduler task folds worker-locally before its one summary returns
+      to the driver.  ``None`` (default) auto-batches only when there
+      are more than ``2 ×`` the scheduler's parallelism items, sizing
+      batches to leave about two tasks per worker; ``1`` forces the
+      historical one-task-per-partition dispatch.  Any grouping yields
+      identical results (fusion associativity, Theorem 5.5), and
+      quarantined line numbers stay absolute: batch tasks re-base
+      intra-batch, the driver re-bases across tasks.
+    * ``wire_format`` — ``"auto"`` (default) encodes task-result
+      summaries in the compact flat-table wire format whenever the
+      context runs the process backend, where results otherwise cross
+      the IPC boundary as pickled type-object graphs; ``"on"``/``"off"``
+      force it.  See :func:`repro.inference.kernel.encode_summary`;
+      results are bit-identical either way.
+
+    With a warm context (``Context(warm=True)``, the default) every
+    partition task also carries the scheduler's warm-state generation
+    tag, letting workers reuse their interner/memo/key-cache across
+    tasks and jobs — see :class:`repro.engine.context.Context`.
+
     Dirty-data handling:
 
     * strict mode (default) — the first malformed line fails the job with
@@ -402,8 +538,14 @@ def infer_ndjson_file(
     # same implementation and reports a stable lane name in its timings.
     lane = resolve_lane(parse_lane)
     mode = resolve_split_mode(split_mode, context)
+    wire = resolve_wire_format(wire_format, context)
     stats = context.scheduler.stats if context is not None else None
     scheduler = context.scheduler if context is not None else None
+    parallelism = scheduler.parallelism if scheduler is not None else 1
+    warm_generation = (
+        scheduler.warm_generation
+        if scheduler is not None and scheduler.warm else None
+    )
 
     loaded = None
     if update_from is not None or checkpoint_to is not None:
@@ -421,18 +563,33 @@ def infer_ndjson_file(
             or (context.default_parallelism if context is not None else 1),
             min_split_bytes,
         )
-        split_task = partial(
-            accumulate_ndjson_split, permissive=permissive, parse_lane=lane,
-            collect_timings=collect_timings,
-        )
         if stats is not None:
             # The entire driver-to-worker input payload: the pickled
             # descriptors.  Compare with input_bytes_read below.
             stats.input_bytes_shipped += len(pickle.dumps(splits))
-        if context is None:
-            summaries = [split_task(s) for s in splits]
+        batches = (
+            _plan_batches(splits, parallelism, batch_size)
+            if context is not None else None
+        )
+        if batches is not None:
+            batch_task = partial(
+                accumulate_ndjson_split_batch, permissive=permissive,
+                parse_lane=lane, collect_timings=collect_timings,
+                warm_generation=warm_generation, wire=wire,
+            )
+            summaries = context.scheduler.run(batch_task, batches)
         else:
-            summaries = context.scheduler.run(split_task, splits)
+            split_task = partial(
+                accumulate_ndjson_split, permissive=permissive,
+                parse_lane=lane, collect_timings=collect_timings,
+                warm_generation=warm_generation, wire=wire,
+            )
+            if context is None:
+                summaries = [split_task(s) for s in splits]
+            else:
+                summaries = context.scheduler.run(split_task, splits)
+        if wire:
+            summaries = _decode_wire_summaries(summaries, stats)
         if stats is not None:
             stats.input_bytes_read += sum(s.bytes_read for s in summaries)
         # Workers only know split-local line numbers; a prefix sum over
@@ -454,6 +611,7 @@ def infer_ndjson_file(
             accumulate_ndjson_partition, source=source,
             permissive=permissive, parse_lane=lane,
             collect_timings=collect_timings,
+            warm_generation=warm_generation, wire=wire,
         )
         if context is None:
             # Feed the accumulator straight off the file iterator: the
@@ -471,8 +629,21 @@ def infer_ndjson_file(
             parts = split_evenly(
                 lines, num_partitions or context.default_parallelism
             )
-            summaries = context.scheduler.run(task, parts)
+            batches = _plan_batches(parts, parallelism, batch_size)
+            if batches is not None:
+                batch_task = partial(
+                    accumulate_ndjson_partition_batch, source=source,
+                    permissive=permissive, parse_lane=lane,
+                    collect_timings=collect_timings,
+                    warm_generation=warm_generation, wire=wire,
+                )
+                summaries = context.scheduler.run(batch_task, batches)
+            else:
+                summaries = context.scheduler.run(task, parts)
+        if wire:
+            summaries = _decode_wire_summaries(summaries, stats)
     map_seconds = time.perf_counter() - start
+    _note_summary_telemetry(stats, summaries)
 
     start = time.perf_counter()
     # Attribute quarantined rows to their partitions through the engine's

@@ -163,14 +163,15 @@ class TokenTyper:
 
     __slots__ = ("_field", "_record", "_array", "_key")
 
-    def __init__(self, acc) -> None:
+    def __init__(self, acc, key_cache: KeyCache | None = None) -> None:
         self._field = acc.interner.field
         self._record = acc.record_type
         self._array = acc.array_type
-        # Per-typer (i.e. per-partition) bounded key dedup: repeated
-        # field names share one string for the partition's lifetime
-        # without sys.intern's process-global, immortal pinning.
-        self._key = KeyCache().share
+        # Bounded key dedup: repeated field names share one string without
+        # sys.intern's process-global, immortal pinning.  Per-typer (i.e.
+        # per-partition) by default; a warm worker passes its own cache so
+        # the sharing survives across that worker's partitions.
+        self._key = (key_cache or KeyCache()).share
 
     def type_document(self, text: str) -> Type:
         """The interned type of ``text``; raises ``JsonSyntaxError``."""
@@ -310,14 +311,15 @@ class HookTyper:
 
     __slots__ = ("_field", "_record", "_array", "_decode", "_key")
 
-    def __init__(self, acc) -> None:
+    def __init__(self, acc, key_cache: KeyCache | None = None) -> None:
         self._field = acc.interner.field
         self._record = acc.record_type
         self._array = acc.array_type
-        # Per-typer (i.e. per-partition) bounded key dedup: repeated
-        # field names share one string for the partition's lifetime
-        # without sys.intern's process-global, immortal pinning.
-        self._key = KeyCache().share
+        # Bounded key dedup: repeated field names share one string without
+        # sys.intern's process-global, immortal pinning.  Per-typer (i.e.
+        # per-partition) by default; a warm worker passes its own cache so
+        # the sharing survives across that worker's partitions.
+        self._key = (key_cache or KeyCache()).share
         self._decode = json.JSONDecoder(
             object_pairs_hook=self._record_hook,
             parse_float=_number_hook,
@@ -365,10 +367,16 @@ class HookTyper:
 _TYPERS = {"tokens": TokenTyper, "hooks": HookTyper}
 
 
-def make_typer(lane: str, acc) -> TokenTyper | HookTyper:
-    """Instantiate the typer for a resolved fast lane, bound to ``acc``."""
+def make_typer(
+    lane: str, acc, key_cache: KeyCache | None = None
+) -> TokenTyper | HookTyper:
+    """Instantiate the typer for a resolved fast lane, bound to ``acc``.
+
+    ``key_cache`` substitutes a caller-owned key-dedup cache (a warm
+    worker's) for the typer's default per-partition one.
+    """
     try:
-        return _TYPERS[lane](acc)
+        return _TYPERS[lane](acc, key_cache)
     except KeyError:
         raise ValueError(
             f"no fast-lane typer for lane {lane!r}; expected one of "

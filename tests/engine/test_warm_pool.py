@@ -1,0 +1,185 @@
+"""The warm persistent worker pool (scheduler + kernel warm state).
+
+Contracts pinned here:
+
+* **Warm transparency** — a context that keeps per-worker kernel state
+  warm across consecutive jobs produces results identical to a cold
+  context, on both backends, and actually reuses the state (the
+  ``warm_state_reuses`` counter moves).
+* **Invalidation** — :meth:`Context.invalidate_warm_state` retires every
+  worker's state: the next job rebuilds instead of reusing.
+* **Crash safety** — killing a process worker mid-job destroys its warm
+  state with it; recovery (pool rebuild + retry) still yields the
+  fault-free result.
+* **Machine-shaped defaults** — ``available_parallelism`` respects CPU
+  affinity and survives platforms without ``sched_getaffinity``.
+* **Prompt shutdown** — queued process-pool work is cancelled at
+  shutdown instead of being executed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.engine import Context, FaultPlan, RetryPolicy
+from repro.engine.faults import Fault
+from repro.engine.scheduler import BACKENDS, Scheduler, available_parallelism
+from repro.inference.pipeline import infer_ndjson_file, run_inference
+from tests.conftest import make_corpus, write_corpus
+
+FAST_RETRY = RetryPolicy(max_retries=3, base_delay_s=0.001,
+                         max_delay_s=0.01)
+
+
+@pytest.fixture(scope="module")
+def corpus_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("warm") / "corpus.ndjson"
+    write_corpus(path, make_corpus(400, seed=11))
+    return path
+
+
+class TestWarmEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_consecutive_jobs_identical_to_cold(self, backend, corpus_file):
+        with Context(parallelism=2, backend=backend, warm=False) as cold:
+            reference = infer_ndjson_file(
+                corpus_file, context=cold, num_partitions=8,
+                split_mode="lines",
+            )
+        with Context(parallelism=2, backend=backend) as ctx:
+            first = infer_ndjson_file(
+                corpus_file, context=ctx, num_partitions=8,
+                split_mode="lines",
+            )
+            second = infer_ndjson_file(
+                corpus_file, context=ctx, num_partitions=8,
+                split_mode="lines",
+            )
+            stats = ctx.scheduler.stats
+            assert first.schema == second.schema == reference.schema
+            assert (first.record_count == second.record_count
+                    == reference.record_count)
+            assert (first.distinct_type_count == second.distinct_type_count
+                    == reference.distinct_type_count)
+            # The second job must have found warm state to reuse.
+            assert stats.warm_state_reuses > 0
+            assert stats.warm_state_builds > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_in_memory_jobs_identical_to_cold(self, backend):
+        values = make_corpus(300, seed=5)
+        baseline = run_inference(values)
+        with Context(parallelism=2, backend=backend) as ctx:
+            first = run_inference(values, context=ctx, num_partitions=6)
+            second = run_inference(values, context=ctx, num_partitions=6)
+        assert first.schema == second.schema == baseline.schema
+        assert (first.distinct_type_count == second.distinct_type_count
+                == baseline.distinct_type_count)
+
+    def test_cold_context_never_touches_warm_counters(self, corpus_file):
+        with Context(parallelism=2, warm=False) as ctx:
+            infer_ndjson_file(corpus_file, context=ctx, num_partitions=8)
+            stats = ctx.scheduler.stats
+            assert stats.warm_state_reuses == 0
+            assert stats.warm_state_builds == 0
+
+
+class TestInvalidation:
+    def test_invalidate_forces_rebuild(self, corpus_file):
+        with Context(parallelism=1) as ctx:
+            infer_ndjson_file(corpus_file, context=ctx, num_partitions=4,
+                              split_mode="lines")
+            builds_before = ctx.scheduler.stats.warm_state_builds
+            assert builds_before > 0
+            old = ctx.scheduler.warm_generation
+            assert ctx.invalidate_warm_state() != old
+            run = infer_ndjson_file(corpus_file, context=ctx,
+                                    num_partitions=4, split_mode="lines")
+            assert ctx.scheduler.stats.warm_state_builds > builds_before
+            assert run.record_count == 400
+
+    def test_generations_unique_across_schedulers(self):
+        tags = set()
+        for _ in range(3):
+            with Scheduler(1) as scheduler:
+                assert scheduler.warm_generation not in tags
+                tags.add(scheduler.warm_generation)
+
+
+class TestCrashRecovery:
+    def test_worker_kill_mid_job_with_warm_state(self, corpus_file):
+        """A killed process worker takes its warm state down with it;
+        the retried tasks (on fresh, cold workers) still produce the
+        fault-free result."""
+        with Context(parallelism=2, backend="process",
+                     retry_policy=FAST_RETRY) as clean_ctx:
+            clean = infer_ndjson_file(corpus_file, context=clean_ctx,
+                                      num_partitions=6, split_mode="lines")
+        plan = FaultPlan((
+            Fault(1, 0, kind="kill"),
+            Fault(4, 0, kind="fail"),
+        ))
+        with Context(parallelism=2, backend="process",
+                     retry_policy=FAST_RETRY, fault_plan=plan) as ctx:
+            # Warm the pool with one job, then crash into the second.
+            infer_ndjson_file(corpus_file, context=ctx, num_partitions=6,
+                              split_mode="lines")
+            faulty = infer_ndjson_file(corpus_file, context=ctx,
+                                       num_partitions=6, split_mode="lines")
+            stats = ctx.scheduler.stats
+            assert stats.pool_rebuilds >= 1
+        assert faulty.schema == clean.schema
+        assert faulty.record_count == clean.record_count
+        assert faulty.distinct_type_count == clean.distinct_type_count
+
+
+class TestAvailableParallelism:
+    def test_respects_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2, 3, 4}, raising=False)
+        assert available_parallelism() == 5
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert available_parallelism() == 7
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert available_parallelism() == 1
+
+    def test_scheduler_default_uses_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2, 3, 4, 5}, raising=False)
+        with Scheduler() as scheduler:
+            assert scheduler.parallelism == 6
+
+
+class TestPoolLifecycle:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_prestart_reports_parallelism(self, backend):
+        with Context(parallelism=2, backend=backend) as ctx:
+            assert ctx.prestart() == 2
+            # Idempotent: a second call probes the same live pool.
+            assert ctx.prestart() == 2
+
+    def test_shutdown_cancels_queued_process_work(self):
+        scheduler = Scheduler(1, backend="process")
+        try:
+            scheduler.prestart()
+            pool = scheduler._ensure_process_pool()
+            running = pool.submit(time.sleep, 0.2)
+            queued = [pool.submit(time.sleep, 30) for _ in range(3)]
+            start = time.perf_counter()
+        finally:
+            scheduler.shutdown()
+        elapsed = time.perf_counter() - start
+        # Shutdown waited for the running task but cancelled the queued
+        # 30-second sleeps instead of executing them.
+        assert elapsed < 10.0
+        assert running.done()
+        assert any(f.cancelled() for f in queued)

@@ -1,0 +1,175 @@
+"""Batched task dispatch (worker-local folds before the driver merge).
+
+Contracts pinned here:
+
+* **Grouping invariance** — any ``batch_size``, over any split mode and
+  backend, produces the same schema, counts and distinct set as the
+  unbatched and sequential runs (fusion associativity, Theorem 5.5).
+* **Quarantine exactness** — absolute 1-based line numbers of skipped
+  records survive batching: batch tasks re-base split-local numbers
+  intra-batch, the driver re-bases across tasks, and the composition is
+  the identity the sequential run computes directly.
+* **Strict-mode diagnostics** — the first malformed line fails a
+  batched strict run with the same absolute line number as sequential.
+* **Auto policy** — batching only engages when partitions far
+  outnumber workers, so small jobs keep one task per partition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Context
+from repro.engine.scheduler import BACKENDS
+from repro.inference.kernel import (
+    accumulate_ndjson_partition_batch,
+    accumulate_ndjson_split_batch,
+)
+from repro.inference.pipeline import _plan_batches, infer_ndjson_file
+from repro.jsonio.errors import JsonSyntaxError
+from repro.jsonio.splits import plan_splits
+from tests.conftest import make_corpus, write_corpus
+
+
+@pytest.fixture(scope="module")
+def dirty_file(tmp_path_factory):
+    """A corpus with malformed lines at known absolute positions."""
+    path = tmp_path_factory.mktemp("batched") / "dirty.ndjson"
+    records = make_corpus(900, seed=13)
+    lines = []
+    bad = []
+    for i, record in enumerate(records, start=1):
+        if i % 97 == 0:
+            lines.append('{"id": %d, "broken":' % i)
+            bad.append(i)
+        else:
+            from repro.jsonio.writer import dumps
+
+            lines.append(dumps(record))
+    path.write_text("\n".join(lines) + "\n")
+    return path, bad
+
+
+class TestGroupingInvariance:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("split_mode", ["bytes", "lines"])
+    @pytest.mark.parametrize("batch_size", [None, 1, 2, 5, 100])
+    def test_identical_across_batch_sizes(
+        self, backend, split_mode, batch_size, dirty_file
+    ):
+        path, bad = dirty_file
+        reference = infer_ndjson_file(path, permissive=True)
+        assert [b.line_number for b in reference.bad_records] == bad
+        with Context(parallelism=2, backend=backend) as ctx:
+            run = infer_ndjson_file(
+                path, context=ctx, num_partitions=12, permissive=True,
+                split_mode=split_mode, min_split_bytes=1,
+                batch_size=batch_size,
+            )
+        assert run.schema == reference.schema
+        assert run.record_count == reference.record_count
+        assert run.distinct_type_count == reference.distinct_type_count
+        assert [b.line_number for b in run.bad_records] == bad
+
+    def test_clean_corpus_batched_vs_unbatched(self, tmp_path):
+        path = tmp_path / "clean.ndjson"
+        write_corpus(path, make_corpus(700, seed=29))
+        with Context(parallelism=2) as ctx:
+            batched = infer_ndjson_file(
+                path, context=ctx, num_partitions=16, batch_size=4,
+                split_mode="bytes", min_split_bytes=1,
+            )
+            unbatched = infer_ndjson_file(
+                path, context=ctx, num_partitions=16, batch_size=1,
+                split_mode="bytes", min_split_bytes=1,
+            )
+        assert batched.schema == unbatched.schema
+        assert batched.record_count == unbatched.record_count == 700
+        assert (batched.distinct_type_count
+                == unbatched.distinct_type_count)
+
+
+class TestStrictDiagnostics:
+    @pytest.mark.parametrize("split_mode", ["bytes", "lines"])
+    def test_first_error_line_matches_sequential(
+        self, split_mode, dirty_file
+    ):
+        path, bad = dirty_file
+        with pytest.raises(JsonSyntaxError) as sequential:
+            infer_ndjson_file(path)
+        with Context(parallelism=2) as ctx:
+            with pytest.raises(JsonSyntaxError) as batched:
+                infer_ndjson_file(
+                    path, context=ctx, num_partitions=12,
+                    split_mode=split_mode, min_split_bytes=1, batch_size=3,
+                )
+        assert sequential.value.line == bad[0]
+        # Parallel strict runs surface *a* malformed line with its exact
+        # absolute position; which of the bad lines wins the race is
+        # scheduling-dependent.
+        assert batched.value.line in bad
+
+
+class TestBatchTasks:
+    def test_split_batch_equals_per_split(self, tmp_path):
+        from repro.inference.kernel import (
+            accumulate_ndjson_split,
+            merge_summary_group,
+        )
+        from repro.jsonio.splits import rebase_bad_records
+
+        path = tmp_path / "dirty.ndjson"
+        lines = ['{"v": %d}' % i for i in range(1, 121)]
+        lines[39] = "oops"
+        lines[89] = "[un"
+        path.write_text("\n".join(lines) + "\n")
+        splits = plan_splits(path, 6, min_split_bytes=1)
+        batched = accumulate_ndjson_split_batch(splits, permissive=True)
+        partials = []
+        base = 0
+        for split in splits:
+            summary = accumulate_ndjson_split(split, permissive=True)
+            if summary.skipped:
+                from dataclasses import replace
+
+                summary = replace(
+                    summary,
+                    skipped=rebase_bad_records(summary.skipped, base),
+                )
+            base += summary.line_count
+            partials.append(summary)
+        assert batched == merge_summary_group(partials)
+        assert [b.line_number for b in batched.skipped] == [40, 90]
+
+    def test_partition_batch_keeps_absolute_lines(self):
+        parts = [
+            [(1, '{"a": 1}'), (2, "bad")],
+            [(3, '{"a": 2}'), (4, '{"a": "x"}')],
+        ]
+        summary = accumulate_ndjson_partition_batch(
+            parts, permissive=True
+        )
+        assert summary.record_count == 3
+        assert [b.line_number for b in summary.skipped] == [2]
+
+
+class TestAutoPolicy:
+    def test_small_jobs_stay_unbatched(self):
+        assert _plan_batches(list(range(4)), parallelism=2,
+                             batch_size=None) is None
+        assert _plan_batches(list(range(8)), parallelism=4,
+                             batch_size=None) is None
+
+    def test_many_partitions_fold(self):
+        batches = _plan_batches(list(range(40)), parallelism=2,
+                                batch_size=None)
+        assert batches is not None
+        assert sum(len(b) for b in batches) == 40
+        # Roughly two tasks per worker remain.
+        assert len(batches) <= 2 * 2 + 1
+
+    def test_explicit_sizes(self):
+        assert _plan_batches(list(range(10)), 2, batch_size=1) is None
+        batches = _plan_batches(list(range(10)), 2, batch_size=4)
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert [b for batch in batches for b in batch] == list(range(10))

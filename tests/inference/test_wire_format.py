@@ -1,0 +1,149 @@
+"""The compact summary wire format (kernel encode/decode round trip).
+
+Contracts pinned here:
+
+* **Round trip** — ``decode_summary(encode_summary(s)) == s`` for
+  summaries over arbitrary JSON values and arbitrary normal-form types,
+  quarantine records and timings included.
+* **Canonical adoption** — decoding *into* an accumulator builds the
+  types canonical in its interner: decoding twice yields
+  pointer-identical nodes, and adoption through ``add_summary`` gives
+  the same merged result as adopting the un-encoded summary.
+* **Task equivalence** — every partition task returns bit-identical
+  results with ``wire=True``, so the scheduler seam can flip freely.
+* **Versioning** — payloads with a foreign version tag or mangled bytes
+  are rejected with ``ValueError``, never misdecoded.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inference.kernel import (
+    WIRE_FORMAT_VERSION,
+    PartitionAccumulator,
+    accumulate_ndjson_partition,
+    accumulate_ndjson_split,
+    accumulate_partition,
+    decode_summary,
+    encode_summary,
+)
+from repro.jsonio.splits import plan_splits
+from tests.conftest import json_values, make_corpus, normal_types, write_corpus
+
+json_value_lists = st.lists(json_values(10), max_size=30)
+
+
+class TestRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(values=json_value_lists)
+    def test_value_summaries_round_trip(self, values):
+        summary = accumulate_partition(values)
+        payload = encode_summary(summary)
+        assert isinstance(payload, bytes)
+        assert decode_summary(payload) == summary
+
+    @settings(max_examples=50, deadline=None)
+    @given(types=st.lists(normal_types(10), min_size=1, max_size=10))
+    def test_type_summaries_round_trip(self, types):
+        acc = PartitionAccumulator()
+        for t in types:
+            acc.add_type(t)
+        summary = acc.summary()
+        assert decode_summary(encode_summary(summary)) == summary
+
+    def test_quarantine_and_telemetry_ride_along(self, tmp_path):
+        path = tmp_path / "dirty.ndjson"
+        path.write_text('{"a": 1}\nnope\n{"a": "x"}\n')
+        payload = accumulate_ndjson_partition(
+            [(1, '{"a": 1}'), (2, "nope"), (3, '{"a": "x"}')],
+            source=str(path), permissive=True, collect_timings=True,
+            warm_generation=1, wire=True,
+        )
+        summary = decode_summary(payload)
+        assert summary.record_count == 2
+        assert [b.line_number for b in summary.skipped] == [2]
+        assert summary.timings is not None
+        assert summary.worker
+        assert summary.warm_reused is False
+
+
+class TestCanonicalAdoption:
+    @settings(max_examples=25, deadline=None)
+    @given(values=json_value_lists)
+    def test_decode_with_accumulator_equal(self, values):
+        summary = accumulate_partition(values)
+        payload = encode_summary(summary)
+        acc = PartitionAccumulator()
+        assert decode_summary(payload, acc) == summary
+
+    def test_decoded_nodes_are_pointer_canonical(self):
+        summary = accumulate_partition(make_corpus(500, seed=3))
+        payload = encode_summary(summary)
+        acc = PartitionAccumulator()
+        first = decode_summary(payload, acc)
+        second = decode_summary(payload, acc)
+        assert first.schema is second.schema
+        assert all(
+            a is b
+            for a, b in zip(first.distinct_types, second.distinct_types)
+        )
+
+    def test_adoption_matches_plain_add_summary(self):
+        summary = accumulate_partition(make_corpus(400, seed=9))
+        via_wire = PartitionAccumulator()
+        via_wire.add_summary(
+            decode_summary(encode_summary(summary), via_wire)
+        )
+        plain = PartitionAccumulator()
+        plain.add_summary(summary)
+        assert via_wire.schema == plain.schema
+        assert via_wire.record_count == plain.record_count
+        assert via_wire.distinct_type_count == plain.distinct_type_count
+
+
+class TestTaskEquivalence:
+    def test_split_task_wire_equivalence(self, tmp_path):
+        path = tmp_path / "corpus.ndjson"
+        write_corpus(path, make_corpus(600, seed=21))
+        for split in plan_splits(path, 4, min_split_bytes=1):
+            wired = decode_summary(
+                accumulate_ndjson_split(split, wire=True)
+            )
+            assert wired == accumulate_ndjson_split(split)
+
+    def test_partition_task_wire_equivalence(self, tmp_path):
+        lines = [
+            (i + 1, line)
+            for i, line in enumerate(
+                '{"id": %d, "v": [%d]}' % (i, i) for i in range(200)
+            )
+        ]
+        wired = decode_summary(
+            accumulate_ndjson_partition(list(lines), wire=True)
+        )
+        assert wired == accumulate_ndjson_partition(list(lines))
+
+
+class TestVersioning:
+    def test_foreign_version_rejected(self):
+        summary = accumulate_partition([{"a": 1}])
+        payload = pickle.loads(encode_summary(summary))
+        bumped = (WIRE_FORMAT_VERSION + 1,) + payload[1:]
+        with pytest.raises(ValueError, match="version"):
+            decode_summary(pickle.dumps(bumped))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            decode_summary(pickle.dumps(("not", "a", "summary")))
+
+    def test_unknown_op_tag_rejected(self):
+        summary = accumulate_partition([{"a": 1}])
+        (version, keys, ops, *rest) = pickle.loads(encode_summary(summary))
+        mangled = (version, keys, [99] + list(ops[1:]), *rest)
+        with pytest.raises(ValueError):
+            decode_summary(pickle.dumps(mangled))
