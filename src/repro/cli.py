@@ -12,8 +12,15 @@ Sub-commands::
     project FILE PATH...  prune records down to the given paths
     validate FILE         check records against a schema, reporting paths
     report FILE           full Markdown audit report for a feed
+    fsck PATH...          classify checkpoint/journal health (see docs)
 
 Run any sub-command with ``-h`` for its options.
+
+Exit codes: ``0`` success, ``1`` failure, ``2`` usage error, and
+``EXIT_RESUMABLE`` (75, after ``EX_TEMPFAIL``) when a journaled ``infer``
+run was interrupted (Ctrl-C/SIGTERM) after draining in-flight work — the
+journal holds every completed partition and ``infer --resume`` finishes
+the run.
 """
 
 from __future__ import annotations
@@ -41,7 +48,13 @@ from repro.inference.pipeline import (
 from repro.jsonio.ndjson import read_ndjson
 from repro.jsonio.writer import dumps
 
-__all__ = ["main", "build_parser"]
+__all__ = ["EXIT_RESUMABLE", "main", "build_parser"]
+
+#: Exit code for "interrupted but resumable": the run drained and
+#: journaled its in-flight tasks before exiting, so ``infer --resume``
+#: will finish it.  75 after BSD ``EX_TEMPFAIL`` ("try again"), and
+#: distinct from 0/1/2 and the engine's crash/kill codes.
+EXIT_RESUMABLE = 75
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -148,6 +161,20 @@ def build_parser() -> argparse.ArgumentParser:
              "cross the IPC boundary (default: auto)",
     )
     p_infer.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="write-ahead run journal: record the task plan up front and "
+             "each completed partition summary durably, so a crashed or "
+             "interrupted run can be finished with --resume (Ctrl-C "
+             "drains in-flight tasks and exits with code 75)",
+    )
+    p_infer.add_argument(
+        "--resume", action="store_true",
+        help="with --journal: replay the journal's completed summaries "
+             "and execute only the remaining tasks; the result is "
+             "byte-identical to an uninterrupted run (requires the same "
+             "input file and flags as the original run)",
+    )
+    p_infer.add_argument(
         "--max-retries", type=int, metavar="N", default=3,
         help="retries per partition task for transient failures "
              "(default: 3)",
@@ -247,17 +274,85 @@ def build_parser() -> argparse.ArgumentParser:
                           help="dataset name for the report title")
     p_report.add_argument("--skip-invalid", action="store_true")
 
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="check the health of checkpoint directories and run journals",
+    )
+    p_fsck.add_argument(
+        "paths", nargs="+",
+        help="checkpoint directories and/or run-journal files to inspect",
+    )
+    p_fsck.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit one JSON report object per path instead of text",
+    )
+
     return parser
 
 
+class _GracefulStop:
+    """SIGINT/SIGTERM → drain-and-journal instead of dying mid-write.
+
+    Installed only around journaled runs: the first signal sets the
+    scheduler's stop event (queued tasks are cancelled, in-flight tasks
+    drain and journal); a second signal falls back to Python's default
+    handling so a wedged run can still be killed interactively.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self.event = threading.Event()
+        self._previous: dict[int, object] = {}
+
+    def _handle(self, signum, frame) -> None:
+        if self.event.is_set():
+            # Second signal: restore the previous handlers and abort so
+            # the user can still force an exit out of a wedged drain.
+            self.__exit__(None, None, None)
+            raise KeyboardInterrupt
+        print(
+            "interrupted: draining in-flight tasks (press again to force)",
+            file=sys.stderr,
+        )
+        self.event.set()
+
+    def __enter__(self) -> "_GracefulStop":
+        import signal
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        import signal
+
+        while self._previous:
+            signum, previous = self._previous.popitem()
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+
 def _cmd_infer(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.engine import Context, RetryPolicy, available_parallelism
+    from repro.inference.pipeline import ResumableInterrupt
     from repro.jsonio.errors import ErrorRateExceeded
     from repro.jsonio.splits import DEFAULT_MIN_SPLIT_BYTES
     from repro.store import checkpoint_exists
+    from repro.store.journal import JournalError
 
     if args.update and not args.checkpoint:
         print("error: --update requires --checkpoint DIR", file=sys.stderr)
+        return 2
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal PATH", file=sys.stderr)
         return 2
     update_from = None
     if args.update and checkpoint_exists(args.checkpoint):
@@ -282,23 +377,35 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         checkpoint_to=args.checkpoint,
         batch_size=args.batch_size,
         wire_format=args.wire_format,
+        journal_path=args.journal,
+        resume=args.resume,
     )
     stats = None
+    stop = _GracefulStop() if args.journal else nullcontext()
     try:
-        if args.parallel is not None:
-            # --parallel 0 means "size the pool to this machine".
-            workers = args.parallel or available_parallelism()
-            with Context(parallelism=workers, backend=args.backend,
-                         retry_policy=policy,
-                         warm=not args.no_warm) as ctx:
-                stats = ctx.scheduler.stats
-                run = infer_ndjson_file(
-                    args.file, context=ctx,
-                    num_partitions=workers * 2, **kwargs,
-                )
-        else:
-            run = infer_ndjson_file(args.file, **kwargs)
+        with stop:
+            if args.journal:
+                kwargs["stop_event"] = stop.event
+            if args.parallel is not None:
+                # --parallel 0 means "size the pool to this machine".
+                workers = args.parallel or available_parallelism()
+                with Context(parallelism=workers, backend=args.backend,
+                             retry_policy=policy,
+                             warm=not args.no_warm) as ctx:
+                    stats = ctx.scheduler.stats
+                    run = infer_ndjson_file(
+                        args.file, context=ctx,
+                        num_partitions=workers * 2, **kwargs,
+                    )
+            else:
+                run = infer_ndjson_file(args.file, **kwargs)
     except ErrorRateExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ResumableInterrupt as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return EXIT_RESUMABLE
+    except JournalError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     schema = run.schema
@@ -475,6 +582,40 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.store import fsck_checkpoint, fsck_journal
+
+    exit_code = 0
+    for raw in args.paths:
+        path = Path(raw)
+        # A checkpoint is a directory, a journal is a file; for missing
+        # paths, guess journal when the name looks like one so the
+        # report's "kind" stays useful.
+        if path.is_dir():
+            report = fsck_checkpoint(path)
+        elif path.is_file() or "journal" in path.name:
+            report = fsck_journal(path)
+        else:
+            report = fsck_checkpoint(path)
+        if report["status"] != "ok" or report.get("lock") == "held":
+            exit_code = 1
+        if args.as_json:
+            print(_json.dumps(report, sort_keys=True))
+            continue
+        line = f"{report['kind']:<10} {report['status']:<16} {raw}"
+        if report.get("detail"):
+            line += f" — {report['detail']}"
+        if report.get("lock", "none") != "none":
+            line += f" [lock: {report['lock']}]"
+        if report.get("orphans"):
+            line += f" [orphans: {len(report['orphans'])}]"
+        print(line)
+    return exit_code
+
+
 _COMMANDS = {
     "infer": _cmd_infer,
     "merge": _cmd_merge,
@@ -486,6 +627,7 @@ _COMMANDS = {
     "project": _cmd_project,
     "validate": _cmd_validate,
     "report": _cmd_report,
+    "fsck": _cmd_fsck,
 }
 
 

@@ -34,6 +34,7 @@ from repro.engine.faults import (
 )
 from repro.engine.rdd import RDD
 from repro.engine.scheduler import (
+    JobCancelled,
     RetryPolicy,
     Scheduler,
     SchedulerStats,
@@ -43,7 +44,7 @@ from repro.engine.scheduler import (
 
 __all__ = [
     "Context", "RDD", "Scheduler", "split_evenly",
-    "RetryPolicy", "SchedulerStats", "TaskTimeoutError",
+    "RetryPolicy", "SchedulerStats", "TaskTimeoutError", "JobCancelled",
     "Fault", "FaultInjected", "FaultPlan", "TransientError",
     "Accumulator", "CounterAccumulator", "MapAccumulator",
     "NodeSpec", "Block", "ClusterSimulator", "SimulationResult",

@@ -31,12 +31,17 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 __all__ = [
+    "CRASH_EXIT_CODE",
+    "CRASH_POINT_ENV",
     "FAULT_KINDS",
     "Fault",
     "FaultInjected",
     "FaultPlan",
     "TransientError",
     "WORKER_KILL_EXIT_CODE",
+    "crash_due",
+    "crash_point",
+    "reset_crash_points",
 ]
 
 #: Supported fault kinds.
@@ -45,6 +50,15 @@ FAULT_KINDS = ("fail", "kill", "delay")
 #: Exit code a killed worker process dies with (visible in core dumps /
 #: process tables when debugging an injected run).
 WORKER_KILL_EXIT_CODE = 73
+
+#: Exit code a process dies with at a planned :func:`crash_point` — distinct
+#: from :data:`WORKER_KILL_EXIT_CODE` so a crash-matrix harness can tell a
+#: planned driver crash from an injected worker kill.
+CRASH_EXIT_CODE = 66
+
+#: Environment variable naming the crash point to fire:
+#: ``"name"`` or ``"name:occurrence"`` (1-based; default 1).
+CRASH_POINT_ENV = "REPRO_CRASH_POINT"
 
 
 class TransientError(Exception):
@@ -226,3 +240,71 @@ class FaultPlan:
         if fault.kind == "kill" and allow_kill:
             os._exit(WORKER_KILL_EXIT_CODE)
         raise FaultInjected(partition, attempt, fault.message)
+
+
+# ----------------------------------------------------------------------
+# Process-level crash points.
+#
+# Where :class:`FaultPlan` injects *task*-level incidents the scheduler is
+# expected to recover from in-process, a crash point kills the whole
+# process (``os._exit``) at a named durability boundary — "after the
+# journal header was fsynced", "between the two renames of a checkpoint
+# swap" — so a subprocess harness can prove that a resume from the
+# on-disk state the crash left behind reproduces the uninterrupted run.
+#
+# Activation is by environment variable so the harness controls the child
+# without any code plumbing: ``REPRO_CRASH_POINT=name`` crashes at the
+# first time ``name`` is reached, ``REPRO_CRASH_POINT=name:3`` at the
+# third.  In a normal process the env var is unset and every
+# :func:`crash_point` call is a dict lookup + string compare.
+
+_crash_hits: dict[str, int] = {}
+
+
+def _crash_spec(environ: Mapping[str, str] | None = None):
+    env = os.environ if environ is None else environ
+    spec = env.get(CRASH_POINT_ENV, "")
+    if not spec:
+        return None, 0
+    name, _, occurrence = spec.partition(":")
+    try:
+        nth = int(occurrence) if occurrence else 1
+    except ValueError:
+        raise ValueError(
+            f"malformed {CRASH_POINT_ENV} spec {spec!r}: occurrence must "
+            f"be an integer"
+        ) from None
+    return name, max(1, nth)
+
+
+def reset_crash_points() -> None:
+    """Forget all crash-point hit counts (test isolation helper)."""
+    _crash_hits.clear()
+
+
+def crash_due(name: str) -> bool:
+    """Record a hit on crash point ``name``; True when it should fire.
+
+    Counting is per-process: occurrence ``k`` in ``name:k`` means the
+    k-th time this process reaches the point.  Callers that need to do
+    work *before* dying (e.g. write half a journal frame to simulate a
+    torn append) check :func:`crash_due` and exit themselves with
+    :data:`CRASH_EXIT_CODE`; everyone else just calls
+    :func:`crash_point`.
+    """
+    armed, nth = _crash_spec()
+    if armed is None or armed != name:
+        return False
+    _crash_hits[name] = _crash_hits.get(name, 0) + 1
+    return _crash_hits[name] == nth
+
+
+def crash_point(name: str) -> None:
+    """Die with :data:`CRASH_EXIT_CODE` if crash point ``name`` is armed.
+
+    ``os._exit`` — no atexit handlers, no flush, no unwinding — the
+    closest a test can get to SIGKILL while still choosing the line it
+    lands on.
+    """
+    if crash_due(name):
+        os._exit(CRASH_EXIT_CODE)

@@ -87,6 +87,7 @@ from weakref import WeakKeyDictionary
 from repro.engine.faults import FaultInjected, FaultPlan, TransientError
 
 __all__ = [
+    "JobCancelled",
     "Scheduler",
     "SchedulerStats",
     "RetryPolicy",
@@ -100,6 +101,39 @@ R = TypeVar("R")
 
 #: Supported execution backends.
 BACKENDS = ("thread", "process")
+
+
+class JobCancelled(Exception):
+    """The job was drained early because its ``stop_event`` was set.
+
+    Deliberately *not* a :exc:`~repro.engine.faults.TransientError`: a
+    cancellation is a driver decision (SIGINT/SIGTERM graceful
+    shutdown), not a task failure, so it must never enter the retry
+    classifier.  Every task that had already completed was delivered
+    through the job's ``on_result`` callback before this was raised —
+    with a journaling callback, all completed work is durable and the
+    run is resumable.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(
+            f"job cancelled after draining in-flight tasks: "
+            f"{completed}/{total} partitions completed"
+        )
+        self.completed = completed
+        self.total = total
+
+    def __reduce__(self):
+        return (self.__class__, (self.completed, self.total))
+
+
+class _StopCancelled(Exception):
+    """Internal marker: a queued future was cancelled by the stop drain.
+
+    Never escapes the scheduler — the recovery loop drops these keys on
+    the floor (no retry, no failure) and raises :exc:`JobCancelled` for
+    the job as a whole.
+    """
 
 
 class TaskTimeoutError(TransientError):
@@ -536,13 +570,32 @@ class Scheduler:
     # ------------------------------------------------------------------
     # execution
 
-    def run(self, task: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    def run(
+        self,
+        task: Callable[[T], R],
+        items: Sequence[T],
+        on_result: Callable[[int, R], None] | None = None,
+        stop_event: threading.Event | None = None,
+    ) -> list[R]:
         """Apply ``task`` to every item (one task per partition), in parallel.
 
         Results come back in input order.  Exceptions raised by any task
         propagate to the caller after the retry policy is exhausted,
         mirroring a failed Spark job; transient failures, worker crashes
         and timeouts are recovered per :class:`RetryPolicy`.
+
+        ``on_result(index, result)`` is invoked on the driver thread the
+        first time each partition completes, *before* the job as a whole
+        finishes — the seam the run journal hangs off: a summary is
+        durable the moment its task succeeds, not when the job ends.  An
+        exception from the callback fails the job (nothing swallows an
+        ``ENOSPC`` from a journal append).
+
+        ``stop_event`` requests a graceful drain: when it is set, queued
+        attempts are cancelled, already-executing tasks are allowed to
+        finish (and are delivered through ``on_result``), and the job
+        raises :exc:`JobCancelled` instead of returning — the
+        SIGINT/SIGTERM half of crash-safe runs.
 
         Re-entrant calls (a task scheduling sub-tasks, as the shuffle
         does) run inline on the calling worker: handing them back to the
@@ -556,23 +609,32 @@ class Scheduler:
         """
         start = time.perf_counter()
         try:
-            results = self._dispatch(task, items)
+            results = self._dispatch(task, items, on_result, stop_event)
         finally:
             self.stats.jobs += 1
             self.stats.job_time_s += time.perf_counter() - start
         self.stats.tasks_completed += len(results)
         return results
 
-    def _dispatch(self, task: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    def _dispatch(
+        self,
+        task: Callable[[T], R],
+        items: Sequence[T],
+        on_result: Callable[[int, R], None] | None = None,
+        stop_event: threading.Event | None = None,
+    ) -> list[R]:
         """Route a job to the inline, thread, or process execution path."""
         if self._depth() > 0:
-            return self._run_inline(task, items)
+            return self._run_inline(task, items, on_result, stop_event)
         if self.parallelism == 1 or len(items) <= 1:
             if self.retry_policy.task_timeout_s is None:
-                return self._run_inline(task, items)
+                return self._run_inline(task, items, on_result, stop_event)
             # Timeout enforcement needs a pool worker the driver can
             # abandon; the thread pool is enough for a sequential job.
-            return self._run_with_recovery(task, items, use_process=False)
+            return self._run_with_recovery(
+                task, items, use_process=False,
+                on_result=on_result, stop_event=stop_event,
+            )
         use_process = self.backend == "process" and self._shippable(task)
         if use_process and not self._first_item_shippable(items):
             warnings.warn(
@@ -582,7 +644,10 @@ class Scheduler:
                 stacklevel=2,
             )
             use_process = False
-        return self._run_with_recovery(task, items, use_process)
+        return self._run_with_recovery(
+            task, items, use_process,
+            on_result=on_result, stop_event=stop_event,
+        )
 
     def _depth(self) -> int:
         return getattr(self._local, "depth", 0)
@@ -595,7 +660,13 @@ class Scheduler:
         finally:
             self._local.depth -= 1
 
-    def _run_inline(self, task: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    def _run_inline(
+        self,
+        task: Callable[[T], R],
+        items: Sequence[T],
+        on_result: Callable[[int, R], None] | None = None,
+        stop_event: threading.Event | None = None,
+    ) -> list[R]:
         """Sequential execution with the same retry classification.
 
         Used for re-entrant calls always, and for ``parallelism=1`` /
@@ -603,17 +674,24 @@ class Scheduler:
         need a pool worker to abandon, so :meth:`run` routes those to
         the thread pool instead).  ``task_timeout_s`` is *not* enforced
         here.  Worker kills are injected as transient failures (there is
-        no separate process to kill).
+        no separate process to kill).  A ``stop_event`` is honoured
+        between items: the current item always runs to completion (and
+        reaches ``on_result``) before the drain raises.
         """
         results = []
         for index, item in enumerate(items):
+            if stop_event is not None and stop_event.is_set():
+                raise JobCancelled(len(results), len(items))
             attempt = 0
             deterministic_retry_used = False
             while True:
                 call = _Dispatch(task, item, index, attempt,
                                  self.fault_plan, allow_kill=False)
                 try:
-                    results.append(self._enter_task(call))
+                    result = self._enter_task(call)
+                    if on_result is not None:
+                        on_result(index, result)
+                    results.append(result)
                     break
                 except Exception as exc:
                     attempt, deterministic_retry_used = self._next_attempt(
@@ -646,7 +724,12 @@ class Scheduler:
         raise exc
 
     def _run_with_recovery(
-        self, task: Callable[[T], R], items: Sequence[T], use_process: bool
+        self,
+        task: Callable[[T], R],
+        items: Sequence[T],
+        use_process: bool,
+        on_result: Callable[[int, R], None] | None = None,
+        stop_event: threading.Event | None = None,
     ) -> list[R]:
         """The retrying dispatch loop shared by both pool backends.
 
@@ -654,6 +737,12 @@ class Scheduler:
         harvest results, classify failures, back off, repeat.  A broken
         process pool fails the whole round; the pool is rebuilt and the
         unfinished partitions are re-dispatched.
+
+        A set ``stop_event`` drains rather than aborts: the harvest
+        cancels attempts that have not started, waits for the executing
+        ones, and their results still flow through ``on_result`` before
+        :exc:`JobCancelled` is raised — nothing a worker finished is
+        ever thrown away.
         """
         policy = self.retry_policy
         results: dict[int, R] = {}
@@ -665,9 +754,12 @@ class Scheduler:
         rebuilds_this_job = 0
 
         while pending:
+            if stop_event is not None and stop_event.is_set():
+                raise JobCancelled(len(results), len(items))
             futures = self._submit_round(task, items, pending, use_process)
             outcomes = self._harvest_round(
-                futures, policy.task_timeout_s, use_process
+                futures, policy.task_timeout_s, use_process, stop_event,
+                on_result,
             )
             next_pending: list[tuple[int, int]] = []
             max_backoff = 0.0
@@ -677,7 +769,14 @@ class Scheduler:
             for (index, attempt), future in futures.items():
                 exc = outcomes[(index, attempt)]
                 if exc is None:
+                    # on_result already fired inside the harvest, at the
+                    # moment the future resolved.
                     results[index] = future.result()
+                    continue
+                if isinstance(exc, _StopCancelled):
+                    # Cancelled by the drain before it started: neither a
+                    # success nor a failure — the partition stays for the
+                    # resumed run.
                     continue
                 if isinstance(exc, BrokenProcessPool):
                     pool_broken = True
@@ -703,6 +802,8 @@ class Scheduler:
                 for future in futures.values():
                     future.cancel()
                 raise fatal
+            if stop_event is not None and stop_event.is_set():
+                raise JobCancelled(len(results), len(items))
             if pool_broken and use_process:
                 self._rebuild_process_pool()
                 rebuilds_this_job += 1
@@ -763,6 +864,8 @@ class Scheduler:
         futures: dict[tuple[int, int], Future],
         timeout: float | None,
         use_process: bool,
+        stop_event: threading.Event | None = None,
+        on_result: Callable[[int, R], None] | None = None,
     ) -> dict[tuple[int, int], BaseException | None]:
         """Collect every future of one round; per key, its exception or None.
 
@@ -775,25 +878,65 @@ class Scheduler:
         interrupted and is abandoned — it may finish in the background
         (harmless: tasks are pure) but keeps occupying its worker until
         it does, see the module notes on hung tasks.
+
+        ``on_result`` is called here, the moment a future resolves
+        successfully — not after the round completes — so a journal
+        append hanging off it makes each summary durable while sibling
+        tasks are still running.  A callback exception cancels the rest
+        of the round and propagates.
+
+        When ``stop_event`` fires mid-harvest, futures that have not
+        started are cancelled (marked :exc:`_StopCancelled`) and the
+        already-executing remainder is drained normally, so completed
+        work still reaches the caller.
         """
         outcomes: dict[tuple[int, int], BaseException | None] = {}
-        if timeout is None:
-            for key, future in futures.items():
-                outcomes[key] = self._exception_of(future)
-            return outcomes
         remaining = dict(futures)
         started: dict[tuple[int, int], float] = {}
+        stop_seen = False
         # Poll granularity: fine enough that timeout detection lags the
-        # budget by at most ~10%, without busy-waiting.
-        poll_s = max(0.001, min(0.05, timeout / 10.0))
+        # budget by at most ~10% (and a stop request by ~50ms), without
+        # busy-waiting.
+        poll_s = (
+            0.05 if timeout is None
+            else max(0.001, min(0.05, timeout / 10.0))
+        )
         while remaining:
-            wait(remaining.values(), timeout=poll_s)
+            if timeout is None and (stop_event is None or stop_seen):
+                # Nothing to poll for: block until the next resolution
+                # (any resolution, so on_result fires promptly).
+                wait(
+                    remaining.values(),
+                    return_when=(
+                        "FIRST_COMPLETED" if on_result is not None
+                        else "ALL_COMPLETED"
+                    ),
+                )
+            else:
+                wait(remaining.values(), timeout=poll_s)
+            if (not stop_seen and stop_event is not None
+                    and stop_event.is_set()):
+                stop_seen = True
+                for key in list(remaining):
+                    if remaining[key].cancel():
+                        outcomes[key] = _StopCancelled()
+                        del remaining[key]
             now = time.monotonic()
             for key in list(remaining):
                 future = remaining[key]
                 if future.done():
-                    outcomes[key] = self._exception_of(future)
+                    exc = self._exception_of(future)
+                    if exc is None and on_result is not None:
+                        try:
+                            on_result(key[0], future.result())
+                        except BaseException:
+                            for other in remaining.values():
+                                other.cancel()
+                            raise
+                    outcomes[key] = exc
                     del remaining[key]
+                elif timeout is None:
+                    continue
                 elif key not in started:
                     if future.running():
                         started[key] = now

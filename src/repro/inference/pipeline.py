@@ -29,6 +29,7 @@ materialise-then-multi-pass implementation is kept, byte for byte, behind
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import time
 from dataclasses import dataclass, field, replace
@@ -39,6 +40,7 @@ from typing import Any, Iterable, Sequence
 from repro.core.types import EMPTY, Type
 from repro.engine.accumulators import MapAccumulator
 from repro.engine.context import Context, split_evenly
+from repro.engine.scheduler import JobCancelled
 from repro.inference.fusion import fuse, fuse_all, fuse_multiset
 from repro.inference.infer import infer_type
 from repro.inference.kernel import (
@@ -51,6 +53,7 @@ from repro.inference.kernel import (
     accumulate_ndjson_split_batch,
     accumulate_partition,
     decode_summary,
+    encode_summary,
     merge_summaries,
     merge_summaries_full,
 )
@@ -74,6 +77,7 @@ __all__ = [
     "resolve_wire_format",
     "run_inference",
     "InferenceRun",
+    "ResumableInterrupt",
     "SchemaInferencer",
     "infer_partitioned",
     "PartitionReport",
@@ -81,6 +85,31 @@ __all__ = [
     "SPLIT_MODES",
     "WIRE_FORMAT_MODES",
 ]
+
+
+class ResumableInterrupt(Exception):
+    """A journaled run was drained early and can be resumed.
+
+    Raised instead of :exc:`~repro.engine.scheduler.JobCancelled` when a
+    ``stop_event`` drains a run that has a journal: every completed
+    task's summary is durable in the journal, so re-running the same
+    invocation with ``resume=True`` (CLI: ``--resume``) finishes only
+    the remaining work and produces the identical schema.  The CLI maps
+    this to its distinct resumable exit code.
+    """
+
+    def __init__(self, journal_path: str, completed: int, total: int) -> None:
+        super().__init__(
+            f"run interrupted after {completed}/{total} tasks; progress is "
+            f"durable in {journal_path!r} — rerun with --resume to finish"
+        )
+        self.journal_path = str(journal_path)
+        self.completed = completed
+        self.total = total
+
+    def __reduce__(self):
+        return (self.__class__, (self.journal_path, self.completed,
+                                 self.total))
 
 
 def infer_schema(values: Iterable[Any], context: Context | None = None,
@@ -402,15 +431,182 @@ def _decode_wire_summaries(payloads, stats) -> list[PartitionSummary]:
     byte counters feed ``--timings``; encoded and decoded totals are
     tallied from the same payloads (every result the driver sees was
     encoded exactly once, worker-side).
+
+    Entries that are already :class:`PartitionSummary` objects pass
+    through untouched — a resumed run's entry list mixes journal-replayed
+    wire payloads with fresh thread-backend summary objects.
     """
     adopt = PartitionAccumulator()
     summaries = []
     for payload in payloads:
+        if not isinstance(payload, (bytes, bytearray)):
+            summaries.append(payload)
+            continue
+        payload = bytes(payload)
         if stats is not None:
             stats.summary_wire_bytes_encoded += len(payload)
             stats.summary_wire_bytes_decoded += len(payload)
         summaries.append(decode_summary(payload, adopt))
     return summaries
+
+
+def _journal_header(plan_desc: dict, signature: str, total: int) -> dict:
+    """The run-journal header frame for this task plan.
+
+    Everything a resume needs to *validate* (did the flags or the file
+    change?) and everything fsck needs to *report*, without re-planning.
+    """
+    return {
+        "task_count": total,
+        "plan_sha256": signature,
+        "source": plan_desc.get("source"),
+        "split_mode": plan_desc.get("split_mode"),
+        "parse_lane": plan_desc.get("parse_lane"),
+        "permissive": plan_desc.get("permissive"),
+        "tasks": plan_desc.get("tasks"),
+    }
+
+
+def _validate_resume(state, plan_desc: dict, signature: str,
+                     total: int) -> None:
+    """Refuse to replay a journal that describes a different run.
+
+    Replaying summaries of other data (or of another split plan) would
+    silently fuse the wrong partitions into the schema; a mismatch is
+    therefore a hard error, with the first observed difference named so
+    the operator knows whether the file changed or the flags did.
+    """
+    from repro.store.journal import JournalMismatchError
+
+    header = state.header
+    if header.get("plan_sha256") == signature:
+        return
+    path = state.path
+    theirs, ours = header.get("source"), plan_desc.get("source")
+    if theirs != ours:
+        raise JournalMismatchError(
+            f"journal {path!r} was written for source {theirs!r}, but the "
+            f"current run reads {ours!r} — the input file changed (or a "
+            f"different file was named); delete the journal to start over"
+        )
+    for key in ("split_mode", "parse_lane", "permissive"):
+        if header.get(key) != plan_desc.get(key):
+            raise JournalMismatchError(
+                f"journal {path!r} recorded {key}={header.get(key)!r}, "
+                f"but the current run resolved {key}="
+                f"{plan_desc.get(key)!r}; rerun with the original flags "
+                f"(or delete the journal to start over)"
+            )
+    if header.get("task_count") != total:
+        raise JournalMismatchError(
+            f"journal {path!r} planned {header.get('task_count')} tasks, "
+            f"but the current run planned {total} — partitioning flags "
+            f"(--partitions/--workers/--batch-size/--min-split-mb) must "
+            f"match the original run"
+        )
+    raise JournalMismatchError(
+        f"journal {path!r} was written for a different task plan "
+        f"(plan digest {str(header.get('plan_sha256'))[:12]} != "
+        f"{signature[:12]}); rerun with the original flags or delete the "
+        f"journal to start over"
+    )
+
+
+def _run_journaled_tasks(
+    task,
+    work_items: list,
+    plan_desc: dict,
+    scheduler,
+    journal_path,
+    resume: bool,
+    stop_event,
+):
+    """Dispatch ``work_items``, journaling each completion; returns
+    ``(entries, journal)``.
+
+    ``entries`` is indexed by task: journal-replayed tasks hold their
+    recorded wire payload (bytes), freshly executed tasks hold whatever
+    the task returned (wire bytes or a summary object).  The returned
+    journal is still open — the caller appends the commit frame after
+    the merge and closes it; on every error path here the journal is
+    closed before the exception propagates.
+
+    Without a ``journal_path`` this degrades to a plain dispatch (and
+    ``resume`` is rejected — there is nothing to resume from).
+    """
+    journal = None
+    replayed: dict[int, bytes] = {}
+    total = len(work_items)
+    if journal_path is not None:
+        from repro.store.journal import RunJournal, plan_signature
+
+        signature = plan_signature(plan_desc)
+        if resume:
+            journal, state = RunJournal.open_resume(journal_path)
+            try:
+                _validate_resume(state, plan_desc, signature, total)
+            except BaseException:
+                journal.close()
+                raise
+            replayed = {
+                i: payload for i, payload in state.completed.items()
+                if 0 <= i < total
+            }
+        else:
+            journal = RunJournal.create(
+                journal_path, _journal_header(plan_desc, signature, total)
+            )
+    elif resume:
+        raise ValueError(
+            "resume=True requires journal_path (nothing to resume from)"
+        )
+
+    remaining = [i for i in range(total) if i not in replayed]
+    entries: list = [None] * total
+    for i, payload in replayed.items():
+        entries[i] = payload
+
+    on_result = None
+    if journal is not None:
+        def on_result(local_index: int, result) -> None:
+            payload = (
+                bytes(result) if isinstance(result, (bytes, bytearray))
+                else encode_summary(result)
+            )
+            journal.append_task(remaining[local_index], payload)
+
+    try:
+        if scheduler is None:
+            fresh = []
+            for local, index in enumerate(remaining):
+                if stop_event is not None and stop_event.is_set():
+                    raise JobCancelled(local, len(remaining))
+                result = task(work_items[index])
+                if on_result is not None:
+                    on_result(local, result)
+                fresh.append(result)
+        else:
+            fresh = scheduler.run(
+                task,
+                [work_items[i] for i in remaining],
+                on_result=on_result,
+                stop_event=stop_event,
+            )
+    except JobCancelled as exc:
+        if journal is not None:
+            journal.close()
+            raise ResumableInterrupt(
+                str(journal_path), len(replayed) + exc.completed, total
+            ) from exc
+        raise
+    except BaseException:
+        if journal is not None:
+            journal.close()
+        raise
+
+    for local, index in enumerate(remaining):
+        entries[index] = fresh[local]
+    return entries, journal
 
 
 def resolve_split_mode(split_mode: str, context: Context | None) -> str:
@@ -447,6 +643,9 @@ def infer_ndjson_file(
     checkpoint_to: str | Path | None = None,
     batch_size: int | None = None,
     wire_format: str = "auto",
+    journal_path: str | Path | None = None,
+    resume: bool = False,
+    stop_event=None,
 ) -> InferenceRun:
     """Instrumented schema inference straight from an NDJSON file.
 
@@ -531,6 +730,25 @@ def infer_ndjson_file(
       fraction exceeds this threshold, so silent garbage cannot
       masquerade as success.  The sidecar (if requested) is still written
       before the abort, for post-mortems.
+
+    Durability (see docs/FAULT_TOLERANCE.md, "Durability and resume"):
+
+    * ``journal_path`` — write-ahead run journal.  The task plan is
+      recorded up front; each completed task's encoded summary is
+      fsync'd to the journal *before* the run proceeds, so a crash —
+      process kill, power loss, OOM — loses at most the tasks still in
+      flight.  A commit frame is appended after the merge (and
+      checkpoint, if any) succeeds.
+    * ``resume=True`` — replay the journal's completed summaries through
+      the fusion algebra and execute only the remaining tasks.  By
+      commutativity/associativity (Theorems 5.4-5.5) the resumed result
+      is byte-identical to an uninterrupted run.  The journal must match
+      the current plan (same source, flags and task count); a mismatch
+      raises :class:`~repro.store.journal.JournalMismatchError`.
+    * ``stop_event`` — a ``threading.Event``; when set, queued tasks are
+      cancelled, in-flight tasks drain (and are journaled), and the run
+      raises :class:`ResumableInterrupt` (with a journal) or
+      :class:`~repro.engine.scheduler.JobCancelled` (without).
     """
     source = str(path)
     # Resolve once at the driver (raising early on an unknown lane or
@@ -554,8 +772,28 @@ def infer_ndjson_file(
         from repro.store.checkpoint import load_checkpoint, save_checkpoint
     if update_from is not None:
         loaded = load_checkpoint(update_from, stats=stats)
+    if resume and journal_path is None:
+        raise ValueError(
+            "resume=True requires journal_path (nothing to resume from)"
+        )
+
+    def _plan_desc(tasks: list) -> dict:
+        """The canonical plan descriptor the journal header signs."""
+        if journal_path is None:
+            return {}
+        from repro.store.checkpoint import fingerprint_source
+
+        return {
+            "source": fingerprint_source(source).to_dict(),
+            "split_mode": mode,
+            "parse_lane": lane,
+            "permissive": bool(permissive),
+            "update": str(update_from) if update_from is not None else None,
+            "tasks": tasks,
+        }
 
     start = time.perf_counter()
+    journal = None
     if mode == "bytes":
         splits = plan_splits(
             source,
@@ -572,23 +810,28 @@ def infer_ndjson_file(
             if context is not None else None
         )
         if batches is not None:
-            batch_task = partial(
+            task = partial(
                 accumulate_ndjson_split_batch, permissive=permissive,
                 parse_lane=lane, collect_timings=collect_timings,
                 warm_generation=warm_generation, wire=wire,
             )
-            summaries = context.scheduler.run(batch_task, batches)
+            work_items = batches
+            descriptors = [
+                [[s.offset, s.length] for s in batch] for batch in batches
+            ]
         else:
-            split_task = partial(
+            task = partial(
                 accumulate_ndjson_split, permissive=permissive,
                 parse_lane=lane, collect_timings=collect_timings,
                 warm_generation=warm_generation, wire=wire,
             )
-            if context is None:
-                summaries = [split_task(s) for s in splits]
-            else:
-                summaries = context.scheduler.run(split_task, splits)
-        if wire:
+            work_items = list(splits)
+            descriptors = [[[s.offset, s.length]] for s in splits]
+        summaries, journal = _run_journaled_tasks(
+            task, work_items, _plan_desc(descriptors), scheduler,
+            journal_path, resume, stop_event,
+        )
+        if wire or journal_path is not None:
             summaries = _decode_wire_summaries(summaries, stats)
         if stats is not None:
             stats.input_bytes_read += sum(s.bytes_read for s in summaries)
@@ -616,8 +859,15 @@ def infer_ndjson_file(
         if context is None:
             # Feed the accumulator straight off the file iterator: the
             # sequential path never materialises the line list, keeping
-            # memory constant however massive the input.
-            summaries = [task(iter_numbered_lines(path))]
+            # memory constant however massive the input.  As a single
+            # journal task: either it completed before the crash (and
+            # resume replays it without re-reading the file) or it runs
+            # from the start.
+            summaries, journal = _run_journaled_tasks(
+                lambda _item: task(iter_numbered_lines(path)),
+                [None], _plan_desc([["stream"]]), None,
+                journal_path, resume, stop_event,
+            )
         else:
             lines = list(iter_numbered_lines(path))
             if stats is not None:
@@ -630,68 +880,99 @@ def infer_ndjson_file(
                 lines, num_partitions or context.default_parallelism
             )
             batches = _plan_batches(parts, parallelism, batch_size)
+
+            def _part_desc(part: list) -> list[int]:
+                return [part[0][0] if part else -1, len(part)]
+
             if batches is not None:
-                batch_task = partial(
+                task = partial(
                     accumulate_ndjson_partition_batch, source=source,
                     permissive=permissive, parse_lane=lane,
                     collect_timings=collect_timings,
                     warm_generation=warm_generation, wire=wire,
                 )
-                summaries = context.scheduler.run(batch_task, batches)
+                work_items = batches
+                descriptors = [
+                    [_part_desc(part) for part in batch] for batch in batches
+                ]
             else:
-                summaries = context.scheduler.run(task, parts)
-        if wire:
+                work_items = parts
+                descriptors = [[_part_desc(part)] for part in parts]
+            summaries, journal = _run_journaled_tasks(
+                task, work_items, _plan_desc(descriptors), scheduler,
+                journal_path, resume, stop_event,
+            )
+        if wire or journal_path is not None:
             summaries = _decode_wire_summaries(summaries, stats)
     map_seconds = time.perf_counter() - start
     _note_summary_telemetry(stats, summaries)
 
-    start = time.perf_counter()
-    # Attribute quarantined rows to their partitions through the engine's
-    # accumulator machinery (summaries carry the counts across process
-    # boundaries; the accumulator merges them driver-side).
-    per_partition = MapAccumulator()
-    for index, summary in enumerate(summaries):
-        if summary.skipped_count:
-            per_partition.add_count(index, summary.skipped_count)
-    if loaded is not None:
-        # The stored summary is just one more partial: it enters the
-        # same (possibly tree-shaped) reduce as the fresh partitions.
-        summaries = list(summaries) + [loaded.summary]
-    merged = merge_summaries_full(summaries, scheduler=scheduler)
-    reduce_seconds = time.perf_counter() - start
+    try:
+        start = time.perf_counter()
+        # Attribute quarantined rows to their partitions through the
+        # engine's accumulator machinery (summaries carry the counts
+        # across process boundaries; the accumulator merges them
+        # driver-side).
+        per_partition = MapAccumulator()
+        for index, summary in enumerate(summaries):
+            if summary.skipped_count:
+                per_partition.add_count(index, summary.skipped_count)
+        if loaded is not None:
+            # The stored summary is just one more partial: it enters the
+            # same (possibly tree-shaped) reduce as the fresh partitions.
+            summaries = list(summaries) + [loaded.summary]
+        merged = merge_summaries_full(summaries, scheduler=scheduler)
+        reduce_seconds = time.perf_counter() - start
 
-    if bad_records_path is not None and merged.skipped:
-        write_bad_records(bad_records_path, merged.skipped)
-    checkpoint_records = loaded.record_count if loaded is not None else 0
-    if max_error_rate is not None:
-        # Judge the error rate over the records this run actually read;
-        # checkpointed history must not dilute a dirty new batch.
-        new_records = merged.record_count - checkpoint_records
-        total = new_records + merged.skipped_count
-        if total and merged.skipped_count / total > max_error_rate:
-            raise ErrorRateExceeded(
-                merged.skipped_count, total, max_error_rate
+        if bad_records_path is not None and merged.skipped:
+            write_bad_records(bad_records_path, merged.skipped)
+        checkpoint_records = loaded.record_count if loaded is not None else 0
+        if max_error_rate is not None:
+            # Judge the error rate over the records this run actually
+            # read; checkpointed history must not dilute a dirty new
+            # batch.
+            new_records = merged.record_count - checkpoint_records
+            total = new_records + merged.skipped_count
+            if total and merged.skipped_count / total > max_error_rate:
+                raise ErrorRateExceeded(
+                    merged.skipped_count, total, max_error_rate
+                )
+
+        checkpoint = None
+        if checkpoint_to is not None:
+            previous_sources = (
+                loaded.manifest.sources if loaded is not None else ()
+            )
+            previous_skipped = (
+                loaded.manifest.skipped_count if loaded is not None else 0
+            )
+            checkpoint = save_checkpoint(
+                checkpoint_to,
+                PartitionSummary(
+                    schema=merged.schema,
+                    record_count=merged.record_count,
+                    distinct_types=merged.distinct_types,
+                ),
+                sources=list(previous_sources) + [source],
+                skipped_count=previous_skipped + merged.skipped_count,
+                stats=stats,
             )
 
-    checkpoint = None
-    if checkpoint_to is not None:
-        previous_sources = (
-            loaded.manifest.sources if loaded is not None else ()
-        )
-        previous_skipped = (
-            loaded.manifest.skipped_count if loaded is not None else 0
-        )
-        checkpoint = save_checkpoint(
-            checkpoint_to,
-            PartitionSummary(
-                schema=merged.schema,
-                record_count=merged.record_count,
-                distinct_types=merged.distinct_types,
-            ),
-            sources=list(previous_sources) + [source],
-            skipped_count=previous_skipped + merged.skipped_count,
-            stats=stats,
-        )
+        if journal is not None:
+            # The run is complete (merge done, checkpoint — if any —
+            # durable): seal the journal.  A resume of a committed
+            # journal short-circuits instead of re-merging.
+            from repro.core.printer import print_type
+
+            journal.append_commit({
+                "record_count": merged.record_count,
+                "schema_sha256": hashlib.sha256(
+                    print_type(merged.schema).encode("utf-8")
+                ).hexdigest(),
+            })
+    finally:
+        if journal is not None:
+            journal.close()
 
     return InferenceRun(
         schema=merged.schema,

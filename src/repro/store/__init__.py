@@ -14,6 +14,7 @@ See :mod:`repro.store.checkpoint` for the on-disk format.
 from repro.store.checkpoint import (
     FORMAT_VERSION,
     Checkpoint,
+    CheckpointCorruptError,
     CheckpointError,
     CheckpointFormatError,
     CheckpointManifest,
@@ -22,27 +23,53 @@ from repro.store.checkpoint import (
     build_manifest,
     checkpoint_exists,
     fingerprint_source,
+    fsck_checkpoint,
     load_checkpoint,
     load_manifest,
     load_summary,
     merge_checkpoints,
     save_checkpoint,
 )
+from repro.store.journal import (
+    JournalCorruptError,
+    JournalError,
+    JournalMismatchError,
+    JournalNotFoundError,
+    JournalState,
+    RunJournal,
+    fsck_journal,
+    plan_signature,
+    read_journal,
+)
+from repro.store.locks import FileLock, LockHeldError
 
 __all__ = [
     "FORMAT_VERSION",
     "Checkpoint",
+    "CheckpointCorruptError",
     "CheckpointError",
     "CheckpointFormatError",
     "CheckpointManifest",
     "CheckpointNotFoundError",
+    "FileLock",
+    "JournalCorruptError",
+    "JournalError",
+    "JournalMismatchError",
+    "JournalNotFoundError",
+    "JournalState",
+    "LockHeldError",
+    "RunJournal",
     "SourceFingerprint",
     "build_manifest",
     "checkpoint_exists",
     "fingerprint_source",
+    "fsck_checkpoint",
+    "fsck_journal",
     "load_checkpoint",
     "load_manifest",
     "load_summary",
     "merge_checkpoints",
+    "plan_signature",
+    "read_journal",
     "save_checkpoint",
 ]

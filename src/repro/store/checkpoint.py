@@ -38,6 +38,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Sequence
@@ -46,15 +48,18 @@ from repro.core.errors import TypeSyntaxError
 from repro.core.printer import print_type
 from repro.core.type_parser import parse_type
 from repro.core.types import Type
+from repro.engine.faults import crash_point
 from repro.inference.kernel import (
     PartitionSummary,
     TREE_MERGE_THRESHOLD,
     merge_summary_group,
 )
+from repro.store.locks import FileLock, LockHeldError, is_stale_lock
 
 __all__ = [
     "FORMAT_VERSION",
     "Checkpoint",
+    "CheckpointCorruptError",
     "CheckpointError",
     "CheckpointFormatError",
     "CheckpointManifest",
@@ -63,6 +68,7 @@ __all__ = [
     "build_manifest",
     "checkpoint_exists",
     "fingerprint_source",
+    "fsck_checkpoint",
     "load_checkpoint",
     "load_manifest",
     "load_summary",
@@ -85,7 +91,16 @@ _FINGERPRINT_BYTES = 1 << 16
 
 
 class CheckpointError(Exception):
-    """Base class for checkpoint store failures."""
+    """Base class for checkpoint store failures.
+
+    Every class in the hierarchy reduces to ``(class, args)`` so an
+    instance raised inside a process-pool worker (``merge_checkpoints``
+    ships loads to workers) survives the pickled return path intact —
+    the same discipline as :mod:`repro.jsonio.errors`.
+    """
+
+    def __reduce__(self):
+        return (self.__class__, self.args)
 
 
 class CheckpointNotFoundError(CheckpointError):
@@ -95,9 +110,29 @@ class CheckpointNotFoundError(CheckpointError):
 class CheckpointFormatError(CheckpointError):
     """The checkpoint exists but cannot be trusted.
 
-    Raised for unknown format versions, unparseable files, and digest or
-    count mismatches between the manifest and the data files.
+    Raised for unknown format versions; its subclass
+    :class:`CheckpointCorruptError` covers damage (torn writes, bad
+    digests, unparseable files).
     """
+
+
+class CheckpointCorruptError(CheckpointFormatError):
+    """The checkpoint's files are damaged or contradict each other.
+
+    The torn/corrupt class: unreadable or unparseable files, schema
+    digest mismatches, count mismatches — anything ``repro fsck``
+    classifies as ``corrupt`` rather than a mere version skew.  Carries
+    the offending ``directory`` and a ``detail`` string structurally so
+    callers (fsck, merge) can report the shard without parsing messages.
+    """
+
+    def __init__(self, directory: str, detail: str) -> None:
+        super().__init__(f"corrupt checkpoint at {directory!r}: {detail}")
+        self.directory = str(directory)
+        self.detail = detail
+
+    def __reduce__(self):
+        return (self.__class__, (self.directory, self.detail))
 
 
 @dataclass(frozen=True)
@@ -236,12 +271,81 @@ def _distinct_bytes(distinct_types: Sequence[Type]) -> bytes:
     return "".join(line + "\n" for line in lines).encode("utf-8")
 
 
+def _write_bytes(handle, data: bytes) -> None:
+    """Single seam every checkpoint byte passes through.
+
+    Module-level so fault-injection tests can monkeypatch it to raise
+    ``ENOSPC``/``EIO`` mid-save and assert that no partial state is ever
+    observable afterwards.
+    """
+    handle.write(data)
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so its entries (renames, creates) are durable."""
+    fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def _write_file(directory: Path, name: str, data: bytes) -> None:
-    """Write one checkpoint file atomically (temp file + rename)."""
+    """Write one checkpoint file atomically *and durably*.
+
+    Temp file + fsync + rename + parent-directory fsync: after this
+    returns, the file either exists with exactly ``data`` or (on any
+    failure) does not exist at all — the temp file is removed on the
+    error path rather than left to litter the directory.
+    """
     tmp = directory / (name + ".tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-    os.replace(tmp, directory / name)
+    try:
+        with open(tmp, "wb") as handle:
+            _write_bytes(handle, data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, directory / name)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(directory)
+
+
+#: Infix marking a staging/retired directory left by ``save_checkpoint``
+#: (``<name>.tmp-<token>``); cleaned up on the next save and reported by
+#: :func:`fsck_checkpoint`.
+_TMP_INFIX = ".tmp-"
+
+
+def _clean_orphans(target: Path) -> None:
+    """Remove debris a crashed or failed earlier save may have left.
+
+    Covers both generations of the writer: stale ``*.tmp`` files inside
+    the directory (the pre-swap writer's per-file temps) and sibling
+    ``<name>.tmp-*`` staging/retired directories from an interrupted
+    swap.  Called under the target's advisory lock, so no live writer's
+    staging directory can be swept by accident.
+    """
+    if target.is_dir():
+        for stray in target.glob("*.tmp"):
+            try:
+                stray.unlink()
+            except OSError:
+                pass
+    parent = target.parent if str(target.parent) else Path(".")
+    if not parent.is_dir():
+        return
+    for stray in parent.glob(target.name + _TMP_INFIX + "*"):
+        try:
+            if stray.is_dir() and not stray.is_symlink():
+                shutil.rmtree(stray, ignore_errors=True)
+            else:
+                stray.unlink()
+        except OSError:
+            pass
 
 
 def _normalize_sources(
@@ -313,17 +417,70 @@ def save_checkpoint(
     2
     """
     target = Path(directory)
-    target.mkdir(parents=True, exist_ok=True)
+    parent = target.parent if str(target.parent) else Path(".")
+    parent.mkdir(parents=True, exist_ok=True)
+    if (
+        target.is_dir()
+        and any(target.iterdir())
+        and not checkpoint_exists(target)
+    ):
+        raise CheckpointError(
+            f"refusing to replace {str(target)!r}: directory is not empty "
+            f"and holds no checkpoint (missing {MANIFEST_FILE})"
+        )
     manifest = build_manifest(summary, sources, skipped_count)
-    _write_file(target, SCHEMA_FILE, _schema_bytes(summary.schema))
-    _write_file(target, DISTINCT_FILE, _distinct_bytes(summary.distinct_types))
     manifest_bytes = (
         json.dumps(manifest.to_dict(), sort_keys=True, indent=2) + "\n"
     ).encode("utf-8")
-    _write_file(target, MANIFEST_FILE, manifest_bytes)
+    with FileLock(target):
+        _clean_orphans(target)
+        staging = Path(tempfile.mkdtemp(
+            prefix=target.name + _TMP_INFIX, dir=parent
+        ))
+        try:
+            _write_file(staging, SCHEMA_FILE, _schema_bytes(summary.schema))
+            _write_file(
+                staging, DISTINCT_FILE, _distinct_bytes(summary.distinct_types)
+            )
+            _write_file(staging, MANIFEST_FILE, manifest_bytes)
+            crash_point("checkpoint.pre_swap")
+            _swap_into_place(staging, target, parent)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        crash_point("checkpoint.post_swap")
     if stats is not None:
         stats.checkpoints_saved += 1
     return Checkpoint(manifest=manifest, summary=summary, path=str(target))
+
+
+def _swap_into_place(staging: Path, target: Path, parent: Path) -> None:
+    """Install the fully-written ``staging`` directory as ``target``.
+
+    One ``os.replace`` when ``target`` is absent or an empty directory
+    (POSIX rename replaces an empty directory atomically).  Over an
+    existing checkpoint, the old version is renamed aside first — the
+    only non-atomic window, covered by the ``checkpoint.mid_swap`` crash
+    point; a crash there leaves *no* ``target`` but both complete
+    versions on disk under ``.tmp-`` names, which fsck reports and the
+    next save sweeps.  A reader can therefore observe old bytes, new
+    bytes, or not-found — never a mix of versions.
+    """
+    try:
+        os.replace(staging, target)
+    except OSError:
+        if not target.is_dir():
+            raise
+        retired = Path(tempfile.mkdtemp(
+            prefix=target.name + _TMP_INFIX + "retired-", dir=parent
+        ))
+        # mkdtemp created the placeholder only to reserve the name;
+        # rename over it (empty dir) is the atomic retire.
+        os.replace(target, retired)
+        crash_point("checkpoint.mid_swap")
+        os.replace(staging, target)
+        shutil.rmtree(retired, ignore_errors=True)
+    _fsync_dir(parent)
 
 
 def checkpoint_exists(directory: str | Path) -> bool:
@@ -359,14 +516,21 @@ def load_manifest(directory: str | Path) -> CheckpointManifest:
     try:
         manifest_data = json.loads(manifest_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise CheckpointFormatError(
-            f"unreadable checkpoint manifest in {str(target)!r}: {exc}"
+        raise CheckpointCorruptError(
+            str(target), f"unreadable manifest: {exc}"
         ) from exc
     if not isinstance(manifest_data, dict):
-        raise CheckpointFormatError(
-            f"checkpoint manifest in {str(target)!r} is not a JSON object"
+        raise CheckpointCorruptError(
+            str(target), "manifest is not a JSON object"
         )
-    manifest = CheckpointManifest.from_dict(manifest_data)
+    try:
+        manifest = CheckpointManifest.from_dict(manifest_data)
+    except CheckpointCorruptError:
+        raise
+    except CheckpointFormatError as exc:
+        # from_dict has no path context of its own; add it here so an
+        # error always names the directory it came from.
+        raise CheckpointCorruptError(str(target), str(exc)) from exc
     if manifest.format_version != FORMAT_VERSION:
         raise CheckpointFormatError(
             f"checkpoint at {str(target)!r} has format version "
@@ -400,15 +564,16 @@ def load_checkpoint(
     schema_bytes = _read_file(target, SCHEMA_FILE)
     digest = hashlib.sha256(schema_bytes).hexdigest()
     if digest != manifest.schema_sha256:
-        raise CheckpointFormatError(
-            f"schema digest mismatch in {str(target)!r}: manifest says "
-            f"{manifest.schema_sha256[:12]}…, file hashes to {digest[:12]}…"
+        raise CheckpointCorruptError(
+            str(target),
+            f"schema digest mismatch: manifest says "
+            f"{manifest.schema_sha256[:12]}…, file hashes to {digest[:12]}…",
         )
     try:
         schema = parse_type(schema_bytes.decode("utf-8").strip())
     except (UnicodeDecodeError, TypeSyntaxError) as exc:
-        raise CheckpointFormatError(
-            f"unparseable schema in {str(target)!r}: {exc}"
+        raise CheckpointCorruptError(
+            str(target), f"unparseable schema: {exc}"
         ) from exc
 
     distinct_bytes = _read_file(target, DISTINCT_FILE)
@@ -416,14 +581,14 @@ def load_checkpoint(
         lines = distinct_bytes.decode("utf-8").splitlines()
         distinct = tuple(parse_type(line) for line in lines if line.strip())
     except (UnicodeDecodeError, TypeSyntaxError) as exc:
-        raise CheckpointFormatError(
-            f"unparseable distinct-types file in {str(target)!r}: {exc}"
+        raise CheckpointCorruptError(
+            str(target), f"unparseable distinct-types file: {exc}"
         ) from exc
     if len(distinct) != manifest.distinct_type_count:
-        raise CheckpointFormatError(
-            f"distinct-type count mismatch in {str(target)!r}: manifest "
-            f"says {manifest.distinct_type_count}, file holds "
-            f"{len(distinct)}"
+        raise CheckpointCorruptError(
+            str(target),
+            f"distinct-type count mismatch: manifest says "
+            f"{manifest.distinct_type_count}, file holds {len(distinct)}",
         )
 
     summary = PartitionSummary(
@@ -446,6 +611,31 @@ def load_summary(directory: str | Path) -> PartitionSummary:
     and it parallelises perfectly.
     """
     return load_checkpoint(directory).summary
+
+
+def _load_merge_input(directory: str | Path) -> PartitionSummary:
+    """Worker task for merge loads: failures always name the shard.
+
+    A bare digest or version error from a 30-shard merge is useless
+    without knowing *which* shard to quarantine; this wrapper re-raises
+    every store error with the offending input path in front, preserving
+    the class (so retry/fsck classification still works) and pickling
+    cleanly back from process-pool workers.
+    """
+    try:
+        return load_summary(directory)
+    except CheckpointCorruptError as exc:
+        raise CheckpointCorruptError(
+            exc.directory, f"cannot merge this shard: {exc.detail}"
+        ) from exc
+    except CheckpointNotFoundError as exc:
+        raise CheckpointNotFoundError(
+            f"cannot merge shard {str(directory)!r}: {exc}"
+        ) from exc
+    except CheckpointFormatError as exc:
+        raise CheckpointFormatError(
+            f"cannot merge shard {str(directory)!r}: {exc}"
+        ) from exc
 
 
 def merge_checkpoints(
@@ -474,11 +664,17 @@ def merge_checkpoints(
     if not inputs:
         raise CheckpointError("merge_checkpoints needs at least one input")
     paths = [c for c in inputs if not isinstance(c, Checkpoint)]
+    for path in paths:
+        # Advisory writer exclusion: refuse to read a shard some live
+        # process is mid-save on (a stale lock from a crashed writer is
+        # ignored — the swap left the directory consistent either way).
+        if is_stale_lock(path) is False:
+            raise LockHeldError(os.fspath(path))
     if scheduler is not None and len(paths) > 1:
         # Ship the expensive part (parsing the type files) to workers;
         # manifests are one small JSON each and stay at the driver.
         loaded_by_path = dict(
-            zip(map(str, paths), scheduler.run(load_summary, paths))
+            zip(map(str, paths), scheduler.run(_load_merge_input, paths))
         )
         if stats is not None:
             stats.checkpoints_loaded += len(paths)
@@ -494,11 +690,20 @@ def merge_checkpoints(
             for item in inputs
         ]
     else:
-        checkpoints = [
-            c if isinstance(c, Checkpoint)
-            else load_checkpoint(c, stats=stats)
-            for c in inputs
-        ]
+        checkpoints = []
+        for item in inputs:
+            if isinstance(item, Checkpoint):
+                checkpoints.append(item)
+                continue
+            summary = _load_merge_input(item)
+            checkpoints.append(Checkpoint(
+                manifest=load_manifest(item),
+                summary=summary,
+                path=str(item),
+            ))
+            if stats is not None:
+                stats.checkpoints_loaded += 1
+                stats.checkpoint_records_merged += summary.record_count
     sources = [s for c in checkpoints for s in c.manifest.sources]
     skipped = sum(c.manifest.skipped_count for c in checkpoints)
 
@@ -518,3 +723,54 @@ def merge_checkpoints(
         summary=merged,
         path=None,
     )
+
+
+def fsck_checkpoint(directory: str | Path) -> dict[str, Any]:
+    """Classify the health of a checkpoint directory (``repro fsck``).
+
+    Pure inspection — nothing is repaired or deleted.  The report says
+    what a load would conclude (``ok`` / ``not-found`` /
+    ``version-mismatch`` / ``corrupt``), lists swap debris a crashed
+    writer may have left (``orphans`` — removed automatically by the
+    next :func:`save_checkpoint`), and reports the advisory lock state
+    (``none`` / ``held`` / ``stale``).
+    """
+    target = Path(directory)
+    report: dict[str, Any] = {
+        "path": str(target),
+        "kind": "checkpoint",
+        "status": "ok",
+        "detail": "",
+        "orphans": [],
+        "lock": "none",
+    }
+    try:
+        ckpt = load_checkpoint(target)
+        report["detail"] = (
+            f"{ckpt.record_count} records, "
+            f"{ckpt.manifest.distinct_type_count} distinct types, "
+            f"schema {ckpt.manifest.schema_sha256[:12]}"
+        )
+        report["schema_sha256"] = ckpt.manifest.schema_sha256
+    except CheckpointNotFoundError as exc:
+        report["status"] = "not-found"
+        report["detail"] = str(exc)
+    except CheckpointCorruptError as exc:
+        report["status"] = "corrupt"
+        report["detail"] = exc.detail
+    except CheckpointFormatError as exc:
+        report["status"] = "version-mismatch"
+        report["detail"] = str(exc)
+    orphans = []
+    if target.is_dir():
+        orphans.extend(str(p) for p in sorted(target.glob("*.tmp")))
+    parent = target.parent if str(target.parent) else Path(".")
+    if parent.is_dir():
+        orphans.extend(
+            str(p) for p in sorted(parent.glob(target.name + _TMP_INFIX + "*"))
+        )
+    report["orphans"] = orphans
+    stale = is_stale_lock(target)
+    if stale is not None:
+        report["lock"] = "stale" if stale else "held"
+    return report

@@ -355,3 +355,85 @@ class TestMerge:
         assert main(["merge", str(a), "-o", str(tmp_path / "out"),
                      "--pretty"]) == 0
         assert "\n" in capsys.readouterr().out.strip()
+
+
+class TestJournalCli:
+    def test_journaled_run_commits(self, sample_file, tmp_path, capsys):
+        journal = tmp_path / "run.journal"
+        assert main(["infer", sample_file, "--journal", str(journal)]) == 0
+        schema = capsys.readouterr().out
+        from repro.store.journal import read_journal
+
+        assert read_journal(journal).committed
+        # The journal must not change the inferred schema.
+        assert main(["infer", sample_file]) == 0
+        assert capsys.readouterr().out == schema
+
+    def test_existing_journal_requires_resume(
+        self, sample_file, tmp_path, capsys
+    ):
+        journal = tmp_path / "run.journal"
+        assert main(["infer", sample_file, "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["infer", sample_file, "--journal", str(journal)]) == 1
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_completes_committed_run(
+        self, sample_file, tmp_path, capsys
+    ):
+        journal = tmp_path / "run.journal"
+        assert main(["infer", sample_file, "--journal", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert main(["infer", sample_file, "--journal", str(journal),
+                     "--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_resume_requires_journal(self, sample_file, capsys):
+        assert main(["infer", sample_file, "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_mismatched_resume_fails(self, sample_file, tmp_path, capsys):
+        journal = tmp_path / "run.journal"
+        assert main(["infer", sample_file, "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["infer", sample_file, "--journal", str(journal),
+                     "--resume", "--permissive"]) == 1
+        assert "permissive" in capsys.readouterr().err
+
+
+class TestFsckCli:
+    def test_ok_checkpoint_and_journal(self, sample_file, tmp_path, capsys):
+        journal = tmp_path / "run.journal"
+        ckpt = tmp_path / "ckpt"
+        assert main(["infer", sample_file, "--journal", str(journal),
+                     "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(["fsck", str(ckpt), str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint" in out and "journal" in out
+        assert out.count(" ok ") >= 2 or out.count("ok") >= 2
+
+    def test_json_reports(self, sample_file, tmp_path, capsys):
+        import json as _json
+
+        journal = tmp_path / "run.journal"
+        assert main(["infer", sample_file, "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["fsck", str(journal), "--json"]) == 0
+        report = _json.loads(capsys.readouterr().out)
+        assert report["status"] == "ok"
+        assert report["committed"] is True
+
+    def test_missing_path_exits_nonzero(self, tmp_path, capsys):
+        assert main(["fsck", str(tmp_path / "nothing")]) == 1
+        assert "not-found" in capsys.readouterr().out
+
+    def test_corrupt_journal_reported(self, sample_file, tmp_path, capsys):
+        journal = tmp_path / "run.journal"
+        assert main(["infer", sample_file, "--journal", str(journal)]) == 0
+        data = bytearray(journal.read_bytes())
+        data[len(data) // 3] ^= 0xFF
+        journal.write_bytes(bytes(data))
+        capsys.readouterr()
+        assert main(["fsck", str(journal)]) == 1
+        assert "corrupt" in capsys.readouterr().out
