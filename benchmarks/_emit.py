@@ -1,0 +1,72 @@
+"""Shared envelope for the ``BENCH_*.json`` benchmark reports.
+
+Every benchmark that writes a JSON report at the repository root leads
+with the same top-level fields, in the same order, so reports can be
+diffed, scripted over and gated uniformly:
+
+* ``benchmark`` — short benchmark name (matches the ``bench_<name>.py``
+  module and the ``BENCH_<name>.json`` file).
+* ``n`` — dataset size in records.
+* ``cpu_count`` — CPUs actually *available* to the measuring process
+  (``os.sched_getaffinity``, not the machine total).
+* ``schema_sha256`` — digest of the sequential reference schema the
+  variants are compared against (``None`` when the benchmark has no
+  single reference corpus).
+* ``results_identical`` — the honesty gate: did every variant reproduce
+  the reference schema digest and counts exactly?
+
+Benchmark-specific fields follow the envelope; ``write_report`` pins
+the serialisation (indented, trailing newline) so regenerated reports
+produce minimal diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def cpu_count() -> int:
+    """CPUs actually *available* to this process, not the machine total.
+
+    ``os.cpu_count()`` reports every installed CPU even when the
+    process is pinned to a subset (containers, cgroups, taskset);
+    ``sched_getaffinity`` reports the truth where it exists.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0))
+        except OSError:  # pragma: no cover
+            pass
+    return os.cpu_count() or 1
+
+
+def envelope(
+    benchmark: str,
+    n: int,
+    *,
+    schema_sha256: "str | None" = None,
+    results_identical: "bool | None" = None,
+    **extra,
+) -> dict:
+    """The common report header, with ``extra`` fields appended after it."""
+    report = {
+        "benchmark": benchmark,
+        "n": n,
+        "cpu_count": cpu_count(),
+        "schema_sha256": schema_sha256,
+        "results_identical": results_identical,
+    }
+    report.update(extra)
+    return report
+
+
+def write_report(report: dict, out_path: "Path | str") -> Path:
+    """Serialise one report the way every ``BENCH_*.json`` is written."""
+    path = Path(out_path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

@@ -1,0 +1,415 @@
+"""Bytes-native map lane benchmark — mmap scanner, batched zero-decode
+typing, duplicate-line type cache.
+
+One end-to-end ``infer_ndjson_file`` measurement per variant, where a
+variant is ``corpus x lane x pool``:
+
+* ``corpus`` — ``mixed`` is the heterogeneous generator (worst case for
+  the dedup cache: ~91% distinct shapes at 100k) and ``mixed-dup`` is
+  the same generator with a 10x line-duplication factor, the shape of
+  real log/event streams where the cache is designed to win.
+* ``lane`` — ``fast`` is the seed per-line hook typer; ``bytes`` is
+  this PR's lane: mmap block scanning, batched raw-bytes ``json.loads``
+  and the warm-state line cache.
+* ``pool`` — both run on a prestarted warm pool; ``cold`` measures the
+  *first* job on the context (empty warm caches) and ``warm`` the
+  *second* job on the same file — the steady state of a long-lived
+  pool, and the protocol under which ``BENCH_scaling.json`` recorded
+  its best variant.  For the bytes lane the second job probes the line
+  cache populated by the first, so ``warm`` also measures the
+  duplicate-line hit path.
+
+Every variant runs in a fresh subprocess (no inherited heap) on the
+``thread-1`` scheduler shape that is BENCH_scaling's best recorded
+variant on this single-CPU host, and the report gates on
+``results_identical``: every variant must produce the same schema
+digest, record count and distinct count as the sequential reference of
+its corpus.
+
+Honesty note: ``speedup_vs_scaling_best`` compares against the
+*recorded* BENCH_scaling best (measured on this host at an earlier
+date); ``speedup_vs_fast`` compares lanes measured back-to-back in this
+run and is immune to host drift.  Dedup-cache hit rates and bytes never
+decoded are reported per variant straight from the scheduler telemetry.
+
+Run standalone for the full-size measurement (writes
+``BENCH_byteslane.json`` at the repository root)::
+
+    python benchmarks/bench_byteslane.py --n 100000
+
+or as the CI equivalence gate (small n, both corpora, both backends,
+both split modes, exit non-zero unless the bytes lane matches the
+sequential reference exactly)::
+
+    python benchmarks/bench_byteslane.py --check --n 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from _emit import cpu_count, envelope, write_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_byteslane.json"
+SCALING_PATH = REPO_ROOT / "BENCH_scaling.json"
+
+LANES = ("fast", "bytes")
+POOLS = ("cold", "warm")
+#: corpus -> (lane, pool) grid measured on it.
+GRID = {
+    "mixed": tuple((lane, pool) for lane in LANES for pool in POOLS),
+    "mixed-dup": tuple((lane, "warm") for lane in LANES),
+}
+DUP_FACTOR = 10
+
+
+def _infer_kwargs(lane: str) -> dict:
+    """``infer_ndjson_file`` knobs shared by every variant.
+
+    ``thread-1-warm`` with ``8`` byte-range splits is the recorded best
+    BENCH_scaling variant on this host; only the lane differs between
+    rows so the comparison isolates the map lane itself.
+    """
+    return dict(
+        parse_lane=lane,
+        num_partitions=8,
+        split_mode="bytes",
+        min_split_bytes=1,
+    )
+
+
+def _measure(lane: str, pool: str, data: str) -> dict:
+    from repro.core.printer import print_type
+    from repro.engine import Context
+    from repro.inference.pipeline import infer_ndjson_file
+
+    kwargs = _infer_kwargs(lane)
+    with Context(parallelism=1, backend="thread", warm=True) as ctx:
+        ctx.prestart()
+        if pool == "warm":
+            # The measured job is the second on the context: warm-state
+            # caches (interner, fusion memo, key cache — and for the
+            # bytes lane the line cache) built by the first job are hot.
+            infer_ndjson_file(data, context=ctx, **kwargs)
+            ctx.scheduler.stats.reset()
+        start = time.perf_counter()
+        run = infer_ndjson_file(data, context=ctx, **kwargs)
+        seconds = time.perf_counter() - start
+        stats = ctx.scheduler.stats
+    digest = hashlib.sha256(print_type(run.schema).encode()).hexdigest()
+    probes = stats.dedup_line_hits + stats.dedup_line_misses
+    return {
+        "seconds": round(seconds, 4),
+        "records_per_s": round(run.record_count / seconds),
+        "record_count": run.record_count,
+        "distinct_type_count": run.distinct_type_count,
+        "schema_sha256": digest,
+        "dedup_line_hits": stats.dedup_line_hits,
+        "dedup_line_misses": stats.dedup_line_misses,
+        "dedup_hit_rate": (
+            round(stats.dedup_line_hits / probes, 4) if probes else None
+        ),
+        "dedup_bytes_avoided": stats.dedup_bytes_avoided,
+    }
+
+
+def run_variant(corpus: str, lane: str, pool: str, data: str) -> dict:
+    """One timed variant; meant to run in a fresh process."""
+    row = _measure(lane, pool, data)
+    row.update(corpus=corpus, lane=lane, pool=pool)
+    return row
+
+
+def _run_in_subprocess(corpus: str, lane: str, pool: str, data: str) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [
+            sys.executable, os.fspath(Path(__file__).resolve()),
+            "--variant-corpus", corpus, "--variant-lane", lane,
+            "--variant-pool", pool, "--data", data,
+        ],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def _sequential_reference(data: str) -> dict:
+    from repro.core.printer import print_type
+    from repro.inference.pipeline import infer_ndjson_file
+
+    run = infer_ndjson_file(data)
+    return {
+        "schema_sha256": hashlib.sha256(
+            print_type(run.schema).encode()
+        ).hexdigest(),
+        "record_count": run.record_count,
+        "distinct_type_count": run.distinct_type_count,
+    }
+
+
+def _write_corpus(corpus: str, n: int, path: str) -> None:
+    """``mixed`` straight from the generator; ``mixed-dup`` repeats a
+    1/``DUP_FACTOR`` prefix of it so exactly duplicated *lines* appear
+    ``DUP_FACTOR`` times each, spread across the whole file.  Named
+    datasets (``github`` etc.) go through the registry."""
+    from repro.jsonio.ndjson import write_ndjson
+
+    if corpus == "mixed":
+        from repro.datasets import mixed
+
+        write_ndjson(path, mixed.generate(n))
+        return
+    if corpus == "mixed-dup":
+        from repro.datasets import mixed
+
+        distinct = max(1, n // DUP_FACTOR)
+        block = list(mixed.generate(distinct))
+        records = (block * ((n + distinct - 1) // distinct))[:n]
+        write_ndjson(path, records)
+        return
+    from repro.datasets.base import write_dataset
+
+    write_dataset(corpus, n, path, seed=0)
+
+
+def _scaling_baseline() -> "dict | None":
+    """The recorded best variant of BENCH_scaling.json, if present."""
+    if not SCALING_PATH.exists():
+        return None
+    report = json.loads(SCALING_PATH.read_text())
+    if not report.get("best_records_per_s"):
+        return None
+    return {
+        "n": report.get("n"),
+        "variant": report.get("best_variant"),
+        "records_per_s": report.get("best_records_per_s"),
+    }
+
+
+def run_benchmark(
+    n: int, out_path: "Path | str | None" = DEFAULT_OUT
+) -> dict:
+    import tempfile
+
+    rows = []
+    references = {}
+    with tempfile.TemporaryDirectory(prefix="bench_byteslane_") as tmp:
+        for corpus, grid in GRID.items():
+            data = os.path.join(tmp, f"{corpus}.ndjson")
+            _write_corpus(corpus, n, data)
+            references[corpus] = _sequential_reference(data)
+            rows.extend(
+                _run_in_subprocess(corpus, lane, pool, data)
+                for lane, pool in grid
+            )
+
+    identical = all(
+        row["schema_sha256"] == references[row["corpus"]]["schema_sha256"]
+        and row["record_count"]
+        == references[row["corpus"]]["record_count"]
+        and row["distinct_type_count"]
+        == references[row["corpus"]]["distinct_type_count"]
+        for row in rows
+    )
+    by_key = {(r["corpus"], r["lane"], r["pool"]): r for r in rows}
+    for row in rows:
+        fast = by_key[(row["corpus"], "fast", row["pool"])]
+        row["speedup_vs_fast"] = round(
+            row["records_per_s"] / fast["records_per_s"], 3
+        )
+
+    baseline = _scaling_baseline()
+    best = max(
+        (r for r in rows if r["lane"] == "bytes"),
+        key=lambda r: r["records_per_s"],
+    )
+    report = envelope(
+        "byteslane",
+        n,
+        schema_sha256=references["mixed"]["schema_sha256"],
+        results_identical=identical,
+        dup_factor=DUP_FACTOR,
+        scaling_best_baseline=baseline,
+        best_bytes_variant=(
+            f"{best['corpus']}-{best['lane']}-{best['pool']}"
+        ),
+        best_bytes_records_per_s=best["records_per_s"],
+        speedup_vs_scaling_best=(
+            round(best["records_per_s"] / baseline["records_per_s"], 3)
+            if baseline else None
+        ),
+        note=(
+            "fast vs bytes rows of the same corpus+pool are measured "
+            "back-to-back in this run (speedup_vs_fast, drift-immune); "
+            "speedup_vs_scaling_best compares the best bytes row "
+            "against the rate BENCH_scaling.json recorded earlier on "
+            "this host and moves with host speed"
+        ),
+        variants=rows,
+    )
+    if out_path is not None:
+        write_report(report, out_path)
+    return report
+
+
+def print_report(report: dict) -> None:
+    from repro.analysis.tables import render_table
+
+    rows = [
+        [
+            f"{r['corpus']}-{r['lane']}-{r['pool']}",
+            f"{r['seconds']:.2f}s",
+            f"{r['records_per_s']:,}",
+            f"{r['speedup_vs_fast']:.2f}x",
+            (f"{r['dedup_hit_rate']:.1%}"
+             if r["dedup_hit_rate"] is not None else "-"),
+            f"{r['dedup_bytes_avoided']:,}",
+        ]
+        for r in report["variants"]
+    ]
+    print(render_table(
+        ["variant", "wall", "rec/s", "vs fast", "dedup hits", "B avoided"],
+        rows,
+        title=(
+            f"byteslane — x{report['n']:,}, "
+            f"{report['cpu_count']} CPU(s) available"
+        ),
+    ))
+    print(f"results identical across variants: "
+          f"{report['results_identical']}")
+    if report["speedup_vs_scaling_best"] is not None:
+        base = report["scaling_best_baseline"]
+        print(
+            f"best bytes: {report['best_bytes_variant']} at "
+            f"{report['best_bytes_records_per_s']:,} rec/s "
+            f"({report['speedup_vs_scaling_best']}x the recorded "
+            f"BENCH_scaling best, {base['variant']} at "
+            f"{base['records_per_s']:,} rec/s)"
+        )
+
+
+def check_equivalence(n: int, workers: int = 2) -> bool:
+    """CI gate: the bytes lane equals the sequential reference exactly.
+
+    Runs in-process (small ``n``) over a homogeneous corpus
+    (``github``) and the worst-case heterogeneous one (``mixed``),
+    across both scheduler backends and both split planners — the full
+    matrix the lane must be transparent under.
+    """
+    import tempfile
+
+    from repro.core.printer import print_type
+    from repro.engine import Context
+    from repro.inference.pipeline import infer_ndjson_file
+
+    ok = True
+    for corpus in ("github", "mixed"):
+        with tempfile.TemporaryDirectory(prefix="bench_byteslane_") as tmp:
+            data = os.path.join(tmp, f"{corpus}.ndjson")
+            _write_corpus(corpus, n, data)
+            reference = _sequential_reference(data)
+            for backend in ("thread", "process"):
+                for split_mode in ("lines", "bytes"):
+                    with Context(
+                        parallelism=workers, backend=backend, warm=True
+                    ) as ctx:
+                        # Two jobs: the second probes a populated line
+                        # cache, so the gate also covers the hit path.
+                        kwargs = dict(
+                            parse_lane="bytes",
+                            num_partitions=workers * 4,
+                            split_mode=split_mode,
+                            min_split_bytes=1,
+                        )
+                        infer_ndjson_file(data, context=ctx, **kwargs)
+                        run = infer_ndjson_file(data, context=ctx, **kwargs)
+                        stats = ctx.scheduler.stats
+                    digest = hashlib.sha256(
+                        print_type(run.schema).encode()
+                    ).hexdigest()
+                    same = (
+                        digest == reference["schema_sha256"]
+                        and run.record_count == reference["record_count"]
+                        and run.distinct_type_count
+                        == reference["distinct_type_count"]
+                    )
+                    status = "ok" if same else "MISMATCH"
+                    print(
+                        f"{corpus:>7} {backend:>7}-{split_mode:<5} "
+                        f"dedup {stats.dedup_line_hits:>7,} hits "
+                        f"{stats.dedup_bytes_avoided:>9,} B avoided  "
+                        f"{status}"
+                    )
+                    ok &= same
+    print(f"byteslane equivalence: {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
+def test_bench_byteslane(benchmark):
+    """Equivalence across the backend/split matrix, plus a stable
+    in-process number: one warm bytes-lane job at a small size."""
+    from conftest import max_scale
+
+    n = min(max_scale(), 20_000)
+    assert check_equivalence(max(n // 10, 500))
+    import tempfile
+
+    from repro.engine import Context
+    from repro.inference.pipeline import infer_ndjson_file
+
+    with tempfile.TemporaryDirectory(prefix="bench_byteslane_") as tmp:
+        data = os.path.join(tmp, "mixed.ndjson")
+        _write_corpus("mixed", min(n, 2000), data)
+        kwargs = _infer_kwargs("bytes")
+        with Context(parallelism=1, warm=True) as ctx:
+            infer_ndjson_file(data, context=ctx, **kwargs)
+            benchmark.pedantic(
+                lambda: infer_ndjson_file(data, context=ctx, **kwargs),
+                rounds=3, iterations=1,
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="dataset size in records")
+    parser.add_argument("--out", default=os.fspath(DEFAULT_OUT))
+    parser.add_argument("--check", action="store_true",
+                        help="equivalence gate: exit 1 unless the bytes "
+                             "lane matches the sequential reference")
+    parser.add_argument("--variant-corpus", choices=sorted(GRID),
+                        help=argparse.SUPPRESS)  # internal: subprocess mode
+    parser.add_argument("--variant-lane", choices=LANES,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--variant-pool", choices=POOLS,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--data", help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    if args.variant_lane:
+        print(json.dumps(run_variant(
+            args.variant_corpus, args.variant_lane,
+            args.variant_pool, args.data,
+        )))
+        return 0
+    if args.check:
+        return 0 if check_equivalence(args.n) else 1
+    report = run_benchmark(args.n, out_path=args.out)
+    print_report(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,8 @@ import sys
 import time
 from pathlib import Path
 
+from _emit import cpu_count, envelope, write_report
+
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_OUT = REPO_ROOT / "BENCH_scaling.json"
 MAPFAST_PATH = REPO_ROOT / "BENCH_mapfast.json"
@@ -59,22 +61,6 @@ MAPFAST_PATH = REPO_ROOT / "BENCH_mapfast.json"
 BACKENDS = ("thread", "process")
 POOLS = ("cold", "warm")
 DEFAULT_WIDTHS = (1, 2, 4, 8)
-
-
-def _cpu_count() -> int:
-    """CPUs actually *available* to this process, not the machine total.
-
-    ``os.cpu_count()`` reports every installed CPU even when the
-    process is pinned to a subset (containers, cgroups, taskset);
-    ``sched_getaffinity`` reports the truth where it exists.
-    """
-    getaffinity = getattr(os, "sched_getaffinity", None)
-    if getaffinity is not None:
-        try:
-            return len(getaffinity(0))
-        except OSError:  # pragma: no cover
-            pass
-    return os.cpu_count() or 1
 
 
 def _variant_kwargs(pool: str, workers: int) -> dict:
@@ -244,37 +230,37 @@ def run_benchmark(
 
     baseline = _mapfast_baseline()
     best = max(rows, key=lambda r: r["records_per_s"])
-    report = {
-        "benchmark": "scaling",
-        "dataset": dataset,
-        "n": n,
-        "cpu_count": _cpu_count(),
-        "widths": list(widths),
-        "results_identical": identical,
-        "mapfast_fast_thread_baseline": baseline,
-        "best_variant": (
+    report = envelope(
+        "scaling",
+        n,
+        schema_sha256=reference["schema_sha256"],
+        results_identical=identical,
+        dataset=dataset,
+        widths=list(widths),
+        mapfast_fast_thread_baseline=baseline,
+        best_variant=(
             f"{best['backend']}-{best['workers']}-{best['pool']}"
         ),
-        "best_records_per_s": best["records_per_s"],
-        "best_speedup_vs_mapfast_fast_thread": (
+        best_records_per_s=best["records_per_s"],
+        best_speedup_vs_mapfast_fast_thread=(
             round(best["records_per_s"] / baseline["records_per_s"], 3)
             if baseline and baseline.get("records_per_s") else None
         ),
-        "process_efficiency_at_4": (
+        process_efficiency_at_4=(
             by_key[("process", 4, "warm")]["efficiency"]
             if ("process", 4, "warm") in by_key else None
         ),
-        "note": (
-            f"measured with {_cpu_count()} CPU(s) available to the "
+        note=(
+            f"measured with {cpu_count()} CPU(s) available to the "
             "process; with a single CPU, multi-worker efficiency is "
             "bounded by 1/workers regardless of backend, so the "
             "warm-vs-cold column (same width, same backend) is the "
             "meaningful comparison on this host"
         ),
-        "variants": rows,
-    }
+        variants=rows,
+    )
     if out_path is not None:
-        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+        write_report(report, out_path)
     return report
 
 

@@ -72,7 +72,47 @@ from repro.inference import (
     run_inference,
 )
 
-__version__ = "0.1.0"
+def _detect_version() -> str:
+    """Single-source the package version from ``pyproject.toml``.
+
+    The source tree is the authority (the usual way this package runs:
+    ``PYTHONPATH=src``, no installation), so the adjacent pyproject is
+    read first; an installed distribution falls back to its own
+    metadata, and a source tree shipped without packaging metadata falls
+    back to a sentinel rather than failing import.
+    """
+    import os
+    import re
+
+    pyproject = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))),
+        "pyproject.toml",
+    )
+    try:
+        with open(pyproject, "rb") as handle:
+            raw = handle.read()
+        try:
+            import tomllib
+            version = tomllib.loads(raw.decode("utf-8"))["project"]["version"]
+            if isinstance(version, str):
+                return version
+        except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+            match = re.search(
+                rb'^version\s*=\s*"([^"]+)"', raw, re.MULTILINE
+            )
+            if match:
+                return match.group(1).decode("utf-8")
+    except (OSError, KeyError, ValueError):
+        pass
+    try:  # pragma: no cover - only reached when installed as a dist
+        from importlib.metadata import version as dist_version
+        return dist_version("repro")
+    except Exception:
+        return "0+unknown"
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "__version__",

@@ -275,6 +275,13 @@ class SchedulerStats:
     #: graphs (thread backend, or ``wire_format=False``).
     summary_wire_bytes_encoded: int = 0
     summary_wire_bytes_decoded: int = 0
+    #: Bytes-lane duplicate-line type cache accounting (pipelines, from
+    #: summary telemetry): lines typed straight from the cache without
+    #: any parsing, lines that had to be parsed, and the raw input bytes
+    #: the hits never decoded.  Zero on every other parse lane.
+    dedup_line_hits: int = 0
+    dedup_line_misses: int = 0
+    dedup_bytes_avoided: int = 0
     #: Partition tasks attributed per worker (``pid<N>/<thread-name>``),
     #: maintained by the pipelines from summary telemetry — the
     #: observable spread of a job over the pool.
@@ -300,6 +307,9 @@ class SchedulerStats:
         self.warm_state_builds = 0
         self.summary_wire_bytes_encoded = 0
         self.summary_wire_bytes_decoded = 0
+        self.dedup_line_hits = 0
+        self.dedup_line_misses = 0
+        self.dedup_bytes_avoided = 0
         self.tasks_per_worker = {}
 
 

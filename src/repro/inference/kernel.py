@@ -63,7 +63,15 @@ from repro.inference.fusion import (
     fuse,
     lfuse,
 )
-from repro.inference.typestream import FastLaneMiss, make_typer, resolve_lane
+from repro.inference.typestream import (
+    BytesBatchTyper,
+    FastLaneMiss,
+    HookTyper,
+    LineTypeCache,
+    make_typer,
+    resolve_lane,
+)
+from repro.jsonio.blockscan import SplitBlockScanner
 from repro.jsonio.errors import JsonError, JsonSyntaxError
 from repro.jsonio.keycache import KeyCache
 from repro.jsonio.ndjson import BadRecord
@@ -335,9 +343,12 @@ class PhaseTimings:
       fusion of the record's type into the running schema.
 
     ``lane`` records which resolved lane produced the numbers (``strict``,
-    ``tokens``, ``hooks``; ``mixed`` after merging heterogeneous
-    partitions), so a benchmark delta can be attributed to the right
-    phase of the right implementation.
+    ``tokens``, ``hooks``, ``bytes``; ``mixed`` after merging
+    heterogeneous partitions), so a benchmark delta can be attributed to
+    the right phase of the right implementation.  On the ``bytes`` lane
+    the stages are batch-grained: ``parse_s`` covers the vectorized
+    decode+type calls (cache probes included), ``fuse_s`` the observe
+    loop.
     """
 
     lane: str = "strict"
@@ -433,6 +444,14 @@ class PartitionSummary:
     worker: str = field(default="", compare=False, repr=False)
     warm_reused: "bool | None" = field(default=None, compare=False,
                                        repr=False)
+    #: Telemetry of the bytes lane's duplicate-line type cache: lines
+    #: whose raw bytes hit a cached type (no parse at all), lines that
+    #: had to be parsed, and the raw bytes the hits avoided decoding.
+    #: Zero on every other lane.  Excluded from equality like ``worker``
+    #: — cache luck is not part of the result.
+    dedup_hits: int = field(default=0, compare=False, repr=False)
+    dedup_misses: int = field(default=0, compare=False, repr=False)
+    dedup_bytes_avoided: int = field(default=0, compare=False, repr=False)
 
     @property
     def distinct_type_count(self) -> int:
@@ -478,7 +497,8 @@ class WarmState:
     """
 
     __slots__ = ("generation", "interner", "memo", "record_pool",
-                 "array_pool", "key_cache", "tasks_served", "reused")
+                 "array_pool", "key_cache", "line_cache", "tasks_served",
+                 "reused")
 
     def __init__(self, generation: int) -> None:
         self.generation = generation
@@ -487,6 +507,12 @@ class WarmState:
         self.record_pool: dict[tuple[Field, ...], Type] = {}
         self.array_pool: dict[tuple[Type, ...], Type] = {}
         self.key_cache = KeyCache()
+        # The bytes lane's duplicate-line type cache.  Deliberately *in*
+        # the warm state, next to the interner its values are canonical
+        # in: a cached type is only sound to reuse while that interner is
+        # alive, so the cache rides the same generation tag and is
+        # dropped with the rest of the state on driver-side invalidation.
+        self.line_cache = LineTypeCache()
         #: Tasks this state has served (including the one that built it).
         self.tasks_served = 0
         #: Whether the *current* task found this state already built —
@@ -757,7 +783,8 @@ class PartitionAccumulator:
 # from the start instead of a second structural interning pass.
 
 #: Version tag leading every encoded payload; bump on layout changes.
-WIRE_FORMAT_VERSION = 1
+#: v2 appended the bytes lane's dedup-cache telemetry counters.
+WIRE_FORMAT_VERSION = 2
 
 #: Node-table indices 0-4 are pre-seeded with the leaf singletons — they
 #: never occupy ops in the payload.
@@ -878,6 +905,9 @@ def encode_summary(summary: PartitionSummary) -> bytes:
         summary.bytes_read,
         summary.worker,
         summary.warm_reused,
+        summary.dedup_hits,
+        summary.dedup_misses,
+        summary.dedup_bytes_avoided,
     )
     return pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
 
@@ -985,7 +1015,8 @@ def decode_summary(
     try:
         decoded = pickle.loads(payload)
         (version, keys, ops, schema_i, distinct_i, record_count, skipped,
-         timings, line_count, bytes_read, worker, warm_reused) = decoded
+         timings, line_count, bytes_read, worker, warm_reused,
+         dedup_hits, dedup_misses, dedup_bytes_avoided) = decoded
     except Exception as exc:
         raise ValueError(f"malformed summary wire payload: {exc}") from exc
     if version != WIRE_FORMAT_VERSION:
@@ -1004,6 +1035,9 @@ def decode_summary(
         bytes_read=bytes_read,
         worker=worker,
         warm_reused=warm_reused,
+        dedup_hits=dedup_hits,
+        dedup_misses=dedup_misses,
+        dedup_bytes_avoided=dedup_bytes_avoided,
     )
 
 
@@ -1035,6 +1069,12 @@ def accumulate_partition(
         warm_reused=warm.reused if warm is not None else None,
     )
     return encode_summary(summary) if wire else summary
+
+
+#: Batch granularity of the bytes lane (raw bytes per block-scanner batch
+#: and characters per line-mode batch): one vectorized decode call per
+#: roughly this much input.
+_BYTES_BATCH_CHARS = 1 << 20
 
 
 def accumulate_ndjson_partition(
@@ -1084,13 +1124,83 @@ def accumulate_ndjson_partition(
     acc = PartitionAccumulator(warm)
     skipped: list[BadRecord] = []
     parse_s = type_s = fuse_s = 0.0
+    dedup_hits = dedup_misses = dedup_bytes_avoided = 0
 
     def quarantine(line_number: int, line: str, exc: JsonError) -> None:
         skipped.append(
             BadRecord(source or "<memory>", line_number, str(exc), line)
         )
 
-    if lane == "strict":
+    if lane == "bytes":
+        # Vectorized lane over already-decoded text: batch the lines,
+        # type each batch in one C decode through the batch typer, and
+        # arbitrate any batch it rejects per line — hook typer first,
+        # strict re-parse for the final verdict — so errors, quarantine
+        # entries and the schema are identical to every other lane.
+        typer = BytesBatchTyper(
+            acc,
+            key_cache=warm.key_cache if warm is not None else None,
+            line_cache=warm.line_cache if warm is not None else None,
+        )
+        observe = acc.observe
+        fallback: "HookTyper | None" = None
+        perf = time.perf_counter if collect_timings else None
+        numbers: list[int] = []
+        lines: list[str] = []
+        pending = 0
+
+        def flush() -> None:
+            nonlocal parse_s, fuse_s, fallback
+            t0 = perf() if perf is not None else 0.0
+            try:
+                types = typer.type_text_lines(lines)
+            except FastLaneMiss:
+                # Per-line arbitration, identical to the fast lane's.
+                if fallback is None:
+                    fallback = HookTyper(
+                        acc,
+                        key_cache=(warm.key_cache if warm is not None
+                                   else None),
+                    )
+                type_document = fallback.type_document
+                types = []
+                append = types.append
+                for line_number, line in zip(numbers, lines):
+                    try:
+                        t = type_document(line)
+                    except (FastLaneMiss, JsonError):
+                        try:
+                            value = loads(line, source=source,
+                                          first_line=line_number)
+                        except JsonError as exc:
+                            if not permissive:
+                                raise
+                            quarantine(line_number, line, exc)
+                            continue
+                        t = acc.type_value(value)
+                    append(t)
+            t1 = perf() if perf is not None else 0.0
+            for t in types:
+                observe(t)
+            if perf is not None:
+                parse_s += t1 - t0
+                fuse_s += perf() - t1
+
+        for line_number, line in numbered_lines:
+            numbers.append(line_number)
+            lines.append(line)
+            pending += len(line)
+            if pending >= _BYTES_BATCH_CHARS:
+                flush()
+                numbers.clear()
+                lines.clear()
+                pending = 0
+        if lines:
+            flush()
+        dedup_hits = typer.hits
+        dedup_misses = typer.misses
+        dedup_bytes_avoided = typer.bytes_avoided
+    elif lane == "strict":
         if collect_timings:
             perf = time.perf_counter
             for line_number, line in numbered_lines:
@@ -1192,6 +1302,9 @@ def accumulate_ndjson_partition(
         timings=timings,
         worker=_worker_name(),
         warm_reused=warm.reused if warm is not None else None,
+        dedup_hits=dedup_hits,
+        dedup_misses=dedup_misses,
+        dedup_bytes_avoided=dedup_bytes_avoided,
     )
     return encode_summary(summary) if wire else summary
 
@@ -1205,6 +1318,10 @@ def _accumulate_split(
 ) -> PartitionSummary:
     """One split's summary (plain, never wire-encoded), with an already
     claimed warm state; shared by the single-split and batch tasks."""
+    if resolve_lane(parse_lane) == "bytes":
+        return _accumulate_split_bytes(
+            split, permissive, collect_timings, warm
+        )
     reader = SplitLineReader(split)
     try:
         summary = accumulate_ndjson_partition(
@@ -1222,6 +1339,112 @@ def _accumulate_split(
         raise exc.relocate(split.path, exc.line + base) from None
     return replace(
         summary, line_count=reader.line_count, bytes_read=reader.bytes_read
+    )
+
+
+def _accumulate_split_bytes(
+    split: FileSplit,
+    permissive: bool,
+    collect_timings: bool,
+    warm: "WarmState | None",
+) -> PartitionSummary:
+    """The bytes lane's split task: mmap scan, batch type, zero decode.
+
+    The zero-copy hot path of the lane: the block scanner hands out raw
+    line slices of the mapped file, the batch typer feeds whole batches
+    through one C ``json`` decode (probing the warm duplicate-line cache
+    first), and only batches the fast path rejects — malformed records,
+    whitespace-padded or non-UTF-8 lines, surrogate escapes — fall back
+    to the per-line text path: decode + strip + hook typer + strict
+    re-parse, byte-identical errors, quarantine entries (split-local
+    line numbers, as ever) and schema included.
+    """
+    acc = PartitionAccumulator(warm)
+    typer = BytesBatchTyper(
+        acc,
+        key_cache=warm.key_cache if warm is not None else None,
+        line_cache=warm.line_cache if warm is not None else None,
+    )
+    skipped: list[BadRecord] = []
+    observe = acc.observe
+    fallback: "HookTyper | None" = None
+    parse_s = fuse_s = 0.0
+    perf = time.perf_counter if collect_timings else None
+    scanner = SplitBlockScanner(split, _BYTES_BATCH_CHARS)
+    source = split.path
+    try:
+        for first, batch in scanner:
+            t0 = perf() if perf is not None else 0.0
+            try:
+                types = typer.type_lines(batch)
+            except FastLaneMiss:
+                # Per-line arbitration over the whole batch, mirroring
+                # the text lane line for line: decode, strip, drop
+                # blanks, hook typer, strict re-parse as the verdict.
+                if fallback is None:
+                    fallback = HookTyper(
+                        acc,
+                        key_cache=(warm.key_cache if warm is not None
+                                   else None),
+                    )
+                type_document = fallback.type_document
+                types = []
+                append = types.append
+                for i, piece in enumerate(batch):
+                    text = str(piece, "utf-8").strip() if piece else ""
+                    if not text:
+                        continue
+                    line_number = first + i
+                    try:
+                        t = type_document(text)
+                    except (FastLaneMiss, JsonError):
+                        try:
+                            value = loads(text, source=source,
+                                          first_line=line_number)
+                        except JsonError as exc:
+                            if not permissive:
+                                raise
+                            skipped.append(BadRecord(
+                                source, line_number, str(exc), text
+                            ))
+                            continue
+                        t = acc.type_value(value)
+                    append(t)
+            t1 = perf() if perf is not None else 0.0
+            for t in types:
+                if t is not None:
+                    observe(t)
+            if perf is not None:
+                parse_s += t1 - t0
+                fuse_s += perf() - t1
+    except JsonSyntaxError as exc:
+        if split.offset == 0:
+            raise
+        base = count_lines_before(split.path, split.offset)
+        raise exc.relocate(split.path, exc.line + base) from None
+    summary = acc.summary()
+    timings = None
+    if collect_timings:
+        timings = PhaseTimings(
+            lane="bytes",
+            parse_s=parse_s,
+            type_s=0.0,
+            fuse_s=fuse_s,
+            records=summary.record_count,
+        )
+    return PartitionSummary(
+        schema=summary.schema,
+        record_count=summary.record_count,
+        distinct_types=summary.distinct_types,
+        skipped=tuple(skipped),
+        timings=timings,
+        line_count=scanner.line_count,
+        bytes_read=scanner.bytes_read,
+        worker=_worker_name(),
+        warm_reused=warm.reused if warm is not None else None,
+        dedup_hits=typer.hits,
+        dedup_misses=typer.misses,
+        dedup_bytes_avoided=typer.bytes_avoided,
     )
 
 
@@ -1398,6 +1621,7 @@ def merge_summary_group(
     timings: list[PhaseTimings | None] = []
     line_count = 0
     bytes_read = 0
+    dedup_hits = dedup_misses = dedup_bytes_avoided = 0
     for summary in summaries:
         schema = fuse(schema, summary.schema)
         count += summary.record_count
@@ -1407,6 +1631,9 @@ def merge_summary_group(
         timings.append(summary.timings)
         line_count += summary.line_count
         bytes_read += summary.bytes_read
+        dedup_hits += summary.dedup_hits
+        dedup_misses += summary.dedup_misses
+        dedup_bytes_avoided += summary.dedup_bytes_avoided
     return PartitionSummary(
         schema=schema,
         record_count=count,
@@ -1415,6 +1642,9 @@ def merge_summary_group(
         timings=merge_phase_timings(timings),
         line_count=line_count,
         bytes_read=bytes_read,
+        dedup_hits=dedup_hits,
+        dedup_misses=dedup_misses,
+        dedup_bytes_avoided=dedup_bytes_avoided,
     )
 
 

@@ -171,6 +171,9 @@ def _note_summary_telemetry(stats, summaries) -> None:
             stats.warm_state_reuses += 1
         elif summary.warm_reused is False:
             stats.warm_state_builds += 1
+        stats.dedup_line_hits += summary.dedup_hits
+        stats.dedup_line_misses += summary.dedup_misses
+        stats.dedup_bytes_avoided += summary.dedup_bytes_avoided
 
 
 def _as_sequence(values: Iterable[Any]) -> Sequence[Any]:
@@ -687,7 +690,14 @@ def infer_ndjson_file(
     value tree — C-accelerated via stdlib ``json`` hooks when available —
     and fall back to the strict parser per record on any error, so
     results, error diagnostics and quarantine behaviour are identical to
-    ``"strict"`` on every input; only the wall-clock differs.  With
+    ``"strict"`` on every input; only the wall-clock differs.
+    ``"bytes"`` (opt-in) is the vectorized lane: byte-split workers mmap
+    their range and type whole batches of raw, never-decoded line bytes
+    through one C ``json`` call, with a warm-state duplicate-line type
+    cache that skips parsing repeated lines outright; any batch the fast
+    path rejects is re-run through the same per-line fallback chain, so
+    its results are byte-identical too (the dedup counters land in
+    :class:`~repro.engine.scheduler.SchedulerStats`).  With
     ``collect_timings=True`` (the CLI's ``--timings``) the run's
     ``phase_timings`` attribute the map time to parse/type/fuse stages;
     the default skips the per-record clock reads and leaves

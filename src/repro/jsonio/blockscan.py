@@ -1,0 +1,192 @@
+"""mmap-backed block scanner: zero-copy line batches for the bytes lane.
+
+The text-mode split reader (:class:`repro.jsonio.splits.SplitLineReader`)
+costs one ``read`` copy, one ``bytes`` object, one ``str`` and one
+``strip`` per line before the typer ever sees a record.  The bytes-native
+parse lane needs none of that: ``json.loads`` accepts raw UTF-8, so the
+scanner's only real job is finding newline boundaries.  This module does
+exactly that, and nothing else:
+
+* the split's file is **memory-mapped** once; line boundaries are located
+  with chunked ``mmap.find`` scans (C speed, no Python per-byte work);
+* each line is handed out as a **zero-copy** ``memoryview`` slice of the
+  map — no per-line ``bytes``, no per-line ``str``, no intermediate
+  whole-split list;
+* lines are grouped into **batches** sized for the vectorized typer
+  (:class:`repro.inference.typestream.BytesBatchTyper`), which joins each
+  batch and decodes it through the stdlib C scanner in one call.
+
+Boundary semantics are *identical* to :class:`SplitLineReader` — same
+first-byte ownership, same split-local 1-based physical numbering with
+blank lines counted, same ``line_count`` / ``bytes_read`` accounting —
+which the differential tests check offset by offset.  The fast mmap path
+only runs when the scanned range is free of ``\\r``: with ``\\n`` as the
+sole terminator, a single C ``find`` per line is exact.  Any carriage
+return anywhere in the range (CRLF files, lone-CR files, a ``\\r``
+straddling the split edge) routes the whole split through
+:meth:`SplitLineReader.iter_raw`, whose ``bytes.splitlines`` carry logic
+already handles every universal-newline case — slower, but provably the
+same lines.  Ranges that mmap cannot serve (empty files, exotic
+filesystems) take the same fallback.
+"""
+
+from __future__ import annotations
+
+import mmap
+from typing import Iterator
+
+from repro.jsonio.splits import FileSplit, SplitLineReader
+
+__all__ = ["DEFAULT_BATCH_BYTES", "SplitBlockScanner"]
+
+#: Target payload of one yielded batch.  Large enough that the batched
+#: decode amortises its per-call overhead over thousands of lines, small
+#: enough that a batch's joined document (one copy of the batch's bytes)
+#: stays cache-friendly and a fallback re-parse never re-reads much.
+DEFAULT_BATCH_BYTES = 1 << 20
+
+
+class SplitBlockScanner:
+    """Iterate one split as ``(first_line_number, lines)`` batches.
+
+    ``lines`` is a list of terminator-stripped raw line slices —
+    ``memoryview`` on the mmap fast path, ``bytes`` on the universal-
+    newline fallback — covering *every* physical line of the batch, blank
+    lines included (empty slices), so the ``i``-th entry is physical line
+    ``first_line_number + i`` of the split.  Numbering, ownership and the
+    post-exhaustion :attr:`line_count` / :attr:`bytes_read` attributes
+    match :class:`SplitLineReader` exactly.
+
+    The yielded memoryviews borrow the scanner's map; they are valid for
+    the lifetime of the scanner object (the map is closed by GC, never
+    while exported slices are alive).
+    """
+
+    def __init__(
+        self, split: FileSplit, batch_bytes: int = DEFAULT_BATCH_BYTES
+    ) -> None:
+        if batch_bytes < 1:
+            raise ValueError(f"batch_bytes must be positive, got {batch_bytes}")
+        self.split = split
+        #: Physical lines owned by this split (valid after exhaustion).
+        self.line_count = 0
+        #: Bytes consumed from the file (valid after exhaustion).
+        self.bytes_read = 0
+        self._batch_bytes = batch_bytes
+
+    def __iter__(self) -> "Iterator[tuple[int, list]]":
+        split = self.split
+        if split.length <= 0:
+            return
+        mm = None
+        with open(split.path, "rb") as handle:
+            try:
+                # ACCESS_READ: the buffer is read-only, so its memoryview
+                # slices are hashable — the dedup cache probes with them
+                # directly against bytes keys, no copy.
+                mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                mm = None
+        if mm is None:
+            yield from self._iter_fallback()
+            return
+        size = len(mm)
+        end = min(split.end, size)
+        pos = self._align(mm, split.offset, size)
+        if pos >= end:
+            # The whole range sits inside one line owned by the previous
+            # split: nothing to yield, only the skipped prefix consumed.
+            self.bytes_read = pos - split.offset
+            return
+        # The split's consumed range ends after the last owned line's
+        # terminator: [pos, end) plus — when the final line runs past the
+        # split end — the overshoot up to and including the next "\n".
+        if mm[end - 1] == 0x0A:
+            limit = end
+        else:
+            nl = mm.find(b"\n", end)
+            limit = size if nl == -1 else nl + 1
+        if mm.find(b"\r", pos, limit) != -1:
+            # Any carriage return in range: universal-newline territory.
+            # Route through the splitlines-based reader, whose carry
+            # logic is the reference for every \r/\r\n boundary case.
+            yield from self._iter_fallback()
+            return
+        yield from self._iter_mmap(mm, pos, limit)
+        self.bytes_read = limit - split.offset
+
+    def _iter_mmap(
+        self, mm: "mmap.mmap", pos: int, limit: int
+    ) -> "Iterator[tuple[int, list]]":
+        """\\n-only scan of ``[pos, limit)``: find, slice, batch."""
+        view = memoryview(mm)
+        find = mm.find
+        batch_bytes = self._batch_bytes
+        lines: list = []
+        append = lines.append
+        first = 1
+        count = 0
+        batch_start = pos
+        while pos < limit:
+            j = find(b"\n", pos, limit)
+            if j == -1:
+                append(view[pos:limit])  # final unterminated line
+                pos = limit
+            else:
+                append(view[pos:j])
+                pos = j + 1
+            count += 1
+            if pos - batch_start >= batch_bytes:
+                yield first, lines
+                lines = []
+                append = lines.append
+                first = count + 1
+                batch_start = pos
+        if lines:
+            yield first, lines
+        self.line_count = count
+
+    def _iter_fallback(self) -> "Iterator[tuple[int, list]]":
+        """Batch :meth:`SplitLineReader.iter_raw` (universal newlines)."""
+        reader = SplitLineReader(self.split)
+        batch_bytes = self._batch_bytes
+        lines: list = []
+        first = 1
+        pending = 0
+        for line_number, piece in reader.iter_raw():
+            if not lines:
+                first = line_number
+            lines.append(piece)
+            pending += len(piece) + 1
+            if pending >= batch_bytes:
+                yield first, lines
+                lines = []
+                pending = 0
+        if lines:
+            yield first, lines
+        self.line_count = reader.line_count
+        self.bytes_read = reader.bytes_read
+
+    @staticmethod
+    def _align(mm: "mmap.mmap", offset: int, size: int) -> int:
+        """First-byte ownership on the map: the mmap twin of
+        :meth:`SplitLineReader._align_to_line_start`, same rules."""
+        if offset == 0:
+            return 0
+        before = mm[offset - 1:offset]
+        if before == b"\n":
+            return offset
+        if before == b"\r":
+            if mm[offset:offset + 1] == b"\n":
+                # The \n at `offset` is the tail of a \r\n terminator
+                # consumed by the previous split; the line starts after.
+                return offset + 1
+            return offset  # lone \r: a complete terminator
+        # Mid-line: the rest of this line belongs to the previous split.
+        nl = mm.find(b"\n", offset)
+        cr = mm.find(b"\r", offset)
+        if cr != -1 and (nl == -1 or cr < nl):
+            return cr + 2 if mm[cr + 1:cr + 2] == b"\n" else cr + 1
+        if nl != -1:
+            return nl + 1
+        return size  # EOF: nothing left for this split

@@ -144,6 +144,23 @@ class SplitLineReader:
         self.bytes_read = 0
 
     def __iter__(self) -> Iterator[tuple[int, str]]:
+        for line_number, piece in self.iter_raw():
+            text = piece.decode("utf-8").strip()
+            if text:
+                yield line_number, text
+
+    def iter_raw(self) -> Iterator[tuple[int, bytes]]:
+        """Iterate every physical line as raw, terminator-stripped bytes.
+
+        Unlike :meth:`__iter__`, blank lines are yielded too (as empty or
+        whitespace-only ``bytes``) and nothing is decoded: the bytes-native
+        parse lane feeds ``json.loads`` raw bytes, so the per-line
+        ``decode("utf-8").strip()`` the text lane needs would be a pure
+        allocation tax here.  Consumers that do need text semantics apply
+        ``piece.decode("utf-8").strip()`` themselves — exactly what
+        :meth:`__iter__` does — so blank-line and whitespace handling stay
+        identical by construction between the two iteration modes.
+        """
         split = self.split
         end = split.end
         if split.length <= 0:
@@ -179,9 +196,7 @@ class SplitLineReader:
                     carry = pieces.pop() if pieces else b""
                 for piece in pieces:
                     self.line_count += 1
-                    text = piece.decode("utf-8").strip()
-                    if text:
-                        yield self.line_count, text
+                    yield self.line_count, piece
             # Flush the final partial line.  A carry ending in \r is a
             # *terminated* line (a \n just past the split end would be
             # the pair's tail, skipped by the next split's alignment).
@@ -212,9 +227,7 @@ class SplitLineReader:
                 emit = carry
             if emit is not None:
                 self.line_count += 1
-                text = emit.decode("utf-8").strip()
-                if text:
-                    yield self.line_count, text
+                yield self.line_count, emit
         self.bytes_read = consumed
 
     @staticmethod

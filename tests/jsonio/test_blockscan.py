@@ -1,0 +1,139 @@
+"""Block scanner vs the split line reader: same lines, offset by offset.
+
+:class:`repro.jsonio.blockscan.SplitBlockScanner` is the bytes lane's
+ingestion primitive; its contract is that for *any* byte-range split it
+yields exactly the lines :meth:`SplitLineReader.iter_raw` would — same
+split-local numbering (blanks counted), same first-byte ownership at the
+split edges, same ``line_count`` / ``bytes_read`` accounting — only
+grouped into batches.  These tests sweep every (offset, length) pair of
+adversarial corpora so every boundary case (CRLF, lone CR, blank lines,
+multibyte straddles, unterminated tails) crosses a split edge at least
+once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jsonio.blockscan import SplitBlockScanner
+from repro.jsonio.splits import FileSplit, SplitLineReader, plan_splits
+
+#: Newline-free corpora stitched together with every terminator below.
+PIECES = [
+    b'{"a": 1}',
+    b"",
+    b'{"caf\xc3\xa9": "\xf0\x9f\x98\x80"}',  # multibyte UTF-8
+    b"   ",
+    b'{"b": [1, 2]}',
+    b"",
+    b'{"tail": true}',
+]
+
+
+def _corpus(terminator: bytes, final_terminator: bool) -> bytes:
+    data = terminator.join(PIECES)
+    return data + terminator if final_terminator else data
+
+
+def _scan(split: FileSplit, batch_bytes: int):
+    scanner = SplitBlockScanner(split, batch_bytes=batch_bytes)
+    lines = []
+    for first, batch in scanner:
+        for i, piece in enumerate(batch):
+            lines.append((first + i, bytes(piece)))
+    return scanner, lines
+
+
+@pytest.mark.parametrize("terminator", [b"\n", b"\r\n", b"\r"])
+@pytest.mark.parametrize("final_terminator", [True, False])
+@pytest.mark.parametrize("batch_bytes", [1, 7, 1 << 20])
+def test_matches_reader_at_every_offset(
+    tmp_path, terminator, final_terminator, batch_bytes
+):
+    path = tmp_path / "data.ndjson"
+    data = _corpus(terminator, final_terminator)
+    path.write_bytes(data)
+    size = len(data)
+    for offset in range(size):
+        for length in (1, 3, size // 2, size - offset):
+            if length <= 0 or offset + length > size:
+                continue
+            split = FileSplit(str(path), offset, length)
+            reader = SplitLineReader(split)
+            expected = list(reader.iter_raw())
+            scanner, got = _scan(split, batch_bytes)
+            assert got == expected, (offset, length)
+            assert scanner.line_count == reader.line_count
+            assert scanner.bytes_read == reader.bytes_read
+
+
+@pytest.mark.parametrize("terminator", [b"\n", b"\r\n", b"\r"])
+def test_planned_splits_cover_file_exactly_once(tmp_path, terminator):
+    path = tmp_path / "data.ndjson"
+    data = _corpus(terminator, True) * 20
+    path.write_bytes(data)
+    whole = list(SplitLineReader(FileSplit(str(path), 0, len(data))).iter_raw())
+    for num in (1, 2, 3, 7):
+        splits = plan_splits(str(path), num, min_split_bytes=1)
+        got = []
+        total_read = 0
+        for split in splits:
+            scanner, lines = _scan(split, batch_bytes=16)
+            got.extend(piece for _, piece in lines)
+            total_read += scanner.bytes_read
+        assert got == [piece for _, piece in whole]
+        assert total_read >= len(data)
+
+
+def test_fast_path_yields_zero_copy_memoryviews(tmp_path):
+    path = tmp_path / "lf.ndjson"
+    path.write_bytes(b'{"a": 1}\n\n{"b": 2}\n')
+    split = FileSplit(str(path), 0, 19)
+    (first, batch), = list(SplitBlockScanner(split))
+    assert first == 1
+    assert all(isinstance(piece, memoryview) for piece in batch)
+    assert [bytes(piece) for piece in batch] == [b'{"a": 1}', b"", b'{"b": 2}']
+    # Readonly mmap slices hash like their bytes — the dedup cache's probe.
+    assert hash(batch[0]) == hash(b'{"a": 1}')
+
+
+def test_carriage_return_routes_through_fallback(tmp_path):
+    path = tmp_path / "crlf.ndjson"
+    path.write_bytes(b'{"a": 1}\r\n{"b": 2}\r\n')
+    split = FileSplit(str(path), 0, 20)
+    batches = list(SplitBlockScanner(split))
+    pieces = [piece for _, batch in batches for piece in batch]
+    assert all(isinstance(piece, bytes) for piece in pieces)
+    assert pieces == [b'{"a": 1}', b'{"b": 2}']
+
+
+def test_batch_numbering_is_contiguous(tmp_path):
+    path = tmp_path / "many.ndjson"
+    path.write_bytes(b"".join(b'{"i": %d}\n' % i for i in range(50)))
+    split = FileSplit(str(path), 0, path.stat().st_size)
+    scanner = SplitBlockScanner(split, batch_bytes=32)
+    expected_first = 1
+    for first, batch in scanner:
+        assert first == expected_first
+        expected_first += len(batch)
+    assert scanner.line_count == 50
+
+
+def test_rejects_nonpositive_batch_bytes(tmp_path):
+    path = tmp_path / "x.ndjson"
+    path.write_bytes(b"{}\n")
+    with pytest.raises(ValueError, match="batch_bytes"):
+        SplitBlockScanner(FileSplit(str(path), 0, 3), batch_bytes=0)
+
+
+def test_empty_split_yields_nothing(tmp_path):
+    path = tmp_path / "x.ndjson"
+    path.write_bytes(b'{"a": 1}\n{"b": 2}\n')
+    # A range strictly inside the first line: owned by the previous
+    # split, so nothing to yield and only the skipped prefix consumed.
+    split = FileSplit(str(path), 2, 3)
+    scanner = SplitBlockScanner(split)
+    assert list(scanner) == []
+    reader = SplitLineReader(split)
+    assert list(reader.iter_raw()) == []
+    assert scanner.bytes_read == reader.bytes_read

@@ -49,10 +49,20 @@ class TestInfer:
 
     def test_parse_lanes_agree(self, sample_file, capsys):
         outputs = set()
-        for lane in ("auto", "fast", "strict"):
+        for lane in ("auto", "fast", "bytes", "strict"):
             assert main(["infer", sample_file, "--parse-lane", lane]) == 0
             outputs.add(capsys.readouterr().out)
         assert len(outputs) == 1
+
+    def test_bytes_lane_timings_report_dedup(self, tmp_path, capsys):
+        path = tmp_path / "dups.ndjson"
+        path.write_text('{"a": 1}\n' * 200)
+        assert main(["infer", str(path), "--parse-lane", "bytes",
+                     "--parallel", "1", "--timings"]) == 0
+        err = capsys.readouterr().err
+        assert "line dedup:" in err
+        assert "hit rate" in err
+        assert "never decoded" in err
 
     def test_unknown_parse_lane_rejected(self, sample_file):
         with pytest.raises(SystemExit):
@@ -437,3 +447,27 @@ class TestFsckCli:
         capsys.readouterr()
         assert main(["fsck", str(journal)]) == 1
         assert "corrupt" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out == f"json-schema-infer {repro.__version__}"
+
+    def test_version_single_sourced_from_pyproject(self):
+        import re
+        from pathlib import Path
+
+        import repro
+
+        pyproject = Path(repro.__file__).parents[2] / "pyproject.toml"
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        assert match is not None
+        assert repro.__version__ == match.group(1)
