@@ -39,6 +39,8 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from _emit import envelope, write_report
+
 DEFAULT_OUT = REPO_ROOT / "BENCH_durability.json"
 
 BACKENDS = ("thread", "process")
@@ -69,17 +71,6 @@ with Context(parallelism=cfg["parallelism"], backend=cfg["backend"]) as ctx:
     )
 print(print_type(run.schema), run.record_count)
 """
-
-
-def _cpu_count() -> int:
-    """CPUs *available* to this process (affinity-aware), not installed."""
-    getaffinity = getattr(os, "sched_getaffinity", None)
-    if getaffinity is not None:
-        try:
-            return len(getaffinity(0))
-        except OSError:  # pragma: no cover
-            pass
-    return os.cpu_count() or 1
 
 
 def _digest(schema) -> str:
@@ -145,26 +136,28 @@ def run_benchmark(
     parallelism: int = 4,
     out_path: Path | str | None = DEFAULT_OUT,
 ) -> dict:
-    report = {
-        "benchmark": "durability",
-        "dataset": "mixed",
-        "n": n,
-        "partitions": partitions,
-        "parallelism": parallelism,
-        "cpu_count": _cpu_count(),
-        "results_identical": True,
-        "backends": [],
-    }
+    backends = []
+    identical = True
     with tempfile.TemporaryDirectory(prefix="bench_durability_") as tmp:
         source = _write_corpus(tmp, n)
         for backend in BACKENDS:
             row = run_backend(
                 backend, source, n, tmp, partitions, parallelism
             )
-            report["results_identical"] &= row["results_identical"]
-            report["backends"].append(row)
+            identical &= row["results_identical"]
+            backends.append(row)
+    identical &= len({r["schema_sha256"] for r in backends}) == 1
+    report = envelope(
+        "durability", n,
+        schema_sha256=backends[0]["schema_sha256"],
+        results_identical=identical,
+        dataset="mixed",
+        partitions=partitions,
+        parallelism=parallelism,
+        backends=backends,
+    )
     if out_path is not None:
-        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+        write_report(report, out_path)
     return report
 
 

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import argparse
 import hashlib
-import json
 import os
 import sys
 import time
@@ -42,21 +41,12 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from _emit import envelope, write_report
+
 DEFAULT_OUT = REPO_ROOT / "BENCH_incremental.json"
 
 BACKENDS = ("thread", "process")
 PATHS = ("full", "update", "merge")
-
-
-def _cpu_count() -> int:
-    """CPUs *available* to this process (affinity-aware), not installed."""
-    getaffinity = getattr(os, "sched_getaffinity", None)
-    if getaffinity is not None:
-        try:
-            return len(getaffinity(0))
-        except OSError:  # pragma: no cover
-            pass
-    return os.cpu_count() or 1
 
 
 def _digest(schema) -> str:
@@ -181,24 +171,30 @@ def run_benchmark(
 ) -> dict:
     import tempfile
 
-    report = {
-        "benchmark": "incremental",
-        "dataset": dataset,
-        "n": n,
-        "batches": batches,
-        "partitions": partitions,
-        "cpu_count": _cpu_count(),
-        "results_identical": True,
-        "backends": [],
-    }
+    backends = []
+    identical = True
     with tempfile.TemporaryDirectory(prefix="bench_incremental_") as tmp:
         full, batch_paths = _write_batches(tmp, n, batches, dataset)
         for backend in BACKENDS:
             row = run_backend(backend, full, batch_paths, tmp, partitions)
-            report["results_identical"] &= row["results_identical"]
-            report["backends"].append(row)
+            identical &= row["results_identical"]
+            backends.append(row)
+    reference = backends[0]["paths"][0]["schema_sha256"]
+    identical &= all(
+        r["schema_sha256"] == reference
+        for row in backends for r in row["paths"]
+    )
+    report = envelope(
+        "incremental", n,
+        schema_sha256=reference,
+        results_identical=identical,
+        dataset=dataset,
+        batches=batches,
+        partitions=partitions,
+        backends=backends,
+    )
     if out_path is not None:
-        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+        write_report(report, out_path)
     return report
 
 

@@ -50,16 +50,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_OUT = REPO_ROOT / "BENCH_ingest.json"
 
-
-def _cpu_count() -> int:
-    """CPUs *available* to this process (affinity-aware), not installed."""
-    getaffinity = getattr(os, "sched_getaffinity", None)
-    if getaffinity is not None:
-        try:
-            return len(getaffinity(0))
-        except OSError:  # pragma: no cover
-            pass
-    return os.cpu_count() or 1
+from _emit import envelope, write_report
 
 #: variant name -> (split_mode, backend)
 VARIANTS = {
@@ -238,19 +229,21 @@ def run_benchmark(
     partitions: int = 4,
     out_path: Path | str | None = DEFAULT_OUT,
 ) -> dict:
-    report = {
-        "benchmark": "ingest_splits",
-        "dataset": "mixed",
-        "cpu_count": _cpu_count(),
-        "results_identical": True,
-        "sizes": [],
-    }
+    size_reports = []
+    identical = True
     for n in sizes:
         size_report = run_size(n, partitions)
-        report["results_identical"] &= size_report["results_identical"]
-        report["sizes"].append(size_report)
+        identical &= size_report["results_identical"]
+        size_reports.append(size_report)
+    report = envelope(
+        "ingest_splits", sizes[0],
+        schema_sha256=size_reports[0]["infer"][0]["schema_sha256"],
+        results_identical=identical,
+        dataset="mixed",
+        sizes=size_reports,
+    )
     if out_path is not None:
-        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+        write_report(report, out_path)
     return report
 
 

@@ -1,0 +1,373 @@
+"""Content-addressed summary cache benchmark — skip the map phase for
+unchanged data.
+
+One end-to-end ``infer_ndjson_file`` measurement per scenario, all on
+the heterogeneous ``mixed`` corpus and all sharing one cache directory:
+
+* ``uncached`` — ``cache_mode="off"``: the pre-cache baseline, also the
+  honesty row for measuring the cold run's digest+store overhead.
+* ``cold`` — empty cache, ``readwrite``: every split is a miss, gets
+  typed by a worker, and is stored.  ``cold_overhead_vs_uncached`` is
+  the full price of admission (content digesting plus entry writes).
+* ``warm`` — identical bytes, populated cache: every split replays from
+  the cache; the map phase is skipped entirely.
+* ``append`` — the same records plus 1% more appended, warm cache: the
+  stable split planner quantises boundaries so prefix splits keep their
+  content digests and only the tail recomputes — map work proportional
+  to the delta, not the file.
+* ``mutate`` — one digit flipped mid-file at unchanged length, warm
+  cache: exactly one split's dependency span changes, so exactly one
+  split recomputes.
+
+Every scenario runs in a fresh subprocess (no inherited heap, no warm
+interner) on a prestarted single-worker thread pool — the recorded
+BENCH_scaling best on this host — so rows differ only in cache state.
+The report gates on ``results_identical``: every scenario must produce
+the same schema digest, record count and distinct count as the
+sequential *uncached* reference over its exact input file; the cache
+must buy time and nothing else.
+
+Run standalone for the full-size measurement (writes
+``BENCH_cache.json`` at the repository root)::
+
+    python benchmarks/bench_summary_cache.py --n 100000
+
+or as the CI gate (small n, github + mixed, cold then warm in-process,
+exit non-zero unless warm replay is hit-complete and byte-identical)::
+
+    python benchmarks/bench_summary_cache.py --check --n 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from _emit import cpu_count, envelope, write_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_cache.json"
+
+#: Scenario -> which input file it reads (built once per run).
+SCENARIOS = {
+    "uncached": "base",
+    "cold": "base",
+    "warm": "base",
+    "append": "append",
+    "mutate": "mutate",
+}
+APPEND_PCT = 1
+NUM_PARTITIONS = 8
+
+
+def _infer_kwargs() -> dict:
+    return dict(num_partitions=NUM_PARTITIONS, split_mode="bytes")
+
+
+def _measure(scenario: str, data: str, cache: str) -> dict:
+    from repro.core.printer import print_type
+    from repro.engine import Context
+    from repro.inference.pipeline import infer_ndjson_file
+
+    kwargs = _infer_kwargs()
+    if scenario == "uncached":
+        kwargs.update(summary_cache=cache, cache_mode="off")
+    else:
+        kwargs.update(summary_cache=cache)
+    with Context(parallelism=1, backend="thread", warm=True) as ctx:
+        ctx.prestart()
+        start = time.perf_counter()
+        run = infer_ndjson_file(data, context=ctx, **kwargs)
+        seconds = time.perf_counter() - start
+        stats = ctx.scheduler.stats
+    return {
+        "scenario": scenario,
+        "seconds": round(seconds, 4),
+        "records_per_s": round(run.record_count / seconds),
+        "record_count": run.record_count,
+        "distinct_type_count": run.distinct_type_count,
+        "schema_sha256": hashlib.sha256(
+            print_type(run.schema).encode()
+        ).hexdigest(),
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "cache_stores": stats.cache_stores,
+        "cache_bytes_skipped": stats.cache_bytes_skipped,
+    }
+
+
+def _run_in_subprocess(scenario: str, data: str, cache: str) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [
+            sys.executable, os.fspath(Path(__file__).resolve()),
+            "--scenario", scenario, "--data", data, "--cache", cache,
+        ],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def _sequential_reference(data: str) -> dict:
+    from repro.core.printer import print_type
+    from repro.inference.pipeline import infer_ndjson_file
+
+    run = infer_ndjson_file(data)
+    return {
+        "schema_sha256": hashlib.sha256(
+            print_type(run.schema).encode()
+        ).hexdigest(),
+        "record_count": run.record_count,
+        "distinct_type_count": run.distinct_type_count,
+    }
+
+
+def _write_corpus(corpus: str, n: int, path: str) -> None:
+    from repro.jsonio.ndjson import write_ndjson
+
+    if corpus == "mixed":
+        from repro.datasets import mixed
+
+        write_ndjson(path, mixed.generate(n))
+        return
+    from repro.datasets.base import write_dataset
+
+    write_dataset(corpus, n, path, seed=0)
+
+
+def _write_variants(n: int, tmp: str) -> dict:
+    """The three input files: base, base + 1% appended, one-digit flip.
+
+    ``mixed.generate`` seeds per record index, so ``generate(n + extra)``
+    shares ``generate(n)``'s exact byte prefix — the append variant is a
+    true tail append, the case the stable split planner quantises for.
+    """
+    from repro.datasets import mixed
+    from repro.jsonio.ndjson import write_ndjson
+
+    files = {name: os.path.join(tmp, f"{name}.ndjson")
+             for name in ("base", "append", "mutate")}
+    write_ndjson(files["base"], mixed.generate(n))
+    extra = max(1, n * APPEND_PCT // 100)
+    write_ndjson(files["append"], mixed.generate(n + extra))
+
+    data = bytearray(Path(files["base"]).read_bytes())
+    flip = data.index(b"7", len(data) // 2)  # digit -> digit: JSON-safe
+    data[flip] = ord("3")
+    Path(files["mutate"]).write_bytes(bytes(data))
+    return files
+
+
+def run_benchmark(
+    n: int, out_path: "Path | str | None" = DEFAULT_OUT
+) -> dict:
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench_sumcache_") as tmp:
+        files = _write_variants(n, tmp)
+        references = {
+            name: _sequential_reference(path)
+            for name, path in files.items()
+        }
+        cache = os.path.join(tmp, "cache")
+        rows = [
+            _run_in_subprocess(scenario, files[variant], cache)
+            for scenario, variant in SCENARIOS.items()
+        ]
+
+    identical = True
+    for row in rows:
+        ref = references[SCENARIOS[row["scenario"]]]
+        row["results_identical"] = (
+            row["schema_sha256"] == ref["schema_sha256"]
+            and row["record_count"] == ref["record_count"]
+            and row["distinct_type_count"] == ref["distinct_type_count"]
+        )
+        identical &= row["results_identical"]
+
+    by_name = {row["scenario"]: row for row in rows}
+    cold = by_name["cold"]
+    for row in rows:
+        row["speedup_vs_cold"] = round(
+            cold["seconds"] / row["seconds"], 3
+        )
+
+    report = envelope(
+        "cache",
+        n,
+        schema_sha256=references["base"]["schema_sha256"],
+        results_identical=identical,
+        append_pct=APPEND_PCT,
+        num_partitions=NUM_PARTITIONS,
+        cold_overhead_vs_uncached=round(
+            cold["seconds"] / by_name["uncached"]["seconds"], 3
+        ),
+        warm_speedup=by_name["warm"]["speedup_vs_cold"],
+        append_speedup=by_name["append"]["speedup_vs_cold"],
+        mutate_speedup=by_name["mutate"]["speedup_vs_cold"],
+        note=(
+            "all scenarios share one subprocess-per-row protocol and "
+            "one cache directory; cold populates it, warm/append/mutate "
+            "replay it; speedups are vs the cold row measured in this "
+            "run and each row is compared against the sequential "
+            "uncached reference of its exact input file"
+        ),
+        scenarios=rows,
+    )
+    if out_path is not None:
+        write_report(report, out_path)
+    return report
+
+
+def print_report(report: dict) -> None:
+    from repro.analysis.tables import render_table
+
+    rows = [
+        [
+            r["scenario"],
+            f"{r['seconds']:.2f}s",
+            f"{r['records_per_s']:,}",
+            f"{r['speedup_vs_cold']:.2f}x",
+            f"{r['cache_hits']}/{r['cache_hits'] + r['cache_misses']}",
+            f"{r['cache_bytes_skipped']:,}",
+            "yes" if r["results_identical"] else "NO",
+        ]
+        for r in report["scenarios"]
+    ]
+    print(render_table(
+        ["scenario", "wall", "rec/s", "vs cold", "hits", "B skipped",
+         "identical"],
+        rows,
+        title=(
+            f"summary cache — x{report['n']:,}, "
+            f"{report['cpu_count']} CPU(s) available"
+        ),
+    ))
+    print(
+        f"warm {report['warm_speedup']}x cold · "
+        f"append(+{report['append_pct']}%) {report['append_speedup']}x · "
+        f"mutate(1 split) {report['mutate_speedup']}x · "
+        f"cold overhead {report['cold_overhead_vs_uncached']}x uncached"
+    )
+    print(f"results identical across scenarios: "
+          f"{report['results_identical']}")
+
+
+def check_equivalence(n: int, workers: int = 2) -> bool:
+    """CI gate: a warm cache replays hit-complete and byte-identical.
+
+    In-process (small ``n``), on a homogeneous corpus (``github``) and
+    the worst-case heterogeneous one (``mixed``): cold run populates,
+    warm run must be all hits with the sequential reference's digest
+    and counts.
+    """
+    import tempfile
+
+    from repro.core.printer import print_type
+    from repro.engine import Context
+    from repro.inference.pipeline import infer_ndjson_file
+
+    ok = True
+    for corpus in ("github", "mixed"):
+        with tempfile.TemporaryDirectory(prefix="bench_sumcache_") as tmp:
+            data = os.path.join(tmp, f"{corpus}.ndjson")
+            _write_corpus(corpus, n, data)
+            reference = _sequential_reference(data)
+            cache = os.path.join(tmp, "cache")
+            kwargs = dict(
+                num_partitions=workers * 4,
+                split_mode="bytes",
+                min_split_bytes=1 << 14,
+                summary_cache=cache,
+            )
+            for phase in ("cold", "warm"):
+                with Context(parallelism=workers, backend="thread") as ctx:
+                    run = infer_ndjson_file(data, context=ctx, **kwargs)
+                    stats = ctx.scheduler.stats
+                digest = hashlib.sha256(
+                    print_type(run.schema).encode()
+                ).hexdigest()
+                same = (
+                    digest == reference["schema_sha256"]
+                    and run.record_count == reference["record_count"]
+                    and run.distinct_type_count
+                    == reference["distinct_type_count"]
+                )
+                if phase == "warm":
+                    same &= stats.cache_hits > 0 and stats.cache_misses == 0
+                status = "ok" if same else "MISMATCH"
+                print(
+                    f"{corpus:>7} {phase:<5} "
+                    f"{stats.cache_hits:>3} hits {stats.cache_misses:>3} "
+                    f"misses {stats.cache_bytes_skipped:>9,} B skipped  "
+                    f"{status}"
+                )
+                ok &= same
+    print(f"summary cache equivalence: {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
+def test_bench_summary_cache(benchmark):
+    """Hit-complete warm replay at a small size, plus a stable
+    in-process number: one warm (all-hits) cached job."""
+    from conftest import max_scale
+
+    n = min(max_scale(), 20_000)
+    assert check_equivalence(max(n // 10, 500))
+    import tempfile
+
+    from repro.engine import Context
+    from repro.inference.pipeline import infer_ndjson_file
+
+    with tempfile.TemporaryDirectory(prefix="bench_sumcache_") as tmp:
+        data = os.path.join(tmp, "mixed.ndjson")
+        _write_corpus("mixed", min(n, 2000), data)
+        cache = os.path.join(tmp, "cache")
+        kwargs = dict(
+            num_partitions=4, split_mode="bytes",
+            min_split_bytes=1 << 14, summary_cache=cache,
+        )
+        with Context(parallelism=1, warm=True) as ctx:
+            infer_ndjson_file(data, context=ctx, **kwargs)
+            benchmark.pedantic(
+                lambda: infer_ndjson_file(data, context=ctx, **kwargs),
+                rounds=3, iterations=1,
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="dataset size in records")
+    parser.add_argument("--out", default=os.fspath(DEFAULT_OUT))
+    parser.add_argument("--check", action="store_true",
+                        help="CI gate: exit 1 unless warm cache replay "
+                             "is hit-complete and byte-identical")
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        help=argparse.SUPPRESS)  # internal: subprocess mode
+    parser.add_argument("--data", help=argparse.SUPPRESS)
+    parser.add_argument("--cache", help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    if args.scenario:
+        print(json.dumps(_measure(args.scenario, args.data, args.cache)))
+        return 0
+    if args.check:
+        return 0 if check_equivalence(args.n) else 1
+    report = run_benchmark(args.n, out_path=args.out)
+    print_report(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

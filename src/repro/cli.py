@@ -183,6 +183,22 @@ def build_parser() -> argparse.ArgumentParser:
              "input file and flags as the original run)",
     )
     p_infer.add_argument(
+        "--summary-cache", metavar="DIR", default=None,
+        help="cross-run content-addressed partition-summary cache: probe "
+             "each planned partition's content digest before dispatch and "
+             "replay hits instead of re-typing their bytes, so a re-run "
+             "over unchanged (or append-mostly) data does map work "
+             "proportional to the delta; results are byte-identical to "
+             "an uncached run",
+    )
+    p_infer.add_argument(
+        "--cache-mode", choices=["off", "read", "readwrite"],
+        default="readwrite",
+        help="with --summary-cache: 'readwrite' probes and stores "
+             "(default), 'read' only probes (shared read-only cache), "
+             "'off' ignores the cache entirely",
+    )
+    p_infer.add_argument(
         "--max-retries", type=int, metavar="N", default=3,
         help="retries per partition task for transient failures "
              "(default: 3)",
@@ -387,6 +403,8 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         wire_format=args.wire_format,
         journal_path=args.journal,
         resume=args.resume,
+        summary_cache=args.summary_cache,
+        cache_mode=args.cache_mode,
     )
     stats = None
     stop = _GracefulStop() if args.journal else nullcontext()
@@ -471,6 +489,14 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                     f"{stats.dedup_line_misses:,} misses "
                     f"({rate:.1%} hit rate) · "
                     f"{stats.dedup_bytes_avoided:,} B never decoded",
+                    file=sys.stderr,
+                )
+            if stats.cache_hits or stats.cache_misses:
+                print(
+                    f"summary cache: {stats.cache_hits:,} hits · "
+                    f"{stats.cache_misses:,} misses · "
+                    f"{stats.cache_stores:,} stored · "
+                    f"{stats.cache_bytes_skipped:,} B of input skipped",
                     file=sys.stderr,
                 )
     return 0
@@ -604,15 +630,23 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     import json as _json
     from pathlib import Path
 
-    from repro.store import fsck_checkpoint, fsck_journal
+    from repro.store import (
+        CACHE_MARKER_NAME,
+        fsck_checkpoint,
+        fsck_journal,
+        fsck_summary_cache,
+    )
 
     exit_code = 0
     for raw in args.paths:
         path = Path(raw)
-        # A checkpoint is a directory, a journal is a file; for missing
-        # paths, guess journal when the name looks like one so the
-        # report's "kind" stays useful.
-        if path.is_dir():
+        # A summary cache is a directory with the CACHE marker, any
+        # other directory is a checkpoint, a journal is a file; for
+        # missing paths, guess journal when the name looks like one so
+        # the report's "kind" stays useful.
+        if path.is_dir() and (path / CACHE_MARKER_NAME).is_file():
+            report = fsck_summary_cache(path)
+        elif path.is_dir():
             report = fsck_checkpoint(path)
         elif path.is_file() or "journal" in path.name:
             report = fsck_journal(path)

@@ -282,6 +282,16 @@ class SchedulerStats:
     dedup_line_hits: int = 0
     dedup_line_misses: int = 0
     dedup_bytes_avoided: int = 0
+    #: Cross-run summary cache accounting (pipelines, from the driver's
+    #: probe of :class:`repro.store.summarycache.SummaryCache`):
+    #: partitions replayed from cache versus dispatched to workers,
+    #: entries newly stored this run, and the input bytes the hits never
+    #: re-read — the map work content addressing skipped.  Zero when no
+    #: cache is configured.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    cache_bytes_skipped: int = 0
     #: Partition tasks attributed per worker (``pid<N>/<thread-name>``),
     #: maintained by the pipelines from summary telemetry — the
     #: observable spread of a job over the pool.
@@ -310,6 +320,10 @@ class SchedulerStats:
         self.dedup_line_hits = 0
         self.dedup_line_misses = 0
         self.dedup_bytes_avoided = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stores = 0
+        self.cache_bytes_skipped = 0
         self.tasks_per_worker = {}
 
 

@@ -34,6 +34,7 @@ check on arbitrary JSON values.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import threading
@@ -98,12 +99,14 @@ __all__ = [
     "accumulate_ndjson_split",
     "accumulate_ndjson_split_batch",
     "accumulate_partition",
+    "as_wire_payload",
     "decode_summary",
     "encode_summary",
     "merge_phase_timings",
     "merge_summaries",
     "merge_summaries_full",
     "merge_summary_group",
+    "tree_merge_rows",
     "warm_state_for",
 ]
 
@@ -1041,6 +1044,250 @@ def decode_summary(
     )
 
 
+def as_wire_payload(result: "PartitionSummary | bytes") -> bytes:
+    """Wire-format bytes for one map-task result, whatever its shape.
+
+    The accumulate tasks return either a :class:`PartitionSummary`
+    object (thread backend, wire format off) or an
+    :func:`encode_summary` payload (process backend / journaled runs).
+    The cross-run summary cache stores every entry in wire form so a hit
+    replays through the same adoption decode regardless of which shape
+    produced it; this is the store-side seam that normalises both.
+    """
+    if isinstance(result, (bytes, bytearray)):
+        return bytes(result)
+    return encode_summary(result)
+
+
+# ---------------------------------------------------------------------------
+# Light decode: digests instead of materialised distinct types.
+#
+# A cache-hit partition that only feeds a plain inference run needs its
+# counts, its quarantined records and its (small, already fused) schema —
+# but of the distinct-type *set*, only the cross-partition union size.
+# Rebuilding tens of thousands of interned type trees just to count them
+# dominates warm-replay time on heterogeneous data, so the light path
+# replaces each distinct type with a canonical 32-byte structural digest
+# computed straight off the op-stream: no constructors, no sorting, no
+# interning.  Digest equality coincides with :class:`Type` equality (the
+# recursion mirrors each ``__eq__`` exactly, keyed by per-class tags), so
+# ``len(set(digests))`` equals the structural distinct count.
+
+def type_digest(t: Type, _memo: "dict[int, bytes] | None" = None) -> bytes:
+    """Canonical sha-256 of a type node: equal types, equal digests.
+
+    Memoized by ``id()`` across one call tree, so interned DAGs hash each
+    shared subtree once.  The per-class tag bytes mirror the wire op tags;
+    field names are length-prefixed so no name/flag concatenation can
+    collide with another shape.
+    """
+    if _memo is None:
+        _memo = {}
+    found = _memo.get(id(t))
+    if found is not None:
+        return found
+    sha = hashlib.sha256
+    if isinstance(t, BasicType):
+        digest = sha(b"B%d" % int(t.kind)).digest()
+    elif isinstance(t, EmptyType):
+        digest = sha(b"E").digest()
+    elif isinstance(t, RecordType):
+        h = sha(b"R")
+        for f in t.fields:
+            name = f.name.encode("utf-8")
+            h.update(len(name).to_bytes(4, "big"))
+            h.update(name)
+            h.update(b"\x01" if f.optional else b"\x00")
+            h.update(type_digest(f.type, _memo))
+        digest = h.digest()
+    elif isinstance(t, StarArrayType):
+        digest = sha(b"S" + type_digest(t.body, _memo)).digest()
+    elif isinstance(t, ArrayType):
+        h = sha(b"A")
+        for e in t.elements:
+            h.update(type_digest(e, _memo))
+        digest = h.digest()
+    elif isinstance(t, UnionType):
+        h = sha(b"U")
+        for m in t.members:
+            h.update(type_digest(m, _memo))
+        digest = h.digest()
+    else:
+        raise TypeError(f"cannot digest type node {type(t).__name__}")
+    _memo[id(t)] = digest
+    return digest
+
+
+_WIRE_BASE_DIGESTS: "tuple[bytes, ...] | None" = None
+
+
+def _wire_base_digests() -> "tuple[bytes, ...]":
+    global _WIRE_BASE_DIGESTS
+    if _WIRE_BASE_DIGESTS is None:
+        memo: dict[int, bytes] = {}
+        _WIRE_BASE_DIGESTS = tuple(type_digest(t, memo) for t in _WIRE_BASE)
+    return _WIRE_BASE_DIGESTS
+
+
+def _walk_wire_digests(
+    keys: Sequence[str], ops: Sequence[int]
+) -> "tuple[list[bytes], list[int]]":
+    """One pass over the op-stream: a digest per node, no objects built.
+
+    Returns ``(digests, node_pos)`` where ``digests[i]`` is node ``i``'s
+    canonical digest (indexed like the decode table, base leaves first)
+    and ``node_pos[j]`` is the op offset of composite node
+    ``len(_WIRE_BASE) + j`` — enough for a later selective materialise of
+    just the schema subtree.
+    """
+    digests = list(_wire_base_digests())
+    node_pos: list[int] = []
+    key_bytes = [k.encode("utf-8") for k in keys]
+    key_len = [len(kb).to_bytes(4, "big") for kb in key_bytes]
+    sha = hashlib.sha256
+    pos = 0
+    end = len(ops)
+    while pos < end:
+        node_pos.append(pos)
+        tag = ops[pos]
+        if tag == _WIRE_RECORD:
+            n = ops[pos + 1]
+            mask = ops[pos + 2]
+            pos += 3
+            h = sha(b"R")
+            for bit in range(n):
+                ki = ops[pos]
+                h.update(key_len[ki])
+                h.update(key_bytes[ki])
+                h.update(b"\x01" if mask >> bit & 1 else b"\x00")
+                h.update(digests[ops[pos + 1]])
+                pos += 2
+            digests.append(h.digest())
+        elif tag == _WIRE_ARRAY:
+            n = ops[pos + 1]
+            pos += 2
+            h = sha(b"A")
+            for j in range(n):
+                h.update(digests[ops[pos + j]])
+            pos += n
+            digests.append(h.digest())
+        elif tag == _WIRE_STAR:
+            digests.append(sha(b"S" + digests[ops[pos + 1]]).digest())
+            pos += 2
+        elif tag == _WIRE_UNION:
+            n = ops[pos + 1]
+            pos += 2
+            h = sha(b"U")
+            for j in range(n):
+                h.update(digests[ops[pos + j]])
+            pos += n
+            digests.append(h.digest())
+        else:
+            raise ValueError(f"unknown wire op tag {tag!r}")
+    return digests, node_pos
+
+
+def _materialize_wire_node(
+    i: int,
+    keys: Sequence[str],
+    ops: Sequence[int],
+    node_pos: Sequence[int],
+    _cache: "dict[int, Type] | None" = None,
+) -> Type:
+    """Build only node ``i``'s subtree from the op-stream (plain
+    constructors, memoized per call tree) — the schema of a fused
+    partition is a few dozen nodes even when the distinct set holds
+    tens of thousands."""
+    if i < len(_WIRE_BASE):
+        return _WIRE_BASE[i]
+    if _cache is None:
+        _cache = {}
+    found = _cache.get(i)
+    if found is not None:
+        return found
+    pos = node_pos[i - len(_WIRE_BASE)]
+    tag = ops[pos]
+    node: Type
+    if tag == _WIRE_RECORD:
+        n = ops[pos + 1]
+        mask = ops[pos + 2]
+        pos += 3
+        fields = []
+        for bit in range(n):
+            fields.append(Field(
+                keys[ops[pos]],
+                _materialize_wire_node(
+                    ops[pos + 1], keys, ops, node_pos, _cache
+                ),
+                bool(mask >> bit & 1),
+            ))
+            pos += 2
+        node = RecordType(fields)
+    elif tag == _WIRE_ARRAY:
+        n = ops[pos + 1]
+        pos += 2
+        node = ArrayType(
+            _materialize_wire_node(ops[pos + j], keys, ops, node_pos, _cache)
+            for j in range(n)
+        )
+    elif tag == _WIRE_STAR:
+        node = StarArrayType(_materialize_wire_node(
+            ops[pos + 1], keys, ops, node_pos, _cache
+        ))
+    else:
+        n = ops[pos + 1]
+        pos += 2
+        node = UnionType(tuple(
+            _materialize_wire_node(ops[pos + j], keys, ops, node_pos, _cache)
+            for j in range(n)
+        ))
+    _cache[i] = node
+    return node
+
+
+def decode_summary_light(
+    payload: bytes,
+) -> "tuple[PartitionSummary, tuple[bytes, ...]]":
+    """Decode a wire payload without materialising its distinct types.
+
+    Returns ``(summary, digests)``: the summary carries every plain-data
+    field plus the materialised *schema* subtree but an empty
+    ``distinct_types``; ``digests`` holds one canonical
+    :func:`type_digest` per stored distinct type, suitable for exact
+    cross-partition distinct counting by set union.  Raises
+    :class:`ValueError` on anything malformed, exactly like
+    :func:`decode_summary`.
+    """
+    try:
+        decoded = pickle.loads(payload)
+        (version, keys, ops, schema_i, distinct_i, record_count, skipped,
+         timings, line_count, bytes_read, worker, warm_reused,
+         dedup_hits, dedup_misses, dedup_bytes_avoided) = decoded
+    except Exception as exc:
+        raise ValueError(f"malformed summary wire payload: {exc}") from exc
+    if version != WIRE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported summary wire format version {version!r} "
+            f"(expected {WIRE_FORMAT_VERSION})"
+        )
+    digests, node_pos = _walk_wire_digests(keys, ops)
+    summary = PartitionSummary(
+        schema=_materialize_wire_node(schema_i, keys, ops, node_pos),
+        record_count=record_count,
+        distinct_types=(),
+        skipped=skipped,
+        timings=timings,
+        line_count=line_count,
+        bytes_read=bytes_read,
+        worker=worker,
+        warm_reused=warm_reused,
+        dedup_hits=dedup_hits,
+        dedup_misses=dedup_misses,
+        dedup_bytes_avoided=dedup_bytes_avoided,
+    )
+    return summary, tuple(digests[i] for i in distinct_i)
+
+
 def _worker_name() -> str:
     """Telemetry identity of the executing worker (pid + thread name)."""
     return f"pid{os.getpid()}/{threading.current_thread().name}"
@@ -1648,6 +1895,32 @@ def merge_summary_group(
     )
 
 
+def tree_merge_rows(
+    scheduler: "Any | None",
+    rows: "Iterable[PartitionSummary]",
+    tree_threshold: int = TREE_MERGE_THRESHOLD,
+) -> PartitionSummary:
+    """Reduce summaries to one by scheduler-parallel pairwise rounds.
+
+    The shared driver-side reduce: row lists longer than
+    ``tree_threshold`` are first shrunk by rounds of pairwise
+    :func:`merge_summary_group` tasks on the ``scheduler`` (any object
+    with the :meth:`repro.engine.scheduler.Scheduler.run` signature) — a
+    balanced tree whose result is identical to the sequential fold by
+    associativity (Theorem 5.5) but whose depth is logarithmic in the
+    row count.  With no scheduler, or once at/under the threshold, the
+    remaining rows fold sequentially.  Used by both the run-time reduce
+    (:func:`merge_summaries_full`) and the checkpoint-shard union
+    (:func:`repro.store.checkpoint.merge_checkpoints`).
+    """
+    rows = list(rows)
+    if scheduler is not None:
+        while len(rows) > tree_threshold:
+            pairs = [rows[i:i + 2] for i in range(0, len(rows), 2)]
+            rows = scheduler.run(merge_summary_group, pairs)
+    return merge_summary_group(rows)
+
+
 def merge_summaries_full(
     summaries: Iterable[PartitionSummary],
     scheduler: "Any | None" = None,
@@ -1661,22 +1934,11 @@ def merge_summaries_full(
     processes) are distinct objects but compare equal.  Quarantined
     records are concatenated in partition order (i.e. file order).
 
-    By default the fold is sequential at the driver.  With a
-    ``scheduler`` (any object with the
-    :meth:`repro.engine.scheduler.Scheduler.run` signature), summary
-    lists longer than ``tree_threshold`` are first reduced by rounds of
-    pairwise :func:`merge_summary_group` tasks — a balanced tree whose
-    result is identical to the sequential fold by the associativity
-    theorem, but whose depth is logarithmic in the partition count, so
-    the driver-side reduce stops being the bottleneck on many-partition
-    jobs.
+    By default the fold is sequential at the driver; with a
+    ``scheduler``, long lists reduce through the parallel
+    :func:`tree_merge_rows` tree first.
     """
-    rows = list(summaries)
-    if scheduler is not None:
-        while len(rows) > tree_threshold:
-            pairs = [rows[i:i + 2] for i in range(0, len(rows), 2)]
-            rows = scheduler.run(merge_summary_group, pairs)
-    merged = merge_summary_group(rows)
+    merged = tree_merge_rows(scheduler, summaries, tree_threshold)
     return MergedSummary(
         merged.schema,
         merged.record_count,

@@ -52,10 +52,13 @@ from repro.inference.kernel import (
     accumulate_ndjson_split,
     accumulate_ndjson_split_batch,
     accumulate_partition,
+    as_wire_payload,
     decode_summary,
+    decode_summary_light,
     encode_summary,
     merge_summaries,
     merge_summaries_full,
+    type_digest,
 )
 from repro.inference.typestream import resolve_lane
 from repro.jsonio.errors import ErrorRateExceeded
@@ -82,6 +85,7 @@ __all__ = [
     "infer_partitioned",
     "PartitionReport",
     "PartitionedRun",
+    "CACHE_MODES",
     "SPLIT_MODES",
     "WIRE_FORMAT_MODES",
 ]
@@ -401,6 +405,176 @@ def resolve_wire_format(wire_format: str, context: Context | None) -> bool:
     return wire_format == "on"
 
 
+#: Public values of ``infer_ndjson_file``'s ``cache_mode``.
+CACHE_MODES = ("off", "read", "readwrite")
+
+
+def _resolve_cache(summary_cache, cache_mode: str):
+    """Resolve the cache kwargs to ``(cache, read, write)``.
+
+    ``summary_cache`` may be a directory path or an already-constructed
+    :class:`~repro.store.summarycache.SummaryCache`.  ``cache_mode``
+    gates the two sides independently: ``"read"`` probes but never
+    stores (useful for a shared read-only cache), ``"readwrite"`` (the
+    default when a cache is given) does both, ``"off"`` disables the
+    cache entirely — byte-identical to not passing one.
+    """
+    if cache_mode not in CACHE_MODES:
+        raise ValueError(
+            f"unknown cache_mode {cache_mode!r}; expected one of "
+            f"{CACHE_MODES}"
+        )
+    if summary_cache is None or cache_mode == "off":
+        return None, False, False
+    from repro.store.summarycache import SummaryCache
+
+    cache = (
+        summary_cache if isinstance(summary_cache, SummaryCache)
+        else SummaryCache(summary_cache)
+    )
+    return cache, True, cache_mode == "readwrite"
+
+
+def _digest_numbered_lines(part) -> str:
+    """Content digest of one lines-mode partition.
+
+    Lines-mode summaries bake *absolute* line numbers into their
+    quarantine records, so the digest covers each line's number as well
+    as its text — two partitions with identical texts at different file
+    positions must never share a cache entry.
+    """
+    digest = hashlib.sha256()
+    for number, text in part:
+        digest.update(str(number).encode("ascii"))
+        digest.update(b":")
+        digest.update(text.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _scrub_replayed_telemetry(summary: PartitionSummary) -> PartitionSummary:
+    """Zero the run-local telemetry a cached summary carries.
+
+    A cache hit replays the summary *content* (schema, counts,
+    quarantine) of the run that produced it, but its worker identity,
+    warm-state flag and dedup counters describe that old run — left in
+    place they would corrupt this run's accounting.
+    """
+    return replace(
+        summary, worker="", warm_reused=None,
+        dedup_hits=0, dedup_misses=0, dedup_bytes_avoided=0,
+    )
+
+
+#: Version of the run-level (whole-plan) cache entry payload.
+_RUN_ENTRY_VERSION = 1
+
+#: Signature suffix that separates run-level entries from per-partition
+#: entries in the same cache directory (it shows up in entry file names,
+#: so the two populations are distinguishable on disk).
+_RUN_SIGNATURE_SUFFIX = "-run"
+
+
+def _run_level_key(digests: Sequence[str]) -> str:
+    """Content key of the *whole plan*: a digest over the ordered
+    per-partition digests.  Any content change, any boundary change and
+    any partition-count change alters at least one member, so a run-level
+    hit certifies that every partition — and their arrangement — is
+    byte-identical to the run that stored the entry."""
+    return hashlib.sha256("\n".join(digests).encode("ascii")).hexdigest()
+
+
+def _encode_run_entry(
+    merged,
+    distinct_count: int,
+    skipped_per_partition: "dict[int, int]",
+    bytes_read: int,
+) -> bytes:
+    """Run-level entry: the merged result minus its distinct-type *set*.
+
+    A plain inference run only ever observes the distinct *count*; the
+    set itself (which dwarfs the schema — decoding it dominates warm
+    replay on heterogeneous data) is only needed by checkpoint writes
+    and incremental updates, which bypass run-level replay entirely.
+    ``skipped_per_partition`` rides along because the merged result no
+    longer attributes quarantined rows to partitions, and ``bytes_read``
+    (summed over partitions) feeds the replay's bytes-skipped telemetry.
+    """
+    slim = PartitionSummary(
+        schema=merged.schema,
+        record_count=merged.record_count,
+        distinct_types=(),
+        skipped=merged.skipped,
+        timings=merged.timings,
+        bytes_read=bytes_read,
+    )
+    return pickle.dumps(
+        (
+            _RUN_ENTRY_VERSION,
+            encode_summary(slim),
+            distinct_count,
+            dict(skipped_per_partition),
+        ),
+        pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _decode_run_entry(payload: bytes):
+    """Inverse of :func:`_encode_run_entry`; ``None`` for anything
+    malformed or version-skewed (the caller recomputes)."""
+    try:
+        version, wire_bytes, distinct_count, per_partition = (
+            pickle.loads(payload)
+        )
+        if version != _RUN_ENTRY_VERSION:
+            return None
+        summary = decode_summary(wire_bytes)
+    except Exception:
+        return None
+    return summary, distinct_count, per_partition
+
+
+def _replay_run_entry(
+    cache, run_key: str, signature: str, stats, n_partitions: int,
+    bad_records_path, max_error_rate, start: float,
+) -> "InferenceRun | None":
+    """Whole-run replay: if the run-level entry for this exact plan is
+    present and intact, rebuild the :class:`InferenceRun` without
+    dispatching, decoding or merging anything — the map *and* reduce
+    phases are both pure functions of the plan's content."""
+    payload = cache.get(run_key, signature + _RUN_SIGNATURE_SUFFIX)
+    if payload is None:
+        return None
+    decoded = _decode_run_entry(payload)
+    if decoded is None:
+        return None
+    summary, distinct_count, per_partition = decoded
+    summary = _scrub_replayed_telemetry(summary)
+    if stats is not None:
+        stats.cache_hits += n_partitions
+        stats.cache_bytes_skipped += summary.bytes_read
+    map_seconds = time.perf_counter() - start
+    if bad_records_path is not None and summary.skipped:
+        write_bad_records(bad_records_path, summary.skipped)
+    if max_error_rate is not None:
+        total = summary.record_count + summary.skipped_count
+        if total and summary.skipped_count / total > max_error_rate:
+            raise ErrorRateExceeded(
+                summary.skipped_count, total, max_error_rate
+            )
+    return InferenceRun(
+        schema=summary.schema,
+        record_count=summary.record_count,
+        distinct_type_count=distinct_count,
+        map_seconds=map_seconds,
+        reduce_seconds=0.0,
+        skipped_count=summary.skipped_count,
+        bad_records=summary.skipped,
+        skipped_per_partition=dict(per_partition),
+        phase_timings=summary.timings,
+    )
+
+
 def _plan_batches(items: list, parallelism: int,
                   batch_size: int | None) -> "list[list] | None":
     """Group per-partition work items into per-task batches, or ``None``.
@@ -451,6 +625,47 @@ def _decode_wire_summaries(payloads, stats) -> list[PartitionSummary]:
             stats.summary_wire_bytes_decoded += len(payload)
         summaries.append(decode_summary(payload, adopt))
     return summaries
+
+
+def _materialize_partition_results(
+    entries, hit_payloads, stats, wire_active: bool, light: bool,
+) -> "tuple[list[PartitionSummary], set[bytes] | None]":
+    """Turn per-partition results (wire payloads and/or summary objects)
+    into summaries, choosing the cheapest faithful decode.
+
+    When ``light`` is allowed and cache hits are present, hit payloads
+    decode through :func:`decode_summary_light`: counts, quarantine and
+    the small fused schema materialise, but each distinct type becomes a
+    canonical digest instead of a rebuilt tree — on heterogeneous data
+    rebuilding the distinct set dominates warm partial replays.  Fresh
+    miss summaries contribute :func:`type_digest` of their (in-memory,
+    interned) distinct types, so the returned digest set counts distincts
+    across hits and misses exactly as a structural merge would.  The
+    second element is that set, or ``None`` when the full decode ran and
+    the caller should count off the merged distinct types as usual.
+    """
+    if light and hit_payloads:
+        digests: "set[bytes]" = set()
+        summaries: "list[PartitionSummary]" = []
+        for entry in entries:
+            if isinstance(entry, (bytes, bytearray)):
+                payload = bytes(entry)
+                if stats is not None:
+                    stats.summary_wire_bytes_encoded += len(payload)
+                    stats.summary_wire_bytes_decoded += len(payload)
+                summary, entry_digests = decode_summary_light(payload)
+                digests.update(entry_digests)
+            else:
+                memo: "dict[int, bytes]" = {}
+                digests.update(
+                    type_digest(t, memo) for t in entry.distinct_types
+                )
+                summary = replace(entry, distinct_types=())
+            summaries.append(summary)
+        return summaries, digests
+    if wire_active or hit_payloads:
+        return _decode_wire_summaries(entries, stats), None
+    return list(entries), None
 
 
 def _journal_header(plan_desc: dict, signature: str, total: int) -> dict:
@@ -649,6 +864,8 @@ def infer_ndjson_file(
     journal_path: str | Path | None = None,
     resume: bool = False,
     stop_event=None,
+    summary_cache: "str | Path | Any | None" = None,
+    cache_mode: str = "readwrite",
 ) -> InferenceRun:
     """Instrumented schema inference straight from an NDJSON file.
 
@@ -759,6 +976,29 @@ def infer_ndjson_file(
       cancelled, in-flight tasks drain (and are journaled), and the run
       raises :class:`ResumableInterrupt` (with a journal) or
       :class:`~repro.engine.scheduler.JobCancelled` (without).
+
+    Cross-run caching (see docs/PERFORMANCE.md, "Cross-run caching"):
+
+    * ``summary_cache`` — a directory (or
+      :class:`~repro.store.summarycache.SummaryCache`) holding
+      content-addressed partition summaries across runs.  Before
+      dispatch, every planned partition's content digest is probed
+      against the cache; hits decode straight into the driver's adoption
+      accumulator — byte-identical schema and quarantine line numbers —
+      and only changed or new partitions ship to workers.  A re-run over
+      unchanged data skips the map phase entirely; an append-mostly
+      re-run does map work proportional to the delta (byte splits are
+      planned with stable, quantized boundaries when a cache is active,
+      so an append leaves the unchanged prefix's digests intact).
+      Batching is disabled while a cache is active: entries are
+      per-partition, so each partition's summary must return
+      individually.  The cache is strictly best-effort and strictly
+      transparent — corrupt or evicted entries recompute, and results
+      are byte-identical to an uncached run on every backend and split
+      mode.
+    * ``cache_mode`` — ``"readwrite"`` (default) probes and stores,
+      ``"read"`` only probes, ``"off"`` ignores ``summary_cache``
+      entirely.
     """
     source = str(path)
     # Resolve once at the driver (raising early on an unknown lane or
@@ -766,6 +1006,26 @@ def infer_ndjson_file(
     # same implementation and reports a stable lane name in its timings.
     lane = resolve_lane(parse_lane)
     mode = resolve_split_mode(split_mode, context)
+    cache, cache_read, cache_write = _resolve_cache(summary_cache, cache_mode)
+    if cache is not None and split_mode == "auto" and context is None:
+        # The sequential default is the streaming line path, which has no
+        # per-partition unit to key; byte splits give the cache one, at
+        # identical results (the split-equivalence guarantee).
+        mode = "bytes"
+    cache_signature = None
+    if cache is not None:
+        if mode == "lines" and context is None:
+            # Explicit lines mode without a context streams the file as
+            # one journal task; there is nothing partition-shaped to
+            # cache, so the run is simply uncached.
+            cache = None
+        else:
+            from repro.store.summarycache import config_signature
+
+            cache_signature = config_signature(
+                parse_lane=lane, permissive=permissive,
+                collect_timings=collect_timings, split_mode=mode,
+            )
     wire = resolve_wire_format(wire_format, context)
     stats = context.scheduler.stats if context is not None else None
     scheduler = context.scheduler if context is not None else None
@@ -804,20 +1064,61 @@ def infer_ndjson_file(
 
     start = time.perf_counter()
     journal = None
+    #: Partition index -> cached wire payload, for this run's plan.
+    hit_payloads: dict[int, bytes] = {}
+    #: Whole-plan cache key (run-level entry), when a cache is active.
+    run_key: "str | None" = None
+    # Run-level replay and store are sound only when the result is a pure
+    # function of this plan's content: incremental updates fold in
+    # checkpointed history, checkpoint writes need the distinct-type set
+    # the slim entry drops, and journaled runs owe the caller a journal.
+    run_replay_ok = (
+        update_from is None and checkpoint_to is None
+        and journal_path is None
+    )
     if mode == "bytes":
         splits = plan_splits(
             source,
             num_partitions
             or (context.default_parallelism if context is not None else 1),
             min_split_bytes,
+            stable=cache is not None,
         )
+        split_digests: "list[str] | None" = None
+        if cache is not None and splits:
+            # Probe the plan before dispatch: one hash pass over the
+            # file (memory bandwidth, no typing) keys every split.
+            from repro.jsonio.blockscan import digest_splits
+
+            split_digests = digest_splits(source, splits)
+            run_key = _run_level_key(split_digests)
+            if cache_read and run_replay_ok:
+                replayed = _replay_run_entry(
+                    cache, run_key, cache_signature, stats, len(splits),
+                    bad_records_path, max_error_rate, start,
+                )
+                if replayed is not None:
+                    return replayed
+            if cache_read:
+                for index, digest in enumerate(split_digests):
+                    payload = cache.get(digest, cache_signature)
+                    if payload is not None:
+                        hit_payloads[index] = payload
+        miss_indices = [
+            i for i in range(len(splits)) if i not in hit_payloads
+        ]
+        miss_splits = [splits[i] for i in miss_indices]
         if stats is not None:
             # The entire driver-to-worker input payload: the pickled
-            # descriptors.  Compare with input_bytes_read below.
-            stats.input_bytes_shipped += len(pickle.dumps(splits))
+            # descriptors (cache hits never ship).  Compare with
+            # input_bytes_read below.
+            stats.input_bytes_shipped += len(pickle.dumps(miss_splits))
+        # Batching folds several splits into one returned summary; cache
+        # entries are per-split, so a cache-active run dispatches
+        # unbatched (results are identical either way — Theorem 5.5).
         batches = (
-            _plan_batches(splits, parallelism, batch_size)
-            if context is not None else None
+            _plan_batches(miss_splits, parallelism, batch_size)
+            if context is not None and cache is None else None
         )
         if batches is not None:
             task = partial(
@@ -835,19 +1136,61 @@ def infer_ndjson_file(
                 parse_lane=lane, collect_timings=collect_timings,
                 warm_generation=warm_generation, wire=wire,
             )
-            work_items = list(splits)
-            descriptors = [[[s.offset, s.length]] for s in splits]
-        summaries, journal = _run_journaled_tasks(
+            work_items = miss_splits
+            descriptors = [[[s.offset, s.length]] for s in miss_splits]
+        miss_results, journal = _run_journaled_tasks(
             task, work_items, _plan_desc(descriptors), scheduler,
             journal_path, resume, stop_event,
         )
-        if wire or journal_path is not None:
-            summaries = _decode_wire_summaries(summaries, stats)
+        if cache_write and split_digests is not None:
+            stored = 0
+            for local, index in enumerate(miss_indices):
+                if cache.put(
+                    split_digests[index], cache_signature,
+                    as_wire_payload(miss_results[local]),
+                ):
+                    stored += 1
+            if stats is not None:
+                stats.cache_stores += stored
+        if hit_payloads:
+            summaries: list = [None] * len(splits)
+            for index, payload in hit_payloads.items():
+                summaries[index] = payload
+            for local, index in enumerate(miss_indices):
+                summaries[index] = miss_results[local]
+        else:
+            summaries = miss_results
+        # Partial replay decodes "light" when nothing downstream needs
+        # the distinct-type *set* (no checkpoint write, no incremental
+        # fold, no journal) — see _materialize_partition_results.
+        summaries, light_digests = _materialize_partition_results(
+            summaries, hit_payloads, stats,
+            wire_active=wire or journal_path is not None,
+            light=run_replay_ok,
+        )
+        if hit_payloads:
+            summaries = [
+                _scrub_replayed_telemetry(summary)
+                if index in hit_payloads else summary
+                for index, summary in enumerate(summaries)
+            ]
         if stats is not None:
-            stats.input_bytes_read += sum(s.bytes_read for s in summaries)
+            if cache is not None:
+                stats.cache_hits += len(hit_payloads)
+                stats.cache_misses += len(miss_indices)
+                stats.cache_bytes_skipped += sum(
+                    summaries[index].bytes_read for index in hit_payloads
+                )
+            stats.input_bytes_read += sum(
+                summary.bytes_read
+                for index, summary in enumerate(summaries)
+                if index not in hit_payloads
+            )
         # Workers only know split-local line numbers; a prefix sum over
         # the split line counts re-anchors quarantined records to their
         # absolute file lines before anything downstream sees them.
+        # Cache entries store split-local numbers too, so hits and
+        # misses rebase uniformly.
         rebased = []
         base = 0
         for summary in summaries:
@@ -880,16 +1223,45 @@ def infer_ndjson_file(
             )
         else:
             lines = list(iter_numbered_lines(path))
-            if stats is not None:
-                # Approximate payload the driver hands to the partition
-                # tasks: the text of every record (character count).
-                stats.input_bytes_shipped += sum(
-                    len(text) for _, text in lines
-                )
             parts = split_evenly(
                 lines, num_partitions or context.default_parallelism
             )
-            batches = _plan_batches(parts, parallelism, batch_size)
+            part_digests: "list[str] | None" = None
+            if cache is not None and parts:
+                part_digests = [
+                    _digest_numbered_lines(part) for part in parts
+                ]
+                run_key = _run_level_key(part_digests)
+                if cache_read and run_replay_ok:
+                    replayed = _replay_run_entry(
+                        cache, run_key, cache_signature, stats,
+                        len(parts), bad_records_path, max_error_rate,
+                        start,
+                    )
+                    if replayed is not None:
+                        return replayed
+                if cache_read:
+                    for index, digest in enumerate(part_digests):
+                        payload = cache.get(digest, cache_signature)
+                        if payload is not None:
+                            hit_payloads[index] = payload
+            miss_indices = [
+                i for i in range(len(parts)) if i not in hit_payloads
+            ]
+            miss_parts = [parts[i] for i in miss_indices]
+            if stats is not None:
+                # Approximate payload the driver hands to the partition
+                # tasks: the text of every dispatched record (cache hits
+                # never ship).
+                stats.input_bytes_shipped += sum(
+                    len(text) for part in miss_parts for _, text in part
+                )
+            # Per-partition cache entries require unbatched dispatch,
+            # exactly as on the bytes path.
+            batches = (
+                _plan_batches(miss_parts, parallelism, batch_size)
+                if cache is None else None
+            )
 
             def _part_desc(part: list) -> list[int]:
                 return [part[0][0] if part else -1, len(part)]
@@ -906,14 +1278,52 @@ def infer_ndjson_file(
                     [_part_desc(part) for part in batch] for batch in batches
                 ]
             else:
-                work_items = parts
-                descriptors = [[_part_desc(part)] for part in parts]
-            summaries, journal = _run_journaled_tasks(
+                work_items = miss_parts
+                descriptors = [[_part_desc(part)] for part in miss_parts]
+            miss_results, journal = _run_journaled_tasks(
                 task, work_items, _plan_desc(descriptors), scheduler,
                 journal_path, resume, stop_event,
             )
-        if wire or journal_path is not None:
-            summaries = _decode_wire_summaries(summaries, stats)
+            if cache_write and part_digests is not None:
+                stored = 0
+                for local, index in enumerate(miss_indices):
+                    if cache.put(
+                        part_digests[index], cache_signature,
+                        as_wire_payload(miss_results[local]),
+                    ):
+                        stored += 1
+                if stats is not None:
+                    stats.cache_stores += stored
+            if hit_payloads:
+                summaries = [None] * len(parts)
+                for index, payload in hit_payloads.items():
+                    summaries[index] = payload
+                for local, index in enumerate(miss_indices):
+                    summaries[index] = miss_results[local]
+            else:
+                summaries = miss_results
+            if stats is not None and cache is not None:
+                stats.cache_hits += len(hit_payloads)
+                stats.cache_misses += len(miss_indices)
+                stats.cache_bytes_skipped += sum(
+                    len(text)
+                    for index in hit_payloads
+                    for _, text in parts[index]
+                )
+        # Partial replay decodes "light" when nothing downstream needs
+        # the distinct-type *set* (no checkpoint write, no incremental
+        # fold, no journal) — see _materialize_partition_results.
+        summaries, light_digests = _materialize_partition_results(
+            summaries, hit_payloads, stats,
+            wire_active=wire or journal_path is not None,
+            light=run_replay_ok,
+        )
+        if hit_payloads:
+            summaries = [
+                _scrub_replayed_telemetry(summary)
+                if index in hit_payloads else summary
+                for index, summary in enumerate(summaries)
+            ]
     map_seconds = time.perf_counter() - start
     _note_summary_telemetry(stats, summaries)
 
@@ -932,7 +1342,26 @@ def infer_ndjson_file(
             # same (possibly tree-shaped) reduce as the fresh partitions.
             summaries = list(summaries) + [loaded.summary]
         merged = merge_summaries_full(summaries, scheduler=scheduler)
+        # Light replays carry digests instead of materialised distinct
+        # types; the set union *is* the structural distinct count.
+        distinct_count = (
+            len(light_digests) if light_digests is not None
+            else merged.distinct_type_count
+        )
         reduce_seconds = time.perf_counter() - start
+
+        if run_key is not None and cache_write and update_from is None:
+            # Merged results are pure for non-incremental runs, so the
+            # whole reduce is cacheable too: the next identical-content
+            # run replays this entry and skips map *and* reduce.
+            if cache.put(
+                run_key, cache_signature + _RUN_SIGNATURE_SUFFIX,
+                _encode_run_entry(
+                    merged, distinct_count, per_partition.value,
+                    sum(s.bytes_read for s in summaries),
+                ),
+            ) and stats is not None:
+                stats.cache_stores += 1
 
         if bad_records_path is not None and merged.skipped:
             write_bad_records(bad_records_path, merged.skipped)
@@ -987,7 +1416,7 @@ def infer_ndjson_file(
     return InferenceRun(
         schema=merged.schema,
         record_count=merged.record_count,
-        distinct_type_count=merged.distinct_type_count,
+        distinct_type_count=distinct_count,
         map_seconds=map_seconds,
         reduce_seconds=reduce_seconds,
         skipped_count=merged.skipped_count,

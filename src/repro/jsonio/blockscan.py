@@ -32,12 +32,19 @@ filesystems) take the same fallback.
 
 from __future__ import annotations
 
+import hashlib
 import mmap
+from pathlib import Path
 from typing import Iterator
 
 from repro.jsonio.splits import FileSplit, SplitLineReader
 
-__all__ = ["DEFAULT_BATCH_BYTES", "SplitBlockScanner"]
+__all__ = [
+    "DEFAULT_BATCH_BYTES",
+    "SplitBlockScanner",
+    "digest_splits",
+    "split_content_span",
+]
 
 #: Target payload of one yielded batch.  Large enough that the batched
 #: decode amortises its per-call overhead over thousands of lines, small
@@ -168,7 +175,7 @@ class SplitBlockScanner:
         self.bytes_read = reader.bytes_read
 
     @staticmethod
-    def _align(mm: "mmap.mmap", offset: int, size: int) -> int:
+    def _align(mm, offset: int, size: int) -> int:
         """First-byte ownership on the map: the mmap twin of
         :meth:`SplitLineReader._align_to_line_start`, same rules."""
         if offset == 0:
@@ -190,3 +197,95 @@ class SplitBlockScanner:
         if nl != -1:
             return nl + 1
         return size  # EOF: nothing left for this split
+
+
+#: Hash granularity of :func:`digest_splits`: one ``update`` call per this
+#: many bytes, so a multi-gigabyte split never materialises as one slice.
+_DIGEST_CHUNK = 1 << 22
+
+
+def split_content_span(buf, split: FileSplit) -> tuple[int, int]:
+    """The byte span ``[start, stop)`` a split's summary depends on.
+
+    A split summary is a pure function of more than the planned range
+    ``[offset, offset + length)``: the byte at ``offset - 1`` decides the
+    first-byte-ownership alignment, and a final line running past the
+    split end drags in the overshoot up to and including its terminator.
+    This returns exactly that closure — the same consumption the scanners
+    perform — so ``sha256(buf[start:stop])`` is a sound content-address
+    for the summary: any byte outside the span can change without
+    affecting the split's output, and any byte inside it that changes
+    changes the digest.
+
+    ``buf`` is the whole file as any sliceable byte buffer (``mmap``,
+    ``bytes``); ``stop - start`` equals the scanners' ``bytes_read`` plus
+    the one-byte boundary probe (when ``offset > 0``).
+    """
+    size = len(buf)
+    start = min(max(0, split.offset - 1), size)
+    if split.length <= 0 or size == 0:
+        return start, start
+    end = min(split.end, size)
+    if end <= 0:
+        return start, start
+    pos = SplitBlockScanner._align(buf, split.offset, size)
+    if pos >= end:
+        # The whole range sits inside one line owned by the previous
+        # split; only the alignment scan's bytes matter.
+        return start, max(start, pos)
+    last = buf[end - 1]
+    if last == 0x0A or last == 0x0D:
+        # Range ends on a terminator.  A trailing lone "\r" is complete:
+        # the reader emits its line without looking at the byte past the
+        # end (a following "\n" is consumed by the next split's
+        # alignment), so the span stops at the planned end either way.
+        return start, end
+    # Final line runs past the split end: the overshoot up to and
+    # including the first terminator at/after `end` is ours — the same
+    # scan-forward rule as the mid-line alignment case.
+    nl = buf.find(b"\n", end)
+    cr = buf.find(b"\r", end)
+    if cr != -1 and (nl == -1 or cr < nl):
+        stop = cr + 2 if buf[cr + 1:cr + 2] == b"\n" else cr + 1
+    elif nl != -1:
+        stop = nl + 1
+    else:
+        stop = size
+    return start, stop
+
+
+def digest_splits(path: "str | Path", splits: list[FileSplit]) -> list[str]:
+    """Content digests for a split plan: one sha-256 hex string per split.
+
+    One pass over one memory map (seek/read fallback when mmap is
+    unavailable), hashing each split's :func:`split_content_span` in
+    chunks.  The digest is the content half of the cross-run summary
+    cache's key (:mod:`repro.store.summarycache`): equal digests mean the
+    split's bytes — boundary probe and overshoot included — are
+    identical, so its cached summary replays verbatim.  Hashing runs at
+    memory bandwidth, without any of the line-scanning or typing work a
+    recompute would pay.
+    """
+    if not splits:
+        return []
+    with open(str(path), "rb") as handle:
+        try:
+            buf = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            buf = handle.read()
+    try:
+        view = memoryview(buf)
+        try:
+            digests = []
+            for split in splits:
+                start, stop = split_content_span(buf, split)
+                digest = hashlib.sha256()
+                for piece in range(start, stop, _DIGEST_CHUNK):
+                    digest.update(view[piece:min(piece + _DIGEST_CHUNK, stop)])
+                digests.append(digest.hexdigest())
+            return digests
+        finally:
+            view.release()
+    finally:
+        if isinstance(buf, mmap.mmap):
+            buf.close()

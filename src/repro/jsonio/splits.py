@@ -95,6 +95,7 @@ def plan_splits(
     path: str | Path,
     num_splits: int,
     min_split_bytes: int = DEFAULT_MIN_SPLIT_BYTES,
+    stable: bool = False,
 ) -> list[FileSplit]:
     """Plan byte-range splits for ``path`` from its size alone.
 
@@ -104,6 +105,18 @@ def plan_splits(
     minimum).  An empty file yields an empty plan.  Only ``os.stat`` is
     consulted — planning a terabyte file costs the same as planning a
     kilobyte one.
+
+    With ``stable=True`` the boundaries are quantized instead of scaled:
+    every split but the last spans exactly ``chunk`` bytes, where
+    ``chunk`` is the even-division size rounded *up* to a multiple of
+    ``min_split_bytes``.  Scaled boundaries move whenever the file size
+    changes, so appending one record would shift every split; quantized
+    boundaries keep every fully-covered prefix split byte-identical
+    across appends (as long as the reduced split count ``num`` is
+    unchanged), which is what lets the cross-run summary cache
+    (:mod:`repro.store.summarycache`) hit on the unchanged prefix of a
+    grown file.  The trade-off is balance: the last split can be up to
+    ``chunk`` bytes smaller than the rest.
     """
     if num_splits < 1:
         raise ValueError("num_splits must be >= 1")
@@ -114,7 +127,12 @@ def plan_splits(
     if size == 0:
         return []
     num = max(1, min(num_splits, size // min_split_bytes))
-    bounds = [round(i * size / num) for i in range(num + 1)]
+    if stable:
+        chunk = -(-size // num)  # ceil: at most `num` splits
+        chunk = -(-chunk // min_split_bytes) * min_split_bytes
+        bounds = list(range(0, size, chunk)) + [size]
+    else:
+        bounds = [round(i * size / num) for i in range(num + 1)]
     return [
         FileSplit(source, a, b - a, index)
         for index, (a, b) in enumerate(zip(bounds, bounds[1:]))

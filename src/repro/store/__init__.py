@@ -42,8 +42,17 @@ from repro.store.journal import (
     read_journal,
 )
 from repro.store.locks import FileLock, LockHeldError
+from repro.store.summarycache import (
+    CACHE_FORMAT_VERSION,
+    CACHE_MARKER_NAME,
+    SummaryCache,
+    config_signature,
+    fsck_summary_cache,
+)
 
 __all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CACHE_MARKER_NAME",
     "FORMAT_VERSION",
     "Checkpoint",
     "CheckpointCorruptError",
@@ -60,11 +69,14 @@ __all__ = [
     "LockHeldError",
     "RunJournal",
     "SourceFingerprint",
+    "SummaryCache",
     "build_manifest",
     "checkpoint_exists",
+    "config_signature",
     "fingerprint_source",
     "fsck_checkpoint",
     "fsck_journal",
+    "fsck_summary_cache",
     "load_checkpoint",
     "load_manifest",
     "load_summary",

@@ -51,8 +51,7 @@ from repro.core.types import Type
 from repro.engine.faults import crash_point
 from repro.inference.kernel import (
     PartitionSummary,
-    TREE_MERGE_THRESHOLD,
-    merge_summary_group,
+    tree_merge_rows,
 )
 from repro.store.locks import FileLock, LockHeldError, is_stale_lock
 
@@ -139,10 +138,17 @@ class CheckpointCorruptError(CheckpointFormatError):
 class SourceFingerprint:
     """Identity of one input file that contributed to a checkpoint.
 
-    ``sha256`` digests the first 64 KiB of the file — a cheap prefix
-    hash, not a full-content hash — so fingerprinting stays O(1) however
-    large the source.  Combined with ``size`` it detects the usual ways
-    a source diverges from what was ingested.
+    ``sha256`` digests the first 64 KiB of the file by default — a cheap
+    prefix hash, not a full-content hash — so fingerprinting stays O(1)
+    however large the source.  Combined with ``size`` it detects the
+    usual ways a source diverges from what was ingested: truncation,
+    replacement, append-with-rewrite.  What the prefix hash *cannot* see
+    is an in-place mutation beyond the first 64 KiB at unchanged size —
+    and a pure tail append changes only ``size``, so the hash alone
+    never notices it.  Callers that need content-exact identity (audit
+    trails, the delta accounting around the cross-run summary cache)
+    pass ``full_sha256=True`` to :func:`fingerprint_source` and pay one
+    O(size) streaming read instead.
     """
 
     path: str
@@ -168,13 +174,30 @@ class SourceFingerprint:
             ) from exc
 
 
-def fingerprint_source(path: str | Path) -> SourceFingerprint:
-    """Fingerprint one source file (size + prefix sha256)."""
+def fingerprint_source(
+    path: str | Path, full_sha256: bool = False
+) -> SourceFingerprint:
+    """Fingerprint one source file (size + sha256).
+
+    By default the digest covers only the first 64 KiB — O(1) whatever
+    the file size, but blind to changes past the prefix (see
+    :class:`SourceFingerprint` for the tradeoff).  ``full_sha256=True``
+    streams the whole file through the hash: O(size), and the resulting
+    fingerprint distinguishes *any* content change, tail appends
+    included.
+    """
     p = Path(path)
     size = p.stat().st_size
     digest = hashlib.sha256()
     with open(p, "rb") as handle:
-        digest.update(handle.read(_FINGERPRINT_BYTES))
+        if full_sha256:
+            while True:
+                chunk = handle.read(1 << 20)
+                if not chunk:
+                    break
+                digest.update(chunk)
+        else:
+            digest.update(handle.read(_FINGERPRINT_BYTES))
     return SourceFingerprint(str(p), size, digest.hexdigest())
 
 
@@ -650,11 +673,11 @@ def merge_checkpoints(
     schemas fuse, record counts add, distinct types union structurally —
     so shards may be merged in any order or grouping and the result is
     the schema a single pass over all the shards' data would have
-    produced (Theorem 5.5).  The merge reuses the kernel's summary-merge
-    path (:func:`~repro.inference.kernel.merge_summary_group`), and with
-    a ``scheduler`` both the checkpoint *loads* and — above the kernel's
-    tree-merge threshold — the pairwise merge rounds run as parallel
-    tasks.
+    produced (Theorem 5.5).  The merge reuses the kernel's shared
+    tree-reduce (:func:`~repro.inference.kernel.tree_merge_rows`), and
+    with a ``scheduler`` both the checkpoint *loads* and — above the
+    kernel's tree-merge threshold — the pairwise merge rounds run as
+    parallel tasks.
 
     With ``out``, the merged checkpoint is saved there (its manifest
     unions the inputs' source fingerprints) and the returned
@@ -707,12 +730,7 @@ def merge_checkpoints(
     sources = [s for c in checkpoints for s in c.manifest.sources]
     skipped = sum(c.manifest.skipped_count for c in checkpoints)
 
-    rows: Sequence[PartitionSummary] = [c.summary for c in checkpoints]
-    if scheduler is not None:
-        while len(rows) > TREE_MERGE_THRESHOLD:
-            pairs = [rows[i:i + 2] for i in range(0, len(rows), 2)]
-            rows = scheduler.run(merge_summary_group, pairs)
-    merged = merge_summary_group(rows)
+    merged = tree_merge_rows(scheduler, [c.summary for c in checkpoints])
 
     if out is not None:
         return save_checkpoint(

@@ -30,7 +30,9 @@ from repro.inference.kernel import (
     accumulate_ndjson_split,
     accumulate_partition,
     decode_summary,
+    decode_summary_light,
     encode_summary,
+    type_digest,
 )
 from repro.jsonio.splits import plan_splits
 from tests.conftest import json_values, make_corpus, normal_types, write_corpus
@@ -147,3 +149,62 @@ class TestVersioning:
         mangled = (version, keys, [99] + list(ops[1:]), *rest)
         with pytest.raises(ValueError):
             decode_summary(pickle.dumps(mangled))
+
+
+class TestLightDecode:
+    """The light decode must be an exact, cheaper view of the full one:
+    same plain data and schema, and one :func:`type_digest` per distinct
+    type — with digest equality coinciding with structural type equality,
+    so a digest-set union counts distincts exactly."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=json_value_lists)
+    def test_matches_full_decode_on_values(self, values):
+        summary = accumulate_partition(values)
+        payload = encode_summary(summary)
+        light, digests = decode_summary_light(payload)
+        full = decode_summary(payload)
+        assert light.schema == full.schema
+        assert light.record_count == full.record_count
+        assert light.skipped == full.skipped
+        assert light.line_count == full.line_count
+        assert light.distinct_types == ()
+        assert len(digests) == len(full.distinct_types)
+        memo = {}
+        assert set(digests) == {
+            type_digest(t, memo) for t in full.distinct_types
+        }
+
+    @settings(max_examples=50, deadline=None)
+    @given(types=st.lists(normal_types(10), min_size=1, max_size=10))
+    def test_matches_full_decode_on_arbitrary_types(self, types):
+        acc = PartitionAccumulator()
+        for t in types:
+            acc.add_type(t)
+        payload = encode_summary(acc.summary())
+        light, digests = decode_summary_light(payload)
+        full = decode_summary(payload)
+        assert light.schema == full.schema
+        memo = {}
+        assert set(digests) == {
+            type_digest(t, memo) for t in full.distinct_types
+        }
+        # Digest-set size IS the structural distinct count.
+        assert len(set(digests)) == len(set(full.distinct_types))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=normal_types(8), b=normal_types(8))
+    def test_digest_equality_is_type_equality(self, a, b):
+        # Independently built (non-interned) trees: digests must agree
+        # exactly when the types compare equal.
+        assert (type_digest(a) == type_digest(b)) == (a == b)
+
+    def test_light_rejects_garbage_and_foreign_versions(self):
+        with pytest.raises(ValueError, match="malformed"):
+            decode_summary_light(pickle.dumps(("not", "a", "summary")))
+        payload = pickle.loads(
+            encode_summary(accumulate_partition([{"a": 1}]))
+        )
+        bumped = (WIRE_FORMAT_VERSION + 1,) + payload[1:]
+        with pytest.raises(ValueError, match="version"):
+            decode_summary_light(pickle.dumps(bumped))

@@ -448,6 +448,37 @@ class TestFsckCli:
         assert main(["fsck", str(journal)]) == 1
         assert "corrupt" in capsys.readouterr().out
 
+    def test_summary_cache_directory(self, sample_file, tmp_path, capsys):
+        cache = tmp_path / "sumcache"
+        assert main(
+            ["infer", sample_file, "--summary-cache", str(cache)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["fsck", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "summary-cache" in out and "ok" in out
+
+    def test_summary_cache_json_and_corruption(
+        self, sample_file, tmp_path, capsys
+    ):
+        import json as _json
+
+        cache = tmp_path / "sumcache"
+        assert main(
+            ["infer", sample_file, "--summary-cache", str(cache)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["fsck", str(cache), "--json"]) == 0
+        report = _json.loads(capsys.readouterr().out)
+        assert report["kind"] == "summary-cache"
+        assert report["status"] == "ok"
+        assert report["entries"] >= 1
+
+        entry = next((cache / "objects").glob("*/*.sum"))
+        entry.write_bytes(entry.read_bytes()[:10])
+        assert main(["fsck", str(cache)]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
 
 class TestVersion:
     def test_version_flag_prints_package_version(self, capsys):
