@@ -1,0 +1,321 @@
+"""Statistics-mode benchmark — what do summary statistics cost?
+
+One end-to-end ``infer_ndjson_file`` measurement per mode, all over the
+same heterogeneous ``mixed`` corpus, best-of-``--repeats`` wall time so
+the 2% gate measures code, not scheduler jitter:
+
+* ``baseline`` — the pre-statistics call signature (no ``stats_mode``
+  argument at all): the reference the off-row is gated against.
+* ``off`` — ``stats_mode="off"`` passed explicitly.  The zero-overhead
+  contract: with statistics off the kernel takes the exact
+  pre-statistics code path, so this row must sit within 2% of
+  ``baseline`` (the residue is argument plumbing).
+* ``basic`` — exact counters and ranges; forces the strict parse lane
+  (statistics need materialized values) and adds one walk per record.
+* ``sketches`` — ``basic`` plus per-path HyperLogLog + Bloom, which
+  hash every scalar once.
+
+The report gates on ``results_identical``: every mode must produce the
+schema digest, record count and distinct count of the sequential
+baseline — statistics are additive and must never perturb inference.
+
+Run standalone for the full-size measurement (writes
+``BENCH_stats.json`` at the repository root)::
+
+    python benchmarks/bench_stats.py --n 100000
+
+or as the CI gate (small n, github + mixed corpora; exit non-zero
+unless schemas are identical across modes, the off-row overhead is
+<= 2%, partitioned runs on both scheduler backends reproduce the
+sequential bundle exactly, and the sketches bundle covers every record
+with a sane distinct estimate)::
+
+    python benchmarks/bench_stats.py --check --n 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+import time
+from pathlib import Path
+
+from _emit import envelope, write_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_stats.json"
+
+MODES = ("baseline", "off", "basic", "sketches")
+
+#: The zero-overhead gate: stats-off within this factor of baseline.
+MAX_OFF_OVERHEAD = 1.02
+
+
+def _write_corpus(n: int, path: str, corpus: str = "mixed") -> None:
+    from repro.jsonio.ndjson import write_ndjson
+
+    if corpus == "mixed":
+        from repro.datasets import mixed
+
+        write_ndjson(path, mixed.generate(n))
+        return
+    from repro.datasets.base import write_dataset
+
+    write_dataset(corpus, n, path, seed=0)
+
+
+def _measure_modes(data: str, repeats: int) -> list:
+    """Best-of-``repeats`` per mode, measured round-robin.
+
+    Interleaving (round 1 of every mode, then round 2, ...) instead of
+    per-mode blocks spreads clock drift and cache-warming effects evenly
+    across modes — essential for the 2% gate, where baseline and off run
+    *identical* code and any systematic ordering bias would exceed the
+    margin being measured.  One untimed warmup run first, so the page
+    cache and import costs land on no mode's clock.
+    """
+    from repro.core.printer import print_type
+    from repro.inference.pipeline import infer_ndjson_file
+
+    infer_ndjson_file(data)  # warmup, untimed
+    times = {mode: [] for mode in MODES}
+    runs = {}
+    for _ in range(repeats):
+        for mode in MODES:
+            kwargs = {} if mode == "baseline" else {"stats_mode": mode}
+            start = time.perf_counter()
+            runs[mode] = infer_ndjson_file(data, **kwargs)
+            times[mode].append(time.perf_counter() - start)
+
+    rows = []
+    for mode in MODES:
+        run = runs[mode]
+        best = min(times[mode])
+        row = {
+            "mode": mode,
+            "seconds": round(best, 4),
+            "round_seconds": [round(s, 4) for s in times[mode]],
+            "records_per_s": round(run.record_count / best),
+            "record_count": run.record_count,
+            "distinct_type_count": run.distinct_type_count,
+            "schema_sha256": hashlib.sha256(
+                print_type(run.schema).encode()
+            ).hexdigest(),
+            "has_stats": run.stats is not None,
+        }
+        if run.stats is not None:
+            row["stats_record_count"] = run.stats.record_count
+            row["stats_path_count"] = run.stats.path_count
+        rows.append(row)
+    return rows
+
+
+def run_benchmark(
+    n: int, repeats: int = 5, out_path: "Path | str | None" = DEFAULT_OUT
+) -> dict:
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench_stats_") as tmp:
+        data = os.path.join(tmp, "mixed.ndjson")
+        _write_corpus(n, data)
+        rows = _measure_modes(data, repeats)
+
+    by_mode = {row["mode"]: row for row in rows}
+    reference = by_mode["baseline"]
+    identical = True
+    for row in rows:
+        row["results_identical"] = (
+            row["schema_sha256"] == reference["schema_sha256"]
+            and row["record_count"] == reference["record_count"]
+            and row["distinct_type_count"]
+            == reference["distinct_type_count"]
+        )
+        identical &= row["results_identical"]
+        # Min of *per-round paired* ratios, not a ratio of mins: rounds
+        # are interleaved, so a round's two runs share the host's noise
+        # regime and the ratio cancels it — the only way a 2% bound is
+        # measurable through a shared box's 10% wall-clock jitter.
+        row["slowdown_vs_baseline"] = round(min(
+            s / b for s, b in
+            zip(row["round_seconds"], reference["round_seconds"])
+        ), 3)
+
+    report = envelope(
+        "stats",
+        n,
+        schema_sha256=reference["schema_sha256"],
+        results_identical=identical,
+        repeats=repeats,
+        off_overhead_vs_baseline=by_mode["off"]["slowdown_vs_baseline"],
+        basic_slowdown=by_mode["basic"]["slowdown_vs_baseline"],
+        sketches_slowdown=by_mode["sketches"]["slowdown_vs_baseline"],
+        note=(
+            "best-of-repeats wall time per mode, measured round-robin "
+            "after one untimed warmup, over one shared mixed corpus; "
+            "baseline omits the stats_mode argument entirely "
+            "(the pre-statistics call signature), so "
+            "off_overhead_vs_baseline prices exactly the plumbing the "
+            "feature added to a stats-off run; basic/sketches slowdowns "
+            "include the forced strict parse lane"
+        ),
+        modes=rows,
+    )
+    if out_path is not None:
+        write_report(report, out_path)
+    return report
+
+
+def print_report(report: dict) -> None:
+    from repro.analysis.tables import render_table
+
+    rows = [
+        [
+            r["mode"],
+            f"{r['seconds']:.3f}s",
+            f"{r['records_per_s']:,}",
+            f"{r['slowdown_vs_baseline']:.3f}x",
+            "yes" if r["has_stats"] else "-",
+            "yes" if r["results_identical"] else "NO",
+        ]
+        for r in report["modes"]
+    ]
+    print(render_table(
+        ["mode", "wall", "rec/s", "vs baseline", "stats", "identical"],
+        rows,
+        title=(
+            f"statistics modes — x{report['n']:,}, "
+            f"best of {report['repeats']}, "
+            f"{report['cpu_count']} CPU(s) available"
+        ),
+    ))
+    print(
+        f"off overhead {report['off_overhead_vs_baseline']}x baseline "
+        f"(gate {MAX_OFF_OVERHEAD}x) · basic {report['basic_slowdown']}x · "
+        f"sketches {report['sketches_slowdown']}x"
+    )
+    print(f"results identical across modes: {report['results_identical']}")
+
+
+def check_gate(n: int, repeats: int = 5) -> bool:
+    """CI gate: schemas identical, stats-off free, merges invariant.
+
+    Beyond the report's own honesty gate (mixed corpus, schema digests
+    and the 2% off-overhead bound) this verifies, on both a homogeneous
+    (github) and heterogeneous (mixed) corpus:
+
+    * stats-on schema bytes identical to stats-off, and
+    * split-invariance across both scheduler backends — a partitioned
+      run's bundle must equal the sequential run's exactly,
+
+    plus full bundle record coverage and a HyperLogLog estimate inside
+    its 5% bound on a path of known cardinality.
+    """
+    import tempfile
+
+    report = run_benchmark(n, repeats=repeats, out_path=None)
+    print_report(report)
+    ok = report["results_identical"]
+    ok &= report["off_overhead_vs_baseline"] <= MAX_OFF_OVERHEAD
+
+    from repro.core.printer import print_type
+    from repro.engine import Context
+    from repro.inference.pipeline import infer_ndjson_file
+
+    for corpus in ("github", "mixed"):
+        with tempfile.TemporaryDirectory(prefix="bench_stats_") as tmp:
+            data = os.path.join(tmp, f"{corpus}.ndjson")
+            _write_corpus(n, data, corpus)
+            off = infer_ndjson_file(data)
+            sequential = infer_ndjson_file(data, stats_mode="sketches")
+            same_schema = (
+                print_type(sequential.schema) == print_type(off.schema)
+            )
+            covered = sequential.stats is not None and (
+                sequential.stats.record_count == sequential.record_count
+            )
+            invariant = True
+            for backend in ("thread", "process"):
+                with Context(parallelism=2, backend=backend) as ctx:
+                    run = infer_ndjson_file(
+                        data, context=ctx, num_partitions=4,
+                        stats_mode="sketches",
+                    )
+                invariant &= run.stats == sequential.stats
+                invariant &= run.schema == sequential.schema
+            same = same_schema and covered and invariant
+            print(
+                f"{corpus:>7}: schema identical {same_schema} · "
+                f"coverage {covered} · backend split-invariance "
+                f"{invariant}  {'ok' if same else 'MISMATCH'}"
+            )
+            ok &= same
+
+    from repro.jsonio.ndjson import write_ndjson
+
+    with tempfile.TemporaryDirectory(prefix="bench_stats_") as tmp:
+        data = os.path.join(tmp, "ids.ndjson")
+        write_ndjson(data, ({"id": i} for i in range(n)))
+        run = infer_ndjson_file(data, stats_mode="sketches")
+        bundle = run.stats
+        covered = bundle is not None and (
+            bundle.record_count == run.record_count
+        )
+        estimate = bundle.paths["$.id"].values.hll.estimate() if covered else 0
+        accurate = covered and abs(estimate - n) / n < 0.05
+        print(
+            f"sketches coverage: {bundle.record_count:,}/"
+            f"{run.record_count:,} records · $.id distinct "
+            f"~{estimate:,.0f} (true {n:,})"
+        )
+        ok &= covered and accurate
+
+    print(f"statistics gate: {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
+def test_bench_stats(benchmark):
+    """Gate at a small size, plus a stable in-process number: one
+    sketches-mode inference job."""
+    from conftest import max_scale
+
+    n = min(max_scale(), 5_000)
+    assert check_gate(max(n, 1_000), repeats=3)
+    import tempfile
+
+    from repro.inference.pipeline import infer_ndjson_file
+
+    with tempfile.TemporaryDirectory(prefix="bench_stats_") as tmp:
+        data = os.path.join(tmp, "mixed.ndjson")
+        _write_corpus(min(n, 2_000), data)
+        benchmark.pedantic(
+            lambda: infer_ndjson_file(data, stats_mode="sketches"),
+            rounds=3, iterations=1,
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="dataset size in records")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="take the best of this many runs per mode")
+    parser.add_argument("--out", default=os.fspath(DEFAULT_OUT))
+    parser.add_argument("--check", action="store_true",
+                        help="CI gate: exit 1 unless schemas are "
+                             "identical, stats-off overhead <= 2%% and "
+                             "the sketches bundle is sane")
+    args = parser.parse_args()
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    if args.check:
+        return 0 if check_gate(args.n, repeats=args.repeats) else 1
+    report = run_benchmark(args.n, repeats=args.repeats, out_path=args.out)
+    print_report(report)
+    print(f"wrote {args.out}")
+    return 0 if report["results_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,12 @@ from repro.core.types import Type
 from repro.inference.fusion import fuse_all
 from repro.inference.infer import infer_type
 
-__all__ = ["TypeStatistics", "SuccinctnessRow", "succinctness_row"]
+__all__ = [
+    "TypeStatistics",
+    "SuccinctnessRow",
+    "succinctness_row",
+    "succinctness_row_from_run",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,29 @@ class TypeStatistics:
     def from_values(cls, values: Iterable[Any]) -> "TypeStatistics":
         """Type every value, then compute statistics."""
         return cls.from_types([infer_type(v) for v in values])
+
+    @classmethod
+    def from_bundle(cls, bundle: Any, distinct_count: int) -> "TypeStatistics":
+        """Statistics from a summary stats bundle — no values needed.
+
+        ``bundle.type_sizes`` (see
+        :class:`repro.inference.statistics.StatsBundle`) tracks the
+        exact integer min/max/total of every observed record's type
+        size, so every field here matches :meth:`from_values` over the
+        same records exactly — which is what lets succinctness tables
+        run from a checkpoint alone.
+        """
+        sizes = bundle.type_sizes
+        if not sizes.count:
+            return cls(0, 0, 0, 0, 0.0, 0)
+        return cls(
+            count=sizes.count,
+            distinct_count=distinct_count,
+            min_size=sizes.minimum,
+            max_size=sizes.maximum,
+            mean_size=sizes.mean,
+            total_size=sizes.total,
+        )
 
 
 @dataclass(frozen=True)
@@ -107,4 +135,32 @@ def succinctness_row(values: Sequence[Any], label: str) -> SuccinctnessRow:
         max_size=stats.max_size,
         avg_size=stats.mean_size,
         fused_size=fused.size,
+    )
+
+
+def succinctness_row_from_run(run: Any, label: str) -> SuccinctnessRow:
+    """The same table row from a stats-enriched run — no values needed.
+
+    ``run`` is anything with ``schema``, ``distinct_type_count`` and a
+    ``stats`` bundle (an :class:`~repro.inference.pipeline.InferenceRun`
+    from a ``stats_mode != "off"`` run, or a loaded stats-carrying
+    checkpoint summary wrapped the same way).  The bundle's type-size
+    range is exact, so the row equals :func:`succinctness_row` over the
+    same records — the equivalence test pins this.
+    """
+    bundle = getattr(run, "stats", None)
+    if bundle is None:
+        raise ValueError(
+            "succinctness_row_from_run needs a statistics bundle; "
+            "run inference with stats_mode='basic' or 'sketches'"
+        )
+    stats = TypeStatistics.from_bundle(bundle, run.distinct_type_count)
+    return SuccinctnessRow(
+        label=label,
+        record_count=stats.count,
+        distinct_types=stats.distinct_count,
+        min_size=stats.min_size,
+        max_size=stats.max_size,
+        avg_size=stats.mean_size,
+        fused_size=run.schema.size,
     )

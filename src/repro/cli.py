@@ -5,6 +5,8 @@ Sub-commands::
     infer FILE            infer and print the fused schema of an NDJSON file
     merge A B... -o C     union schema checkpoints (cross-shard merge)
     stats FILE            print a Tables 2-5 style succinctness report
+    statistics SOURCE     per-path value statistics (counts, ranges,
+                          distinct estimates) from a file or checkpoint
     generate NAME N OUT   write a synthetic dataset as NDJSON
     paths FILE            list every schema path with its optionality
     check-path FILE PATH  resolve a query path against the inferred schema
@@ -199,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
              "'off' ignores the cache entirely",
     )
     p_infer.add_argument(
+        "--stats", choices=["off", "basic", "sketches"], default="off",
+        dest="stats_mode",
+        help="enrich the run with mergeable per-path statistics "
+             "(presence/kind counts, numeric and length ranges; "
+             "'sketches' adds HyperLogLog distinct estimates and Bloom "
+             "membership filters); they ride summaries, checkpoints and "
+             "incremental updates, the schema itself is unchanged, and "
+             "'off' (default) costs nothing",
+    )
+    p_infer.add_argument(
         "--max-retries", type=int, metavar="N", default=3,
         help="retries per partition task for transient failures "
              "(default: 3)",
@@ -237,6 +249,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("file")
     p_stats.add_argument("--skip-invalid", action="store_true")
+
+    p_statistics = sub.add_parser(
+        "statistics",
+        help="per-path value statistics report (counts, kind frequencies, "
+             "ranges, distinct estimates)",
+    )
+    p_statistics.add_argument(
+        "source",
+        help="an NDJSON file to analyse, or a checkpoint directory saved "
+             "by 'infer --stats ... --checkpoint DIR' (the report then "
+             "needs no access to the original data)",
+    )
+    p_statistics.add_argument(
+        "--stats", choices=["basic", "sketches"], default="sketches",
+        dest="stats_mode",
+        help="statistics depth when analysing a file (default: sketches; "
+             "ignored for checkpoints, which carry their saved mode)",
+    )
+    p_statistics.add_argument("--skip-invalid", action="store_true")
+    p_statistics.add_argument(
+        "--max-paths", type=int, metavar="N", default=200,
+        help="largest number of path rows to print (default: 200)",
+    )
 
     p_gen = sub.add_parser("generate", help="write a synthetic dataset")
     p_gen.add_argument("dataset", choices=sorted(DATASET_NAMES))
@@ -405,6 +440,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         resume=args.resume,
         summary_cache=args.summary_cache,
         cache_mode=args.cache_mode,
+        stats_mode=args.stats_mode,
     )
     stats = None
     stop = _GracefulStop() if args.journal else nullcontext()
@@ -499,6 +535,12 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                     f"{stats.cache_bytes_skipped:,} B of input skipped",
                     file=sys.stderr,
                 )
+            if stats.stats_bundles_merged:
+                print(
+                    f"statistics: {stats.stats_bundles_merged:,} partition "
+                    f"bundles merged",
+                    file=sys.stderr,
+                )
     return 0
 
 
@@ -539,6 +581,39 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"records: {row.record_count:,}")
     print(f"map phase: {run.map_seconds:.3f}s  reduce phase: "
           f"{run.reduce_seconds:.3f}s")
+    return 0
+
+
+def _cmd_statistics(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.report import render_statistics
+    from repro.store import CheckpointError, load_checkpoint
+
+    source = Path(args.source)
+    if source.is_dir():
+        try:
+            checkpoint = load_checkpoint(source)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        bundle = checkpoint.summary.stats
+        if bundle is None:
+            print(
+                f"error: checkpoint at {args.source!r} carries no "
+                f"statistics; re-run "
+                f"'infer --stats basic|sketches --checkpoint {args.source}'",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        run = infer_ndjson_file(
+            args.source, permissive=args.skip_invalid,
+            stats_mode=args.stats_mode,
+        )
+        bundle = run.stats
+    print(render_statistics(bundle, name=args.source,
+                            max_paths=args.max_paths))
     return 0
 
 
@@ -672,6 +747,7 @@ _COMMANDS = {
     "infer": _cmd_infer,
     "merge": _cmd_merge,
     "stats": _cmd_stats,
+    "statistics": _cmd_statistics,
     "generate": _cmd_generate,
     "paths": _cmd_paths,
     "check-path": _cmd_check_path,

@@ -292,6 +292,11 @@ class SchedulerStats:
     cache_misses: int = 0
     cache_stores: int = 0
     cache_bytes_skipped: int = 0
+    #: Statistics enrichment accounting (pipelines, from summary
+    #: telemetry): partition summaries that arrived carrying a
+    #: :class:`repro.inference.statistics.StatsBundle`.  Zero when
+    #: ``stats_mode`` is off.
+    stats_bundles_merged: int = 0
     #: Partition tasks attributed per worker (``pid<N>/<thread-name>``),
     #: maintained by the pipelines from summary telemetry — the
     #: observable spread of a job over the pool.
@@ -324,6 +329,7 @@ class SchedulerStats:
         self.cache_misses = 0
         self.cache_stores = 0
         self.cache_bytes_skipped = 0
+        self.stats_bundles_merged = 0
         self.tasks_per_worker = {}
 
 

@@ -12,6 +12,9 @@
   strict-parser fallback for diagnostics.
 * :mod:`repro.inference.counting` — the statistics enrichment sketched as
   future work in Section 7.
+* :mod:`repro.inference.statistics` — mergeable per-path statistics
+  (counters, ranges, HyperLogLog / Bloom sketches) riding the summary
+  monoid, JSONoid-style.
 * :mod:`repro.inference.parametric` — equivalence-parameterised fusion
   (the precision/succinctness axis of Section 7's future work).
 """
@@ -41,6 +44,16 @@ from repro.inference.kernel import (
     merge_phase_timings,
     merge_summaries,
     merge_summaries_full,
+)
+from repro.inference.statistics import (
+    STATS_MODES,
+    BloomFilter,
+    HyperLogLog,
+    MergeableStatistic,
+    StatsBundle,
+    merge_stats,
+    resolve_stats_mode,
+    stats_if_complete,
 )
 from repro.inference.parametric import (
     ParametricFuser,
@@ -82,6 +95,9 @@ __all__ = [
     "c_scanner_available", "resolve_lane", "type_from_tokens",
     "StatisticsCollector", "FieldPresence", "ArrayLengthStats",
     "presence_report",
+    "STATS_MODES", "MergeableStatistic", "StatsBundle",
+    "HyperLogLog", "BloomFilter", "merge_stats", "resolve_stats_mode",
+    "stats_if_complete",
     "ParametricFuser", "label_equivalence", "fuse_labelled",
     "infer_schema_labelled",
 ]

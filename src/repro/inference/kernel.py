@@ -64,6 +64,11 @@ from repro.inference.fusion import (
     fuse,
     lfuse,
 )
+from repro.inference.statistics import (
+    StatsBundle,
+    create_stats_bundle,
+    merge_stats,
+)
 from repro.inference.typestream import (
     BytesBatchTyper,
     FastLaneMiss,
@@ -455,6 +460,12 @@ class PartitionSummary:
     dedup_hits: int = field(default=0, compare=False, repr=False)
     dedup_misses: int = field(default=0, compare=False, repr=False)
     dedup_bytes_avoided: int = field(default=0, compare=False, repr=False)
+    #: Optional mergeable per-path statistics
+    #: (:class:`repro.inference.statistics.StatsBundle`).  ``None`` when
+    #: the run had ``stats="off"`` — the default, which keeps the hot
+    #: path statistics-free.  Part of the result (compared), and rides
+    #: the wire format (v3) and checkpoints like every other component.
+    stats: "StatsBundle | None" = field(default=None)
 
     @property
     def distinct_type_count(self) -> int:
@@ -573,7 +584,11 @@ class PartitionAccumulator:
     fresh; results are identical either way.
     """
 
-    def __init__(self, warm: "WarmState | None" = None) -> None:
+    def __init__(
+        self,
+        warm: "WarmState | None" = None,
+        stats_mode: str = "off",
+    ) -> None:
         if warm is None:
             self.interner = TypeInterner()
             self.memo = FusionMemo(self.interner)
@@ -594,6 +609,10 @@ class PartitionAccumulator:
         self._count = 0
         self._distinct_ids: set[int] = set()
         self._distinct: list[Type] = []
+        #: Per-path statistics bundle, or ``None`` when stats are off.
+        #: Always accumulator-private (never borrowed from warm state):
+        #: statistics are per-task results, not shared caches.
+        self.stats: "StatsBundle | None" = create_stats_bundle(stats_mode)
 
     @property
     def schema(self) -> Type:
@@ -616,7 +635,16 @@ class PartitionAccumulator:
 
     def add(self, value: Any) -> None:
         """Stream one JSON value: type, intern, count, fuse — one step."""
-        self.observe(self._infer_interned(value))
+        # Stats ride behind one attribute load + None test — the whole
+        # cost of the feature when it is off.  Observation happens after
+        # typing, so an invalid value raises before touching the bundle.
+        stats = self.stats
+        if stats is None:
+            self.observe(self._infer_interned(value))
+            return
+        t = self._infer_interned(value)
+        stats.observe(value, t.size)
+        self.observe(t)
 
     def type_value(self, value: Any) -> Type:
         """Type one JSON value into this accumulator's interned form.
@@ -675,6 +703,13 @@ class PartitionAccumulator:
                 self._distinct.append(canonical)
         self._schema = self.memo.fuse(self._schema, intern(summary.schema))
         self._count += summary.record_count
+        # Statistics merge only when this accumulator collects them: a
+        # stats-off accumulator produces stats-less summaries, and
+        # adopting a foreign bundle here would alias state that
+        # :meth:`add` later mutates.  merge() returns a fresh bundle.
+        foreign = getattr(summary, "stats", None)
+        if self.stats is not None and foreign is not None:
+            self.stats = self.stats.merge(foreign)
 
     def summary(self) -> PartitionSummary:
         """Snapshot the accumulator as a small, picklable summary."""
@@ -682,6 +717,7 @@ class PartitionAccumulator:
             schema=self._schema,
             record_count=self._count,
             distinct_types=tuple(self._distinct),
+            stats=self.stats,
         )
 
     def record_type(self, shape: tuple[Field, ...]) -> Type:
@@ -786,8 +822,14 @@ class PartitionAccumulator:
 # from the start instead of a second structural interning pass.
 
 #: Version tag leading every encoded payload; bump on layout changes.
-#: v2 appended the bytes lane's dedup-cache telemetry counters.
-WIRE_FORMAT_VERSION = 2
+#: v2 appended the bytes lane's dedup-cache telemetry counters; v3
+#: appended the optional statistics block (``None`` when stats are off).
+WIRE_FORMAT_VERSION = 3
+
+#: Older versions the decoders still read (missing fields default).  v2
+#: payloads — pre-stats journals and cached summaries — decode with
+#: ``stats=None``, so old run journals stay resumable across the bump.
+_WIRE_READ_VERSIONS = frozenset({2, WIRE_FORMAT_VERSION})
 
 #: Node-table indices 0-4 are pre-seeded with the leaf singletons — they
 #: never occupy ops in the payload.
@@ -911,6 +953,7 @@ def encode_summary(summary: PartitionSummary) -> bytes:
         summary.dedup_hits,
         summary.dedup_misses,
         summary.dedup_bytes_avoided,
+        None if summary.stats is None else summary.stats.to_wire(),
     )
     return pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
 
@@ -1005,6 +1048,48 @@ def _decode_types(
     return types
 
 
+def _unpack_wire_payload(payload: bytes) -> tuple:
+    """Shared unpickle + version gate + field unpack of both decoders.
+
+    Returns the v3 field tuple (stats block last, already decoded into a
+    :class:`StatsBundle` or ``None``); v2 payloads — pre-stats journals
+    and cached summaries — unpack with ``stats=None``.  Foreign versions
+    raise the "unsupported … version" ValueError, anything structurally
+    broken the "malformed" one.
+    """
+    try:
+        decoded = pickle.loads(payload)
+        if len(decoded) == 15:
+            # v2 frame: no stats block.
+            (version, keys, ops, schema_i, distinct_i, record_count,
+             skipped, timings, line_count, bytes_read, worker,
+             warm_reused, dedup_hits, dedup_misses,
+             dedup_bytes_avoided) = decoded
+            stats_wire = None
+        else:
+            (version, keys, ops, schema_i, distinct_i, record_count,
+             skipped, timings, line_count, bytes_read, worker,
+             warm_reused, dedup_hits, dedup_misses, dedup_bytes_avoided,
+             stats_wire) = decoded
+    except Exception as exc:
+        raise ValueError(f"malformed summary wire payload: {exc}") from exc
+    if version not in _WIRE_READ_VERSIONS:
+        raise ValueError(
+            f"unsupported summary wire format version {version!r} "
+            f"(expected {WIRE_FORMAT_VERSION})"
+        )
+    try:
+        if version == 2 and stats_wire is not None:
+            raise ValueError("v2 frames carry no stats block")
+        stats = (None if stats_wire is None
+                 else StatsBundle.from_wire(stats_wire))
+    except Exception as exc:
+        raise ValueError(f"malformed summary wire payload: {exc}") from exc
+    return (keys, ops, schema_i, distinct_i, record_count, skipped,
+            timings, line_count, bytes_read, worker, warm_reused,
+            dedup_hits, dedup_misses, dedup_bytes_avoided, stats)
+
+
 def decode_summary(
     payload: bytes, acc: "PartitionAccumulator | None" = None
 ) -> PartitionSummary:
@@ -1015,18 +1100,9 @@ def decode_summary(
     accumulator share subtrees across partitions, so the driver-side
     merge deduplicates by pointer from the start.
     """
-    try:
-        decoded = pickle.loads(payload)
-        (version, keys, ops, schema_i, distinct_i, record_count, skipped,
-         timings, line_count, bytes_read, worker, warm_reused,
-         dedup_hits, dedup_misses, dedup_bytes_avoided) = decoded
-    except Exception as exc:
-        raise ValueError(f"malformed summary wire payload: {exc}") from exc
-    if version != WIRE_FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported summary wire format version {version!r} "
-            f"(expected {WIRE_FORMAT_VERSION})"
-        )
+    (keys, ops, schema_i, distinct_i, record_count, skipped, timings,
+     line_count, bytes_read, worker, warm_reused, dedup_hits,
+     dedup_misses, dedup_bytes_avoided, stats) = _unpack_wire_payload(payload)
     types = _decode_types(keys, ops, acc)
     return PartitionSummary(
         schema=types[schema_i],
@@ -1041,6 +1117,7 @@ def decode_summary(
         dedup_hits=dedup_hits,
         dedup_misses=dedup_misses,
         dedup_bytes_avoided=dedup_bytes_avoided,
+        stats=stats,
     )
 
 
@@ -1258,18 +1335,9 @@ def decode_summary_light(
     :class:`ValueError` on anything malformed, exactly like
     :func:`decode_summary`.
     """
-    try:
-        decoded = pickle.loads(payload)
-        (version, keys, ops, schema_i, distinct_i, record_count, skipped,
-         timings, line_count, bytes_read, worker, warm_reused,
-         dedup_hits, dedup_misses, dedup_bytes_avoided) = decoded
-    except Exception as exc:
-        raise ValueError(f"malformed summary wire payload: {exc}") from exc
-    if version != WIRE_FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported summary wire format version {version!r} "
-            f"(expected {WIRE_FORMAT_VERSION})"
-        )
+    (keys, ops, schema_i, distinct_i, record_count, skipped, timings,
+     line_count, bytes_read, worker, warm_reused, dedup_hits,
+     dedup_misses, dedup_bytes_avoided, stats) = _unpack_wire_payload(payload)
     digests, node_pos = _walk_wire_digests(keys, ops)
     summary = PartitionSummary(
         schema=_materialize_wire_node(schema_i, keys, ops, node_pos),
@@ -1284,6 +1352,7 @@ def decode_summary_light(
         dedup_hits=dedup_hits,
         dedup_misses=dedup_misses,
         dedup_bytes_avoided=dedup_bytes_avoided,
+        stats=stats,
     )
     return summary, tuple(digests[i] for i in distinct_i)
 
@@ -1297,6 +1366,7 @@ def accumulate_partition(
     values: Iterable[Any],
     warm_generation: "int | None" = None,
     wire: bool = False,
+    stats_mode: str = "off",
 ) -> "PartitionSummary | bytes":
     """Stream one partition through an accumulator.
 
@@ -1305,10 +1375,12 @@ def accumulate_partition(
     worker process and get the tiny summary back.  ``warm_generation``
     (from :attr:`repro.engine.scheduler.Scheduler.warm_generation`)
     enables the worker's warm kernel state; ``wire=True`` returns the
-    summary wire-encoded (see :func:`encode_summary`).
+    summary wire-encoded (see :func:`encode_summary`); ``stats_mode``
+    (``off``/``basic``/``sketches``) opts the summary into per-path
+    statistics.
     """
     warm = warm_state_for(warm_generation)
-    acc = PartitionAccumulator(warm)
+    acc = PartitionAccumulator(warm, stats_mode=stats_mode)
     acc.add_many(values)
     summary = replace(
         acc.summary(),
@@ -1332,6 +1404,7 @@ def accumulate_ndjson_partition(
     collect_timings: bool = False,
     warm_generation: "int | None" = None,
     wire: bool = False,
+    stats_mode: str = "off",
     _warm: "WarmState | None" = None,
 ) -> "PartitionSummary | bytes":
     """Parse and stream one partition of raw NDJSON lines in a single pass.
@@ -1365,10 +1438,17 @@ def accumulate_ndjson_partition(
     ``_warm`` is internal: batch/split wrappers that already claimed the
     warm state for this task pass it through so the claim (and its
     telemetry) happens exactly once.
+
+    ``stats_mode`` other than ``off`` collects per-path statistics,
+    which need materialised values — the lane is forced to ``strict``.
+    Every lane produces the identical schema, so a stats-on run's
+    schema equals the stats-off run's on any lane.
     """
     lane = resolve_lane(parse_lane)
+    if stats_mode != "off":
+        lane = "strict"
     warm = _warm if _warm is not None else warm_state_for(warm_generation)
-    acc = PartitionAccumulator(warm)
+    acc = PartitionAccumulator(warm, stats_mode=stats_mode)
     skipped: list[BadRecord] = []
     parse_s = type_s = fuse_s = 0.0
     dedup_hits = dedup_misses = dedup_bytes_avoided = 0
@@ -1469,6 +1549,11 @@ def accumulate_ndjson_partition(
                 parse_s += t1 - t0
                 type_s += t2 - t1
                 fuse_s += t3 - t2
+                # Outside the three timed stages on purpose: statistics
+                # are a fourth concern and must not skew the parse /
+                # type / fuse attribution the timings report.
+                if acc.stats is not None:
+                    acc.stats.observe(value, t.size)
         else:
             add = acc.add
             for line_number, line in numbered_lines:
@@ -1552,6 +1637,7 @@ def accumulate_ndjson_partition(
         dedup_hits=dedup_hits,
         dedup_misses=dedup_misses,
         dedup_bytes_avoided=dedup_bytes_avoided,
+        stats=acc.stats,
     )
     return encode_summary(summary) if wire else summary
 
@@ -1562,10 +1648,13 @@ def _accumulate_split(
     parse_lane: str,
     collect_timings: bool,
     warm: "WarmState | None",
+    stats_mode: str = "off",
 ) -> PartitionSummary:
     """One split's summary (plain, never wire-encoded), with an already
     claimed warm state; shared by the single-split and batch tasks."""
-    if resolve_lane(parse_lane) == "bytes":
+    # Statistics need materialised values, so a stats-on split always
+    # takes the line-reader path (the lane is forced to strict below).
+    if resolve_lane(parse_lane) == "bytes" and stats_mode == "off":
         return _accumulate_split_bytes(
             split, permissive, collect_timings, warm
         )
@@ -1577,6 +1666,7 @@ def _accumulate_split(
             permissive=permissive,
             parse_lane=parse_lane,
             collect_timings=collect_timings,
+            stats_mode=stats_mode,
             _warm=warm,
         )
     except JsonSyntaxError as exc:
@@ -1702,6 +1792,7 @@ def accumulate_ndjson_split(
     collect_timings: bool = False,
     warm_generation: "int | None" = None,
     wire: bool = False,
+    stats_mode: str = "off",
 ) -> "PartitionSummary | bytes":
     """Read one byte-range split worker-side and stream it in a single pass.
 
@@ -1718,12 +1809,13 @@ def accumulate_ndjson_split(
     preceding the split's offset (one extra prefix read, on the error
     path only) so the message is identical to a line-oriented run's.
 
-    ``warm_generation`` / ``wire`` as in
+    ``warm_generation`` / ``wire`` / ``stats_mode`` as in
     :func:`accumulate_ndjson_partition`.
     """
     warm = warm_state_for(warm_generation)
     summary = _accumulate_split(
-        split, permissive, parse_lane, collect_timings, warm
+        split, permissive, parse_lane, collect_timings, warm,
+        stats_mode=stats_mode,
     )
     return encode_summary(summary) if wire else summary
 
@@ -1735,6 +1827,7 @@ def accumulate_ndjson_split_batch(
     collect_timings: bool = False,
     warm_generation: "int | None" = None,
     wire: bool = False,
+    stats_mode: str = "off",
 ) -> "PartitionSummary | bytes":
     """Stream a contiguous batch of byte-range splits as *one* task.
 
@@ -1761,7 +1854,8 @@ def accumulate_ndjson_split_batch(
     base = 0
     for split in splits:
         summary = _accumulate_split(
-            split, permissive, parse_lane, collect_timings, warm
+            split, permissive, parse_lane, collect_timings, warm,
+            stats_mode=stats_mode,
         )
         if summary.skipped and base:
             summary = replace(
@@ -1786,6 +1880,7 @@ def accumulate_ndjson_partition_batch(
     collect_timings: bool = False,
     warm_generation: "int | None" = None,
     wire: bool = False,
+    stats_mode: str = "off",
 ) -> "PartitionSummary | bytes":
     """Line-mode twin of :func:`accumulate_ndjson_split_batch`.
 
@@ -1802,6 +1897,7 @@ def accumulate_ndjson_partition_batch(
             permissive=permissive,
             parse_lane=parse_lane,
             collect_timings=collect_timings,
+            stats_mode=stats_mode,
             _warm=warm,
         )
         for part in parts
@@ -1830,6 +1926,12 @@ class MergedSummary:
     skipped: tuple[BadRecord, ...]
     #: Summed per-phase map timings (``None`` when no partition was timed).
     timings: PhaseTimings | None = None
+    #: Merged per-path statistics (``None`` when no partition carried
+    #: any).  May cover fewer records than ``record_count`` if stats-on
+    #: and stats-off summaries were merged — gate with
+    #: :func:`repro.inference.statistics.stats_if_complete` before
+    #: presenting the bundle as covering the run.
+    stats: "StatsBundle | None" = None
 
     @property
     def distinct_type_count(self) -> int:
@@ -1869,6 +1971,7 @@ def merge_summary_group(
     line_count = 0
     bytes_read = 0
     dedup_hits = dedup_misses = dedup_bytes_avoided = 0
+    stats: "StatsBundle | None" = None
     for summary in summaries:
         schema = fuse(schema, summary.schema)
         count += summary.record_count
@@ -1881,6 +1984,7 @@ def merge_summary_group(
         dedup_hits += summary.dedup_hits
         dedup_misses += summary.dedup_misses
         dedup_bytes_avoided += summary.dedup_bytes_avoided
+        stats = merge_stats(stats, summary.stats)
     return PartitionSummary(
         schema=schema,
         record_count=count,
@@ -1892,6 +1996,7 @@ def merge_summary_group(
         dedup_hits=dedup_hits,
         dedup_misses=dedup_misses,
         dedup_bytes_avoided=dedup_bytes_avoided,
+        stats=stats,
     )
 
 
@@ -1945,6 +2050,7 @@ def merge_summaries_full(
         merged.distinct_types,
         merged.skipped,
         merged.timings,
+        merged.stats,
     )
 
 

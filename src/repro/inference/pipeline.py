@@ -60,6 +60,11 @@ from repro.inference.kernel import (
     merge_summaries_full,
     type_digest,
 )
+from repro.inference.statistics import (
+    merge_stats,
+    resolve_stats_mode,
+    stats_if_complete,
+)
 from repro.inference.typestream import resolve_lane
 from repro.jsonio.errors import ErrorRateExceeded
 from repro.jsonio.ndjson import (
@@ -141,18 +146,22 @@ def infer_schema(values: Iterable[Any], context: Context | None = None,
     return schema
 
 
-def _warm_task(context: Context):
+def _warm_task(context: Context, stats_mode: str = "off"):
     """:func:`accumulate_partition`, warm-enabled when the context is.
 
     A warm context stamps its scheduler's generation tag into the task,
     so each worker keeps (and reuses) per-worker kernel state across
     tasks and jobs; ``warm=False`` contexts ship the plain function.
+    ``stats_mode`` rides along only when statistics are on, keeping the
+    shipped task identical to previous releases otherwise.
     """
+    kwargs: dict[str, Any] = {}
     if context.warm:
-        return partial(
-            accumulate_partition,
-            warm_generation=context.scheduler.warm_generation,
-        )
+        kwargs["warm_generation"] = context.scheduler.warm_generation
+    if stats_mode != "off":
+        kwargs["stats_mode"] = stats_mode
+    if kwargs:
+        return partial(accumulate_partition, **kwargs)
     return accumulate_partition
 
 
@@ -178,6 +187,8 @@ def _note_summary_telemetry(stats, summaries) -> None:
         stats.dedup_line_hits += summary.dedup_hits
         stats.dedup_line_misses += summary.dedup_misses
         stats.dedup_bytes_avoided += summary.dedup_bytes_avoided
+        if summary.stats is not None:
+            stats.stats_bundles_merged += 1
 
 
 def _as_sequence(values: Iterable[Any]) -> Sequence[Any]:
@@ -222,6 +233,12 @@ class InferenceRun:
     checkpoint_record_count: int = 0
     #: The checkpoint written by ``checkpoint_to``, if any.
     checkpoint: "Any | None" = None
+    #: Merged per-path statistics
+    #: (:class:`repro.inference.statistics.StatsBundle`).  ``None`` when
+    #: the run had ``stats="off"`` or when the bundle would cover only
+    #: part of ``record_count`` (e.g. an update on top of a pre-stats
+    #: checkpoint) — a present bundle always covers the whole run.
+    stats: "Any | None" = None
 
     @property
     def total_seconds(self) -> float:
@@ -267,6 +284,7 @@ def _run_inference_streaming(
     values: Iterable[Any],
     context: Context | None,
     num_partitions: int | None,
+    stats_mode: str = "off",
 ) -> InferenceRun:
     """Single-pass streaming inference (see :mod:`repro.inference.kernel`).
 
@@ -277,7 +295,7 @@ def _run_inference_streaming(
     """
     if context is None:
         start = time.perf_counter()
-        acc = PartitionAccumulator()
+        acc = PartitionAccumulator(stats_mode=stats_mode)
         acc.add_many(values)
         map_seconds = time.perf_counter() - start
         return InferenceRun(
@@ -286,6 +304,7 @@ def _run_inference_streaming(
             distinct_type_count=acc.distinct_type_count,
             map_seconds=map_seconds,
             reduce_seconds=0.0,
+            stats=acc.stats,
         )
 
     parts = split_evenly(_as_sequence(values),
@@ -294,19 +313,22 @@ def _run_inference_streaming(
     # One task per partition over the *raw* values.  Shipped as a plain
     # module-level function (or a partial of one, for the warm
     # generation tag) so the process backend can serialize it.
-    summaries = context.scheduler.run(_warm_task(context), parts)
+    summaries = context.scheduler.run(
+        _warm_task(context, stats_mode), parts
+    )
     map_seconds = time.perf_counter() - start
     _note_summary_telemetry(context.scheduler.stats, summaries)
 
     start = time.perf_counter()
-    schema, record_count, distinct_count = merge_summaries(summaries)
+    merged = merge_summaries_full(summaries)
     reduce_seconds = time.perf_counter() - start
     return InferenceRun(
-        schema=schema,
-        record_count=record_count,
-        distinct_type_count=distinct_count,
+        schema=merged.schema,
+        record_count=merged.record_count,
+        distinct_type_count=merged.distinct_type_count,
         map_seconds=map_seconds,
         reduce_seconds=reduce_seconds,
+        stats=stats_if_complete(merged.stats, merged.record_count),
     )
 
 
@@ -316,6 +338,7 @@ def run_inference(
     num_partitions: int | None = None,
     dedupe: bool = True,
     kernel: bool = True,
+    stats_mode: str = "off",
 ) -> InferenceRun:
     """Instrumented inference.
 
@@ -334,9 +357,19 @@ def run_inference(
     optimisation (same schema as fusing the raw sequence), so the flag
     only trades time, never results; it is kept as an ablation knob for
     the benchmarks.
+
+    ``stats_mode`` (``off``/``basic``/``sketches``) opts into the
+    mergeable per-path statistics of
+    :mod:`repro.inference.statistics`, exposed as the run's ``stats``
+    attribute.  Statistics require the kernel path.
     """
+    stats_mode = resolve_stats_mode(stats_mode)
+    if stats_mode != "off" and not kernel:
+        raise ValueError("stats_mode requires kernel=True")
     if kernel:
-        return _run_inference_streaming(values, context, num_partitions)
+        return _run_inference_streaming(
+            values, context, num_partitions, stats_mode
+        )
     if context is None:
         start = time.perf_counter()
         types = [infer_type(v) for v in values]
@@ -507,6 +540,7 @@ def _encode_run_entry(
         skipped=merged.skipped,
         timings=merged.timings,
         bytes_read=bytes_read,
+        stats=merged.stats,
     )
     return pickle.dumps(
         (
@@ -572,6 +606,7 @@ def _replay_run_entry(
         bad_records=summary.skipped,
         skipped_per_partition=dict(per_partition),
         phase_timings=summary.timings,
+        stats=stats_if_complete(summary.stats, summary.record_count),
     )
 
 
@@ -681,6 +716,9 @@ def _journal_header(plan_desc: dict, signature: str, total: int) -> dict:
         "split_mode": plan_desc.get("split_mode"),
         "parse_lane": plan_desc.get("parse_lane"),
         "permissive": plan_desc.get("permissive"),
+        # Absent for stats-off runs, so pre-stats journals (no key at
+        # all) validate against them unchanged.
+        "stats": plan_desc.get("stats"),
         "tasks": plan_desc.get("tasks"),
     }
 
@@ -707,7 +745,7 @@ def _validate_resume(state, plan_desc: dict, signature: str,
             f"current run reads {ours!r} — the input file changed (or a "
             f"different file was named); delete the journal to start over"
         )
-    for key in ("split_mode", "parse_lane", "permissive"):
+    for key in ("split_mode", "parse_lane", "permissive", "stats"):
         if header.get(key) != plan_desc.get(key):
             raise JournalMismatchError(
                 f"journal {path!r} recorded {key}={header.get(key)!r}, "
@@ -866,6 +904,7 @@ def infer_ndjson_file(
     stop_event=None,
     summary_cache: "str | Path | Any | None" = None,
     cache_mode: str = "readwrite",
+    stats_mode: str = "off",
 ) -> InferenceRun:
     """Instrumented schema inference straight from an NDJSON file.
 
@@ -999,12 +1038,27 @@ def infer_ndjson_file(
     * ``cache_mode`` — ``"readwrite"`` (default) probes and stores,
       ``"read"`` only probes, ``"off"`` ignores ``summary_cache``
       entirely.
+
+    ``stats_mode`` — ``"off"`` (default), ``"basic"`` or ``"sketches"``
+    — enriches every partition summary with mergeable per-path
+    statistics (see :mod:`repro.inference.statistics`).  Statistics ride
+    the same commutative/associative merge path as the schema, so
+    journals, caches, tree-merge and incremental updates keep working;
+    the inferred schema is byte-identical in every mode.  Stats need
+    materialised values, so any enabled mode runs the ``"strict"`` parse
+    lane; ``"off"`` pays nothing.
     """
     source = str(path)
     # Resolve once at the driver (raising early on an unknown lane or
     # mode) so every partition — local or on a worker process — runs the
     # same implementation and reports a stable lane name in its timings.
     lane = resolve_lane(parse_lane)
+    stats_mode = resolve_stats_mode(stats_mode)
+    if stats_mode != "off":
+        # Statistics observe concrete values, which only the strict lane
+        # materialises.  Lane choice never changes the schema, so this
+        # downgrade is invisible in the result.
+        lane = "strict"
     mode = resolve_split_mode(split_mode, context)
     cache, cache_read, cache_write = _resolve_cache(summary_cache, cache_mode)
     if cache is not None and split_mode == "auto" and context is None:
@@ -1025,6 +1079,7 @@ def infer_ndjson_file(
             cache_signature = config_signature(
                 parse_lane=lane, permissive=permissive,
                 collect_timings=collect_timings, split_mode=mode,
+                stats=stats_mode,
             )
     wire = resolve_wire_format(wire_format, context)
     stats = context.scheduler.stats if context is not None else None
@@ -1053,7 +1108,7 @@ def infer_ndjson_file(
             return {}
         from repro.store.checkpoint import fingerprint_source
 
-        return {
+        desc = {
             "source": fingerprint_source(source).to_dict(),
             "split_mode": mode,
             "parse_lane": lane,
@@ -1061,6 +1116,11 @@ def infer_ndjson_file(
             "update": str(update_from) if update_from is not None else None,
             "tasks": tasks,
         }
+        if stats_mode != "off":
+            # Only when enabled, so stats-off plans hash identically to
+            # pre-stats journals and remain resumable by them.
+            desc["stats"] = stats_mode
+        return desc
 
     start = time.perf_counter()
     journal = None
@@ -1125,6 +1185,7 @@ def infer_ndjson_file(
                 accumulate_ndjson_split_batch, permissive=permissive,
                 parse_lane=lane, collect_timings=collect_timings,
                 warm_generation=warm_generation, wire=wire,
+                stats_mode=stats_mode,
             )
             work_items = batches
             descriptors = [
@@ -1135,6 +1196,7 @@ def infer_ndjson_file(
                 accumulate_ndjson_split, permissive=permissive,
                 parse_lane=lane, collect_timings=collect_timings,
                 warm_generation=warm_generation, wire=wire,
+                stats_mode=stats_mode,
             )
             work_items = miss_splits
             descriptors = [[[s.offset, s.length]] for s in miss_splits]
@@ -1208,6 +1270,7 @@ def infer_ndjson_file(
             permissive=permissive, parse_lane=lane,
             collect_timings=collect_timings,
             warm_generation=warm_generation, wire=wire,
+            stats_mode=stats_mode,
         )
         if context is None:
             # Feed the accumulator straight off the file iterator: the
@@ -1272,6 +1335,7 @@ def infer_ndjson_file(
                     permissive=permissive, parse_lane=lane,
                     collect_timings=collect_timings,
                     warm_generation=warm_generation, wire=wire,
+                    stats_mode=stats_mode,
                 )
                 work_items = batches
                 descriptors = [
@@ -1391,6 +1455,12 @@ def infer_ndjson_file(
                     schema=merged.schema,
                     record_count=merged.record_count,
                     distinct_types=merged.distinct_types,
+                    # Persist only full-coverage bundles: an update atop
+                    # a pre-stats checkpoint yields stats covering just
+                    # the fresh records, which would misreport history.
+                    stats=stats_if_complete(
+                        merged.stats, merged.record_count
+                    ),
                 ),
                 sources=list(previous_sources) + [source],
                 skipped_count=previous_skipped + merged.skipped_count,
@@ -1425,6 +1495,7 @@ def infer_ndjson_file(
         phase_timings=merged.timings,
         checkpoint_record_count=checkpoint_records,
         checkpoint=checkpoint,
+        stats=stats_if_complete(merged.stats, merged.record_count),
     )
 
 
@@ -1451,8 +1522,15 @@ class SchemaInferencer:
     '{a: Num?, b: Str?}'
     """
 
-    def __init__(self) -> None:
-        self._acc = PartitionAccumulator()
+    def __init__(self, stats_mode: str = "off") -> None:
+        self._acc = PartitionAccumulator(
+            stats_mode=resolve_stats_mode(stats_mode)
+        )
+
+    @property
+    def stats(self) -> "Any | None":
+        """The live statistics bundle, or ``None`` when stats are off."""
+        return self._acc.stats
 
     @property
     def schema(self) -> Type:
@@ -1481,6 +1559,11 @@ class SchemaInferencer:
         merged = SchemaInferencer()
         merged._acc.add_type(self.schema, self.record_count)
         merged._acc.add_type(other.schema, other.record_count)
+        if self._acc.stats is not None and other._acc.stats is not None:
+            # Stats merge only when both sides carry them; a one-sided
+            # bundle would silently under-count the merged history.
+            merged._acc.stats = merge_stats(self._acc.stats,
+                                            other._acc.stats)
         return merged
 
     def __or__(self, other: "SchemaInferencer") -> "SchemaInferencer":

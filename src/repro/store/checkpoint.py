@@ -40,7 +40,7 @@ import json
 import os
 import shutil
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
@@ -53,6 +53,7 @@ from repro.inference.kernel import (
     PartitionSummary,
     tree_merge_rows,
 )
+from repro.inference.statistics import StatsBundle
 from repro.store.locks import FileLock, LockHeldError, is_stale_lock
 
 __all__ = [
@@ -78,10 +79,14 @@ __all__ = [
 #: On-disk format version; bumped on any incompatible layout change.
 FORMAT_VERSION = 1
 
-#: File names inside a checkpoint directory.
+#: File names inside a checkpoint directory.  ``STATS_FILE`` exists only
+#: in checkpoints saved from a stats-enriched run (``stats_mode`` other
+#: than ``"off"``); stats-off checkpoints are byte-identical to pre-stats
+#: ones, manifest included.
 MANIFEST_FILE = "MANIFEST.json"
 SCHEMA_FILE = "schema.type"
 DISTINCT_FILE = "distinct.types"
+STATS_FILE = "statistics.json"
 
 #: How much of a source file the fingerprint hashes (a prefix: cheap and
 #: deterministic, and together with the size enough to notice the common
@@ -216,10 +221,20 @@ class CheckpointManifest:
     skipped_count: int
     schema_sha256: str
     sources: tuple[SourceFingerprint, ...] = ()
+    #: Statistics enrichment (both ``None`` unless the checkpoint was
+    #: saved from a stats-carrying summary): the bundle's mode and the
+    #: digest of its canonical ``statistics.json`` bytes.
+    stats_mode: str | None = None
+    stats_sha256: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form, ready for deterministic JSON dumping."""
-        return {
+        """Plain-dict form, ready for deterministic JSON dumping.
+
+        The stats keys appear only when the checkpoint carries a bundle,
+        so stats-off manifests stay byte-identical to pre-stats ones
+        (the digest-stability guarantee the golden tests pin).
+        """
+        data = {
             "format_version": self.format_version,
             "record_count": self.record_count,
             "distinct_type_count": self.distinct_type_count,
@@ -227,11 +242,21 @@ class CheckpointManifest:
             "schema_sha256": self.schema_sha256,
             "sources": [s.to_dict() for s in self.sources],
         }
+        if self.stats_mode is not None:
+            data["stats_mode"] = self.stats_mode
+            data["stats_sha256"] = self.stats_sha256
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "CheckpointManifest":
         """Rebuild from parsed manifest JSON, validating field shapes."""
         try:
+            stats_mode = data.get("stats_mode")
+            stats_sha256 = data.get("stats_sha256")
+            if (stats_mode is None) != (stats_sha256 is None):
+                raise ValueError(
+                    "stats_mode and stats_sha256 must appear together"
+                )
             return cls(
                 format_version=int(data["format_version"]),
                 record_count=int(data["record_count"]),
@@ -241,6 +266,10 @@ class CheckpointManifest:
                 sources=tuple(
                     SourceFingerprint.from_dict(s)
                     for s in data.get("sources", [])
+                ),
+                stats_mode=None if stats_mode is None else str(stats_mode),
+                stats_sha256=(
+                    None if stats_sha256 is None else str(stats_sha256)
                 ),
             )
         except CheckpointFormatError:
@@ -383,6 +412,26 @@ def _normalize_sources(
     return tuple(sorted(by_path.values(), key=lambda s: s.path))
 
 
+def _stats_bytes(summary: PartitionSummary) -> bytes | None:
+    """Canonical ``statistics.json`` bytes, or ``None`` when stats-free."""
+    bundle = getattr(summary, "stats", None)
+    return None if bundle is None else bundle.to_bytes()
+
+
+def _scrub_partial_stats(summary: PartitionSummary) -> PartitionSummary:
+    """Drop a stats bundle that does not cover every checkpointed record.
+
+    Happens when an update folds fresh stats-enriched partitions into a
+    pre-stats checkpoint: the bundle describes only the new records, and
+    persisting it would misreport the history.  Dropping is always safe
+    — stats are an enrichment, never part of the schema algebra.
+    """
+    bundle = getattr(summary, "stats", None)
+    if bundle is not None and bundle.record_count != summary.record_count:
+        return replace(summary, stats=None)
+    return summary
+
+
 def build_manifest(
     summary: PartitionSummary,
     sources: Iterable[SourceFingerprint | str | Path] = (),
@@ -394,6 +443,7 @@ def build_manifest(
     an update pass overrides it with the cumulative count carried over
     from the previous checkpoint.
     """
+    stats_payload = _stats_bytes(summary)
     return CheckpointManifest(
         format_version=FORMAT_VERSION,
         record_count=summary.record_count,
@@ -405,6 +455,11 @@ def build_manifest(
             _schema_bytes(summary.schema)
         ).hexdigest(),
         sources=_normalize_sources(sources),
+        stats_mode=None if stats_payload is None else summary.stats.mode,
+        stats_sha256=(
+            None if stats_payload is None
+            else hashlib.sha256(stats_payload).hexdigest()
+        ),
     )
 
 
@@ -451,6 +506,8 @@ def save_checkpoint(
             f"refusing to replace {str(target)!r}: directory is not empty "
             f"and holds no checkpoint (missing {MANIFEST_FILE})"
         )
+    summary = _scrub_partial_stats(summary)
+    stats_payload = _stats_bytes(summary)
     manifest = build_manifest(summary, sources, skipped_count)
     manifest_bytes = (
         json.dumps(manifest.to_dict(), sort_keys=True, indent=2) + "\n"
@@ -465,6 +522,11 @@ def save_checkpoint(
             _write_file(
                 staging, DISTINCT_FILE, _distinct_bytes(summary.distinct_types)
             )
+            if stats_payload is not None:
+                # Before the manifest, like every data file: a reader
+                # that sees the manifest's stats digest must find the
+                # bytes it describes already in place.
+                _write_file(staging, STATS_FILE, stats_payload)
             _write_file(staging, MANIFEST_FILE, manifest_bytes)
             crash_point("checkpoint.pre_swap")
             _swap_into_place(staging, target, parent)
@@ -614,10 +676,49 @@ def load_checkpoint(
             f"{manifest.distinct_type_count}, file holds {len(distinct)}",
         )
 
+    bundle = None
+    if manifest.stats_mode is not None:
+        try:
+            stats_payload = _read_file(target, STATS_FILE)
+        except CheckpointNotFoundError as exc:
+            # The manifest promises a stats file; its absence is damage,
+            # not a missing checkpoint.
+            raise CheckpointCorruptError(
+                str(target), f"manifest promises statistics but {exc}"
+            ) from exc
+        stats_digest = hashlib.sha256(stats_payload).hexdigest()
+        if stats_digest != manifest.stats_sha256:
+            raise CheckpointCorruptError(
+                str(target),
+                f"statistics digest mismatch: manifest says "
+                f"{manifest.stats_sha256[:12]}…, file hashes to "
+                f"{stats_digest[:12]}…",
+            )
+        try:
+            bundle = StatsBundle.from_bytes(stats_payload)
+        except ValueError as exc:
+            raise CheckpointCorruptError(
+                str(target), f"unparseable statistics file: {exc}"
+            ) from exc
+        if bundle.mode != manifest.stats_mode:
+            raise CheckpointCorruptError(
+                str(target),
+                f"statistics mode mismatch: manifest says "
+                f"{manifest.stats_mode!r}, file holds {bundle.mode!r}",
+            )
+        if bundle.record_count != manifest.record_count:
+            raise CheckpointCorruptError(
+                str(target),
+                f"statistics record count mismatch: manifest says "
+                f"{manifest.record_count}, bundle covers "
+                f"{bundle.record_count}",
+            )
+
     summary = PartitionSummary(
         schema=schema,
         record_count=manifest.record_count,
         distinct_types=distinct,
+        stats=bundle,
     )
     if stats is not None:
         stats.checkpoints_loaded += 1
@@ -736,6 +837,9 @@ def merge_checkpoints(
         return save_checkpoint(
             out, merged, sources=sources, skipped_count=skipped, stats=stats
         )
+    # Same coverage rule as the saved path: a bundle contributed by only
+    # some shards must not describe the whole union.
+    merged = _scrub_partial_stats(merged)
     return Checkpoint(
         manifest=build_manifest(merged, sources, skipped_count=skipped),
         summary=merged,
@@ -769,6 +873,9 @@ def fsck_checkpoint(directory: str | Path) -> dict[str, Any]:
             f"{ckpt.manifest.distinct_type_count} distinct types, "
             f"schema {ckpt.manifest.schema_sha256[:12]}"
         )
+        if ckpt.manifest.stats_mode is not None:
+            report["detail"] += f", stats {ckpt.manifest.stats_mode}"
+            report["stats_mode"] = ckpt.manifest.stats_mode
         report["schema_sha256"] = ckpt.manifest.schema_sha256
     except CheckpointNotFoundError as exc:
         report["status"] = "not-found"

@@ -91,6 +91,7 @@ def config_signature(
     permissive: bool,
     collect_timings: bool,
     split_mode: str,
+    stats: str = "off",
 ) -> str:
     """Kernel-config half of a cache key (16 hex chars).
 
@@ -99,23 +100,26 @@ def config_signature(
     typed the lines, strict-vs-permissive error handling (changes both
     quarantine contents and which records count), whether per-phase
     timings were collected (rides inside the summary), the split mode
-    (lines-mode summaries bake absolute line numbers in), and the wire
-    format plus cache framing versions (an encoding change must not
-    replay stale bytes).
+    (lines-mode summaries bake absolute line numbers in), the statistics
+    mode (an enriched summary carries a stats bundle a plain one lacks),
+    and the wire format plus cache framing versions (an encoding change
+    must not replay stale bytes).
     """
     from repro.inference.kernel import WIRE_FORMAT_VERSION
 
-    blob = json.dumps(
-        {
-            "cache_format": CACHE_FORMAT_VERSION,
-            "wire_format": WIRE_FORMAT_VERSION,
-            "parse_lane": parse_lane,
-            "permissive": bool(permissive),
-            "collect_timings": bool(collect_timings),
-            "split_mode": split_mode,
-        },
-        sort_keys=True,
-    )
+    config = {
+        "cache_format": CACHE_FORMAT_VERSION,
+        "wire_format": WIRE_FORMAT_VERSION,
+        "parse_lane": parse_lane,
+        "permissive": bool(permissive),
+        "collect_timings": bool(collect_timings),
+        "split_mode": split_mode,
+    }
+    if stats != "off":
+        # Folded in only when enabled, so the stats-off signature stays
+        # a pure function of the pre-existing kernel knobs.
+        config["stats"] = stats
+    blob = json.dumps(config, sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 

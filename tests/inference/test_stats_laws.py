@@ -1,0 +1,185 @@
+"""Property-based merge laws for the statistics monoid.
+
+The whole statistics design rests on one claim: every statistic rides
+the summary merge path, so any partitioning, ordering or grouping of the
+same records yields byte-identical statistics.  These tests machine-check
+that claim — commutativity, associativity, identity, and split-invariance
+— for every statistic in the bundle, in both modes, and across both
+engine backends.
+
+``StatsBundle.__eq__`` is deliberately strict (it compares exact bounds
+including their types, every counter, and sketch register/bit arrays),
+so ``==`` here means "indistinguishable, wire bytes included".
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inference.kernel import (
+    accumulate_partition,
+    merge_summaries_full,
+)
+from repro.inference.statistics import (
+    StatsBundle,
+    create_stats_bundle,
+    merge_stats,
+)
+from tests.conftest import json_records, json_values, make_corpus, write_corpus
+
+MODES = ["basic", "sketches"]
+
+#: Lists of top-level JSON values (records mostly, but the laws must
+#: hold for arbitrary values — arrays and atoms stress array/scalar
+#: paths the record strategy rarely reaches).
+value_lists = st.lists(st.one_of(json_records, json_values(8)), max_size=12)
+
+modes = st.sampled_from(MODES)
+
+
+def bundle_of(values, mode):
+    """Observe ``values`` into a fresh bundle via the kernel accumulator."""
+    summary = accumulate_partition(list(values), stats_mode=mode)
+    return summary.stats
+
+
+class TestMonoidLaws:
+    @given(a=value_lists, b=value_lists, mode=modes)
+    def test_commutativity(self, a, b, mode):
+        x, y = bundle_of(a, mode), bundle_of(b, mode)
+        assert x.merge(y) == y.merge(x)
+
+    @given(a=value_lists, b=value_lists, c=value_lists, mode=modes)
+    @settings(max_examples=40)
+    def test_associativity(self, a, b, c, mode):
+        x, y, z = (bundle_of(v, mode) for v in (a, b, c))
+        assert x.merge(y).merge(z) == x.merge(y.merge(z))
+
+    @given(a=value_lists, mode=modes)
+    def test_identity(self, a, mode):
+        x = bundle_of(a, mode)
+        empty = create_stats_bundle(mode)
+        assert x.merge(empty) == x
+        assert empty.merge(x) == x
+
+    @given(a=value_lists, mode=modes)
+    def test_merge_does_not_mutate_operands(self, a, mode):
+        x, y = bundle_of(a, mode), bundle_of(a, mode)
+        before = x.copy()
+        x.merge(y)
+        assert x == before
+
+    @given(a=value_lists, b=value_lists)
+    def test_mixed_mode_degrades_to_basic_associatively(self, a, b):
+        basic = bundle_of(a, "basic")
+        sketch = bundle_of(b, "sketches")
+        merged = basic.merge(sketch)
+        assert merged.mode == "basic"
+        assert merged == sketch.merge(basic)
+
+
+class TestSplitInvariance:
+    """Any partitioning of the same records yields identical stats."""
+
+    @given(
+        values=st.lists(json_records, min_size=1, max_size=16),
+        cuts=st.lists(st.integers(min_value=0, max_value=16), max_size=3),
+        mode=modes,
+    )
+    def test_arbitrary_partitioning(self, values, cuts, mode):
+        whole = bundle_of(values, mode)
+        bounds = sorted({min(c, len(values)) for c in cuts})
+        parts, last = [], 0
+        for bound in bounds + [len(values)]:
+            parts.append(values[last:bound])
+            last = bound
+        merged = create_stats_bundle(mode)
+        for part in parts:
+            merged = merged.merge(bundle_of(part, mode))
+        assert merged == whole
+
+    @given(values=st.lists(json_records, min_size=1, max_size=16),
+           mode=modes)
+    def test_summary_merge_path(self, values, mode):
+        """The kernel's merge path carries stats exactly like a direct
+        bundle merge — no drift between the two."""
+        mid = len(values) // 2
+        s1 = accumulate_partition(values[:mid], stats_mode=mode)
+        s2 = accumulate_partition(values[mid:], stats_mode=mode)
+        merged = merge_summaries_full([s1, s2])
+        assert merged.stats == bundle_of(values, mode)
+
+    @given(mode=modes)
+    @settings(max_examples=2, deadline=None)
+    def test_merge_grouping_over_fixed_corpus(self, mode):
+        """Tree-shaped and left-fold groupings agree on a realistic
+        corpus (associativity at depth, not just for three operands)."""
+        corpus = make_corpus(48, seed=11)
+        parts = [bundle_of(corpus[i::4], mode) for i in range(4)]
+        left = parts[0].merge(parts[1]).merge(parts[2]).merge(parts[3])
+        tree = parts[0].merge(parts[1]).merge(parts[2].merge(parts[3]))
+        assert left == tree == bundle_of(corpus, mode)
+
+
+class TestMergeStatsHelper:
+    @given(a=value_lists, mode=modes)
+    def test_none_identity_and_copying(self, a, mode):
+        x = bundle_of(a, mode)
+        assert merge_stats(None, None) is None
+        via_none = merge_stats(x, None)
+        assert via_none == x and via_none is not x
+        via_none = merge_stats(None, x)
+        assert via_none == x and via_none is not x
+
+
+class TestBackendSplitInvariance:
+    """The engine's partitioned runs — thread and process backends,
+    tree-merge reduce included — produce the sequential run's stats."""
+
+    def _corpus_file(self, tmp_path):
+        path = tmp_path / "corpus.ndjson"
+        write_corpus(path, make_corpus(240, seed=13))
+        return path
+
+    def test_thread_and_process_match_sequential(self, tmp_path):
+        from repro.engine import Context
+        from repro.inference.pipeline import infer_ndjson_file
+
+        path = self._corpus_file(tmp_path)
+        sequential = infer_ndjson_file(path, stats_mode="sketches")
+        assert sequential.stats is not None
+        for backend in ("thread", "process"):
+            with Context(parallelism=4, backend=backend) as ctx:
+                run = infer_ndjson_file(
+                    path, context=ctx, num_partitions=8,
+                    stats_mode="sketches",
+                )
+            assert run.stats == sequential.stats, backend
+            assert run.schema == sequential.schema
+
+    def test_partition_count_is_unobservable(self, tmp_path):
+        from repro.engine import Context
+        from repro.inference.pipeline import infer_ndjson_file
+
+        path = self._corpus_file(tmp_path)
+        bundles = []
+        with Context(parallelism=3, backend="thread") as ctx:
+            for parts in (1, 5, 11):
+                run = infer_ndjson_file(
+                    path, context=ctx, num_partitions=parts,
+                    stats_mode="basic",
+                )
+                bundles.append(run.stats)
+        assert bundles[0] == bundles[1] == bundles[2]
+
+
+class TestWireLawInteraction:
+    @given(a=value_lists, b=value_lists, mode=modes)
+    @settings(max_examples=30)
+    def test_merge_commutes_with_wire(self, a, b, mode):
+        """Wire round-trip is a monoid homomorphism (actually the
+        identity): decode(encode(x)) merged with y equals x merged
+        with y."""
+        x, y = bundle_of(a, mode), bundle_of(b, mode)
+        x2 = StatsBundle.from_wire(x.to_wire())
+        assert x2 == x
+        assert x2.merge(y) == x.merge(y)

@@ -1,9 +1,18 @@
-"""Regenerate the golden checkpoint fixture (tests/golden/checkpoint).
+"""Regenerate the golden checkpoint fixtures (tests/golden/checkpoint*).
 
 Run after an *intentional* on-disk format change, together with a
-``FORMAT_VERSION`` bump::
+``FORMAT_VERSION`` (or ``STATS_BYTES_VERSION``) bump::
 
     PYTHONPATH=src python tests/store/regen_golden.py
+
+Two fixtures are written from the same fixed corpus:
+
+* ``tests/golden/checkpoint`` — the stats-free layout, unchanged since
+  before statistics existed; it doubles as the backward-compat fixture
+  proving pre-stats checkpoints keep loading.
+* ``tests/golden/checkpoint_stats`` — the stats-carrying layout
+  (``stats_mode="sketches"``), pinning the canonical ``statistics.json``
+  bytes and the manifest's stats fields.
 """
 
 from pathlib import Path
@@ -18,13 +27,20 @@ def main() -> None:
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent))
     from tests.conftest import make_corpus
 
-    golden = (
-        Path(__file__).resolve().parent.parent / "golden" / "checkpoint"
-    )
-    summary = accumulate_partition(make_corpus(64, seed=7))
-    checkpoint = save_checkpoint(golden, summary)
-    print(f"wrote {golden} ({checkpoint.record_count} records, "
+    golden_root = Path(__file__).resolve().parent.parent / "golden"
+    corpus = make_corpus(64, seed=7)
+
+    summary = accumulate_partition(corpus)
+    checkpoint = save_checkpoint(golden_root / "checkpoint", summary)
+    print(f"wrote {golden_root / 'checkpoint'} "
+          f"({checkpoint.record_count} records, "
           f"{summary.distinct_type_count} distinct types)")
+
+    enriched = accumulate_partition(corpus, stats_mode="sketches")
+    checkpoint = save_checkpoint(golden_root / "checkpoint_stats", enriched)
+    print(f"wrote {golden_root / 'checkpoint_stats'} "
+          f"({checkpoint.record_count} records, "
+          f"stats {checkpoint.manifest.stats_mode})")
 
 
 if __name__ == "__main__":

@@ -502,3 +502,59 @@ class TestVersion:
         )
         assert match is not None
         assert repro.__version__ == match.group(1)
+
+
+class TestStatisticsCommand:
+    def test_infer_stats_does_not_change_schema(self, sample_file, capsys):
+        assert main(["infer", sample_file]) == 0
+        plain = capsys.readouterr().out
+        for mode in ("basic", "sketches"):
+            assert main(["infer", sample_file, "--stats", mode]) == 0
+            assert capsys.readouterr().out == plain
+
+    def test_statistics_from_file(self, sample_file, capsys):
+        assert main(["statistics", sample_file]) == 0
+        out = capsys.readouterr().out
+        assert "# Statistics:" in out
+        assert "mode sketches" in out
+        assert "$.a" in out
+        assert "distinct" in out
+
+    def test_statistics_basic_mode(self, sample_file, capsys):
+        assert main(["statistics", sample_file, "--stats", "basic"]) == 0
+        assert "mode basic" in capsys.readouterr().out
+
+    def test_statistics_from_checkpoint(self, sample_file, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["infer", sample_file, "--stats", "sketches",
+                     "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(["statistics", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "mode sketches" in out
+        assert "$.b.c" in out
+
+    def test_statistics_rejects_stats_free_checkpoint(
+            self, sample_file, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["infer", sample_file, "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(["statistics", str(ckpt)]) == 1
+        assert "carries no statistics" in capsys.readouterr().err
+
+    def test_update_preserves_statistics(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        first = tmp_path / "one.ndjson"
+        write_ndjson(first, [{"n": 1}, {"n": 2}])
+        second = tmp_path / "two.ndjson"
+        write_ndjson(second, [{"n": 3, "s": "x"}])
+        assert main(["infer", str(first), "--stats", "basic",
+                     "--checkpoint", str(ckpt)]) == 0
+        assert main(["infer", str(second), "--stats", "basic",
+                     "--checkpoint", str(ckpt), "--update"]) == 0
+        capsys.readouterr()
+        from repro.store.checkpoint import load_checkpoint
+
+        bundle = load_checkpoint(ckpt).summary.stats
+        assert bundle is not None
+        assert bundle.record_count == 3
